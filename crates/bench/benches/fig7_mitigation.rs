@@ -1,0 +1,66 @@
+//! Figure 7 — classification accuracy of FaP, FaPIT and FalVolt at 10% / 30%
+//! / 60% faulty PEs.
+//!
+//! Prints the comparison once, then benchmarks the fault-aware pruning kernel
+//! (mask derivation and application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falvolt::experiment::{mitigation_comparison, DatasetKind, ExperimentScale};
+use falvolt::prune::PruneMasks;
+use falvolt_bench::{bench_context, pct};
+use falvolt_systolic::{FaultMap, StuckAt};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut ctx = bench_context(DatasetKind::Mnist);
+    let epochs = ExperimentScale::Tiny.retrain_epochs();
+    let report = mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs)
+        .expect("figure 7 comparison");
+    println!("\nFigure 7 — mitigation comparison ({}):", report.dataset);
+    println!("  baseline: {}", pct(report.baseline_accuracy));
+    println!("  fault rate | strategy | accuracy");
+    for row in &report.rows {
+        println!(
+            "  {:>9.0}% | {:<8} | {:>6}",
+            row.fault_rate * 100.0,
+            row.strategy,
+            pct(row.accuracy)
+        );
+    }
+
+    // Kernel benchmark: deriving and applying prune masks for a 30% fault map.
+    let systolic = *ctx.systolic_config();
+    let mut rng = StdRng::seed_from_u64(5);
+    let fault_map = FaultMap::random_with_rate(
+        &systolic,
+        0.30,
+        systolic.accumulator_format().msb(),
+        StuckAt::One,
+        &mut rng,
+    )
+    .unwrap();
+    ctx.restore_baseline().unwrap();
+    c.bench_function("fig7/prune_mask_derive_and_apply", |b| {
+        b.iter(|| {
+            let masks = PruneMasks::derive(ctx.network_mut(), &fault_map);
+            masks.apply(ctx.network_mut()).unwrap();
+            criterion::black_box(masks.pruned_fraction())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Supporting micro-benchmarks and ablations:
+//!
+//! * float vs clean-systolic vs faulty-systolic matrix products,
+//! * im2col lowering,
+//! * surrogate-gradient ablation (paper Eq. 2 triangular vs the ATan default)
+//!   — the design-choice ablation called out in `DESIGN.md` §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falvolt_snn::layers::{ForwardContext, Layer, Mode, SpikingLayer};
+use falvolt_snn::neuron::NeuronConfig;
+use falvolt_snn::surrogate::Surrogate;
+use falvolt_snn::FloatBackend;
+use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig, SystolicExecutor};
+use falvolt_tensor::ops::Conv2dDims;
+use falvolt_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn matmul_backends(c: &mut Criterion) {
+    let activations = Tensor::from_fn(&[64, 72], |i| ((i % 3) == 0) as u8 as f32);
+    let weights = Tensor::from_fn(&[72, 8], |i| (i % 7) as f32 * 0.05);
+    let config = SystolicConfig::new(16, 16).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let fault_map = FaultMap::random_faulty_pes(
+        &config,
+        16,
+        config.accumulator_format().msb(),
+        StuckAt::One,
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("kernels/matmul");
+    group.bench_function("float", |b| {
+        b.iter(|| criterion::black_box(ops::matmul(&activations, &weights).unwrap()))
+    });
+    let clean = SystolicExecutor::new(config, FaultMap::new(config));
+    group.bench_function("systolic_clean", |b| {
+        b.iter(|| criterion::black_box(clean.matmul(&activations, &weights).unwrap()))
+    });
+    let faulty = SystolicExecutor::new(config, fault_map);
+    group.bench_function("systolic_faulty", |b| {
+        b.iter(|| criterion::black_box(faulty.matmul(&activations, &weights).unwrap()))
+    });
+    group.finish();
+}
+
+fn im2col_lowering(c: &mut Criterion) {
+    let dims = Conv2dDims::new(16, 8, 8, 16, 16, 3, 1, 1).unwrap();
+    let input = Tensor::from_fn(&[16, 8, 16, 16], |i| (i % 5) as f32 * 0.2);
+    c.bench_function("kernels/im2col_16x8x16x16_k3", |b| {
+        b.iter(|| criterion::black_box(ops::im2col(&input, &dims).unwrap()))
+    });
+}
+
+fn surrogate_ablation(c: &mut Criterion) {
+    // Ablation: the training step cost and gradient flow of the paper's
+    // triangular surrogate (Eq. 2) vs the ATan default, at several gammas.
+    let backend = FloatBackend::new();
+    let input = Tensor::from_fn(&[32, 256], |i| (i % 13) as f32 * 0.15);
+    let grad = Tensor::ones(&[32, 256]);
+    let mut group = c.benchmark_group("kernels/surrogate_ablation");
+    let variants: Vec<(&str, Surrogate)> = vec![
+        ("triangular_gamma_0.5", Surrogate::Triangular { gamma: 0.5 }),
+        ("triangular_gamma_1.0", Surrogate::Triangular { gamma: 1.0 }),
+        ("triangular_gamma_2.0", Surrogate::Triangular { gamma: 2.0 }),
+        ("atan_alpha_2.0", Surrogate::Atan { alpha: 2.0 }),
+        ("fast_sigmoid_alpha_4", Surrogate::FastSigmoid { alpha: 4.0 }),
+    ];
+    for (name, surrogate) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &surrogate, |b, &s| {
+            let config = NeuronConfig {
+                surrogate: s,
+                ..NeuronConfig::falvolt_retraining()
+            };
+            let mut layer = SpikingLayer::new("ablate", config);
+            b.iter(|| {
+                layer.reset_state();
+                let ctx = ForwardContext::new(Mode::Train, &backend);
+                let spikes = layer.forward(&input, &ctx).unwrap();
+                let grad_in = layer.backward(&grad).unwrap();
+                criterion::black_box((spikes, grad_in))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = matmul_backends, im2col_lowering, surrogate_ablation
+}
+criterion_main!(benches);

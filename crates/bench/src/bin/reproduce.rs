@@ -1,0 +1,189 @@
+//! Regenerates every figure of the FalVolt evaluation and prints the series.
+//!
+//! ```text
+//! cargo run --release -p falvolt-bench --bin reproduce -- [--fig all|2|5a|5b|5c|6|7|8]
+//!     [--dataset mnist|nmnist|dvs|all] [--scale tiny|quick|full]
+//! ```
+//!
+//! Defaults: `--fig all --dataset mnist --scale tiny`. The measured series
+//! recorded in `EXPERIMENTS.md` were produced by this binary.
+
+use falvolt::experiment::{
+    array_size_experiment, bit_position_experiment, convergence_experiment, faulty_pe_experiment,
+    mitigation_comparison, threshold_sweep, DatasetKind, ExperimentContext, ExperimentScale,
+};
+use falvolt_bench::{pct, print_series};
+
+#[derive(Debug, Clone)]
+struct Options {
+    figures: Vec<String>,
+    datasets: Vec<DatasetKind>,
+    scale: ExperimentScale,
+}
+
+fn parse_args() -> Options {
+    let mut figures = vec!["all".to_string()];
+    let mut datasets = vec![DatasetKind::Mnist];
+    let mut scale = ExperimentScale::Tiny;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" if i + 1 < args.len() => {
+                figures = vec![args[i + 1].to_lowercase()];
+                i += 2;
+            }
+            "--dataset" if i + 1 < args.len() => {
+                datasets = match args[i + 1].to_lowercase().as_str() {
+                    "mnist" => vec![DatasetKind::Mnist],
+                    "nmnist" => vec![DatasetKind::NMnist],
+                    "dvs" | "dvs-gesture" => vec![DatasetKind::DvsGesture],
+                    "all" => DatasetKind::ALL.to_vec(),
+                    other => {
+                        eprintln!("unknown dataset '{other}', using mnist");
+                        vec![DatasetKind::Mnist]
+                    }
+                };
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = match args[i + 1].to_lowercase().as_str() {
+                    "tiny" => ExperimentScale::Tiny,
+                    "quick" => ExperimentScale::Quick,
+                    "full" => ExperimentScale::Full,
+                    other => {
+                        eprintln!("unknown scale '{other}', using tiny");
+                        ExperimentScale::Tiny
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument '{other}'");
+                i += 1;
+            }
+        }
+    }
+    Options {
+        figures,
+        datasets,
+        scale,
+    }
+}
+
+fn wants(options: &Options, figure: &str) -> bool {
+    options
+        .figures
+        .iter()
+        .any(|f| f == "all" || f == figure)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = parse_args();
+    println!("FalVolt reproduction harness");
+    println!(
+        "datasets: {:?}, scale: {:?}, figures: {:?}",
+        options
+            .datasets
+            .iter()
+            .map(DatasetKind::label)
+            .collect::<Vec<_>>(),
+        options.scale,
+        options.figures
+    );
+
+    for &kind in &options.datasets {
+        println!("\n================ {} ================", kind.label());
+        println!("preparing dataset and training the fault-free baseline...");
+        let mut ctx = ExperimentContext::prepare(kind, options.scale, 42)?;
+        println!("baseline accuracy: {}", pct(ctx.baseline_accuracy()));
+        let epochs = options.scale.retrain_epochs();
+        let msb = ctx.systolic_config().accumulator_format().msb();
+
+        if wants(&options, "2") {
+            println!("\n--- Figure 2: fixed-threshold retraining sweep ---");
+            let report = threshold_sweep(
+                &mut ctx,
+                &[0.45, 0.55, 0.7, 1.0],
+                &[0.30, 0.60],
+                epochs,
+            )?;
+            println!("  threshold | fault rate | accuracy");
+            for row in &report.rows {
+                println!(
+                    "  {:>9.2} | {:>9.0}% | {:>6}",
+                    row.threshold,
+                    row.fault_rate * 100.0,
+                    pct(row.accuracy)
+                );
+            }
+        }
+
+        if wants(&options, "5a") {
+            println!("\n--- Figure 5a: accuracy vs fault bit location ---");
+            let bits: Vec<u32> = vec![0, 2, 4, 6, 8, 10, 12, 14, msb];
+            let report = bit_position_experiment(&mut ctx, &bits, 8)?;
+            for series in &report.series {
+                print_series("Figure 5a", "bit", series);
+            }
+        }
+
+        if wants(&options, "5b") {
+            println!("\n--- Figure 5b: accuracy vs number of faulty PEs ---");
+            let report = faulty_pe_experiment(&mut ctx, &[0, 4, 8, 16, 32, 48, 64])?;
+            print_series("Figure 5b", "faulty PEs", &report.series);
+        }
+
+        if wants(&options, "5c") {
+            println!("\n--- Figure 5c: accuracy vs systolic-array size ---");
+            let report = array_size_experiment(&mut ctx, &[4, 8, 16, 32], 4)?;
+            print_series("Figure 5c", "total PEs", &report.series);
+        }
+
+        if wants(&options, "6") || wants(&options, "7") {
+            println!("\n--- Figures 6 & 7: mitigation comparison (FaP / FaPIT / FalVolt) ---");
+            let report = mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs)?;
+            println!("  fault rate | strategy | accuracy");
+            for row in &report.rows {
+                println!(
+                    "  {:>9.0}% | {:<8} | {:>6}",
+                    row.fault_rate * 100.0,
+                    row.strategy,
+                    pct(row.accuracy)
+                );
+            }
+            println!("\n  per-layer thresholds learned by FalVolt (Figure 6):");
+            for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
+                let thresholds: Vec<String> = row
+                    .thresholds
+                    .iter()
+                    .map(|(name, v)| format!("{name}={v:.2}"))
+                    .collect();
+                println!(
+                    "    {:>3.0}% faulty: {}",
+                    row.fault_rate * 100.0,
+                    thresholds.join(", ")
+                );
+            }
+        }
+
+        if wants(&options, "8") {
+            println!("\n--- Figure 8: accuracy vs retraining epochs (30% faulty PEs) ---");
+            let report = convergence_experiment(&mut ctx, 0.30, epochs)?;
+            println!("  epoch |  FaPIT  | FalVolt");
+            for (fapit, falvolt) in report.fapit.iter().zip(&report.falvolt) {
+                println!(
+                    "  {:>5} | {:>7} | {:>7}",
+                    fapit.epoch,
+                    pct(fapit.test_accuracy),
+                    pct(falvolt.test_accuracy)
+                );
+            }
+            let (fapit_epochs, falvolt_epochs) = report.epochs_to_fraction_of_baseline(0.95);
+            println!(
+                "  epochs to 95% of baseline: FaPIT {fapit_epochs:?}, FalVolt {falvolt_epochs:?}"
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Adapter running SNN matrix products on the systolic-array simulator.
+
+use falvolt_snn::MatmulBackend;
+use falvolt_systolic::executor::BypassPolicy;
+use falvolt_systolic::{FaultMap, SystolicConfig, SystolicExecutor};
+use falvolt_tensor::{Tensor, TensorError};
+use std::sync::Arc;
+
+/// A [`MatmulBackend`] that executes every convolutional / fully connected
+/// matrix product on the (possibly faulty) systolic-array model.
+///
+/// Install it on a trained [`falvolt_snn::SpikingNetwork`] with
+/// [`falvolt_snn::SpikingNetwork::set_backend`] to measure how stuck-at
+/// faults in the accelerator corrupt inference — the methodology of the
+/// paper's fault-vulnerability analysis (Figure 5).
+///
+/// # Example
+///
+/// ```
+/// use falvolt::SystolicBackend;
+/// use falvolt_snn::MatmulBackend;
+/// use falvolt_systolic::{FaultMap, SystolicConfig};
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystolicConfig::new(8, 8)?;
+/// let backend = SystolicBackend::new(config, FaultMap::new(config));
+/// let a = Tensor::ones(&[2, 8]);
+/// let b = Tensor::full(&[8, 4], 0.125);
+/// let out = backend.matmul(&a, &b)?;
+/// assert!((out.get(&[0, 0]) - 1.0).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SystolicBackend {
+    executor: SystolicExecutor,
+}
+
+impl SystolicBackend {
+    /// Creates a backend with faults active in the datapath (the
+    /// vulnerability-analysis setting).
+    pub fn new(config: SystolicConfig, fault_map: FaultMap) -> Self {
+        Self {
+            executor: SystolicExecutor::new(config, fault_map),
+        }
+    }
+
+    /// Creates a backend whose faulty PEs are bypassed (the fault-aware
+    /// pruning hardware configuration of Figure 3b).
+    pub fn with_bypass(config: SystolicConfig, fault_map: FaultMap) -> Self {
+        Self {
+            executor: SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty),
+        }
+    }
+
+    /// Convenience constructor returning the backend behind an [`Arc`], the
+    /// form [`falvolt_snn::SpikingNetwork::set_backend`] expects.
+    pub fn shared(config: SystolicConfig, fault_map: FaultMap) -> Arc<dyn MatmulBackend> {
+        Arc::new(Self::new(config, fault_map))
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &SystolicExecutor {
+        &self.executor
+    }
+}
+
+impl MatmulBackend for SystolicBackend {
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
+        self.executor.matmul(a, b).map_err(|e| match e {
+            falvolt_systolic::SystolicError::Tensor(t) => t,
+            other => TensorError::InvalidArgument {
+                reason: format!("systolic executor failed: {other}"),
+            },
+        })
+    }
+
+    fn name(&self) -> &str {
+        "systolic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falvolt_systolic::{Fault, PeCoord, StuckAt};
+
+    #[test]
+    fn clean_backend_is_close_to_float() {
+        let config = SystolicConfig::new(4, 4).unwrap();
+        let backend = SystolicBackend::new(config, FaultMap::new(config));
+        let a = Tensor::ones(&[3, 4]);
+        let b = Tensor::full(&[4, 5], 0.25);
+        let sys = backend.matmul(&a, &b).unwrap();
+        let float = falvolt_tensor::ops::matmul(&a, &b).unwrap();
+        for (x, y) in sys.data().iter().zip(float.data()) {
+            assert!((x - y).abs() < 0.05);
+        }
+        assert_eq!(backend.name(), "systolic");
+        assert!(backend.executor().fault_map().is_empty());
+    }
+
+    #[test]
+    fn faulty_backend_corrupts_results_and_bypass_heals_them() {
+        let config = SystolicConfig::new(4, 4).unwrap();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 0), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let a = Tensor::ones(&[1, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let clean = falvolt_tensor::ops::matmul(&a, &b).unwrap();
+
+        let faulty = SystolicBackend::new(config, fault_map.clone());
+        let corrupted = faulty.matmul(&a, &b).unwrap();
+        assert!((corrupted.get(&[0, 0]) - clean.get(&[0, 0])).abs() > 1.0);
+
+        let bypassed = SystolicBackend::with_bypass(config, fault_map);
+        let healed = bypassed.matmul(&a, &b).unwrap();
+        assert!((healed.get(&[0, 0]) - clean.get(&[0, 0])).abs() <= 0.5 + 1e-3);
+    }
+
+    #[test]
+    fn shape_errors_surface_as_tensor_errors() {
+        let config = SystolicConfig::new(4, 4).unwrap();
+        let backend = SystolicBackend::new(config, FaultMap::new(config));
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 2]);
+        assert!(backend.matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn network_accepts_shared_backend() {
+        use falvolt_snn::config::ArchitectureConfig;
+        let config = SystolicConfig::new(8, 8).unwrap();
+        let mut network = ArchitectureConfig::tiny_test().build(1).unwrap();
+        network.set_backend(SystolicBackend::shared(config, FaultMap::new(config)));
+        assert_eq!(network.backend().name(), "systolic");
+        let input = Tensor::zeros(&[1, 1, 8, 8]);
+        assert!(network.predict(&input).is_ok());
+    }
+}

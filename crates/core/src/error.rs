@@ -1,0 +1,97 @@
+//! Error type of the FalVolt core crate.
+
+use falvolt_snn::SnnError;
+use falvolt_systolic::SystolicError;
+use falvolt_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by FalVolt experiments, mitigation and analysis routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FalvoltError {
+    /// An underlying SNN error (construction, forward, backward).
+    Snn(SnnError),
+    /// An underlying systolic-array error (fault maps, executor).
+    Systolic(SystolicError),
+    /// An underlying tensor error.
+    Tensor(TensorError),
+    /// An experiment or mitigation was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl FalvoltError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        FalvoltError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FalvoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FalvoltError::Snn(e) => write!(f, "snn error: {e}"),
+            FalvoltError::Systolic(e) => write!(f, "systolic error: {e}"),
+            FalvoltError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FalvoltError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FalvoltError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FalvoltError::Snn(e) => Some(e),
+            FalvoltError::Systolic(e) => Some(e),
+            FalvoltError::Tensor(e) => Some(e),
+            FalvoltError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<SnnError> for FalvoltError {
+    fn from(e: SnnError) -> Self {
+        FalvoltError::Snn(e)
+    }
+}
+
+impl From<SystolicError> for FalvoltError {
+    fn from(e: SystolicError) -> Self {
+        FalvoltError::Systolic(e)
+    }
+}
+
+impl From<TensorError> for FalvoltError {
+    fn from(e: TensorError) -> Self {
+        FalvoltError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FalvoltError = SnnError::invalid_config("x").into();
+        assert!(matches!(e, FalvoltError::Snn(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: FalvoltError = SystolicError::InvalidGrid { rows: 0, cols: 1 }.into();
+        assert!(e.to_string().contains("systolic"));
+
+        let e: FalvoltError = TensorError::RankMismatch {
+            expected: 2,
+            actual: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("tensor"));
+
+        let e = FalvoltError::invalid_config("bad scale");
+        assert!(e.to_string().contains("bad scale"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,691 @@
+//! Figure-level experiment runners.
+//!
+//! Every table/figure of the paper's evaluation has a function here that
+//! regenerates its data series; the benchmark harness (`falvolt-bench`) and
+//! the `reproduce` binary are thin wrappers around this module. See
+//! `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for measured
+//! results.
+//!
+//! The experiments run on synthetic datasets and a scaled network (see the
+//! substitution table in `DESIGN.md` §3), so absolute accuracies differ from
+//! the paper; the *shape* of every curve is what the reproduction targets.
+
+use crate::mitigation::{EpochPoint, MitigationStrategy, Mitigator, RetrainConfig};
+use crate::vulnerability::{self, SweepSeries, VulnerabilityConfig};
+use crate::Result;
+use falvolt_datasets::{
+    to_batches, Dataset, DatasetConfig, LabeledBatch, SyntheticDvsGesture, SyntheticMnist,
+    SyntheticNMnist,
+};
+use falvolt_snn::config::ArchitectureConfig;
+use falvolt_snn::loss::MseRateLoss;
+use falvolt_snn::optim::Adam;
+use falvolt_snn::trainer::{Batch, Trainer};
+use falvolt_snn::SpikingNetwork;
+use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig};
+use falvolt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Dataset kinds and experiment scales
+// ---------------------------------------------------------------------------
+
+/// Which of the paper's three workloads an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Static MNIST-like images.
+    Mnist,
+    /// Neuromorphic N-MNIST-like saccade events.
+    NMnist,
+    /// Neuromorphic DVS-Gesture-like motion events.
+    DvsGesture,
+}
+
+impl DatasetKind {
+    /// All three workloads, in the order the paper lists them.
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Mnist,
+        DatasetKind::NMnist,
+        DatasetKind::DvsGesture,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Mnist => "MNIST",
+            DatasetKind::NMnist => "N-MNIST",
+            DatasetKind::DvsGesture => "DVS128-Gesture",
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetKind::Mnist | DatasetKind::NMnist => 10,
+            DatasetKind::DvsGesture => 11,
+        }
+    }
+
+    /// The scaled network architecture for this workload.
+    pub fn architecture(&self) -> ArchitectureConfig {
+        match self {
+            DatasetKind::Mnist => ArchitectureConfig::mnist_like(),
+            DatasetKind::NMnist => ArchitectureConfig::nmnist_like(),
+            DatasetKind::DvsGesture => ArchitectureConfig::dvs_gesture_like(),
+        }
+    }
+}
+
+/// How much compute an experiment run spends. All scales exercise identical
+/// code paths; they differ only in dataset size, epochs and fault-map
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScale {
+    /// Minutes-long smoke scale used by unit/integration tests.
+    Tiny,
+    /// The default for the `reproduce` binary and the benches.
+    Quick,
+    /// Closer to the paper's sample counts and epoch budgets.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Samples generated per class (train set; the test set uses the same).
+    pub fn samples_per_class(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 10,
+            ExperimentScale::Quick => 16,
+            ExperimentScale::Full => 24,
+        }
+    }
+
+    /// Baseline (fault-free) training epochs.
+    pub fn baseline_epochs(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 25,
+            ExperimentScale::Quick => 35,
+            ExperimentScale::Full => 50,
+        }
+    }
+
+    /// Retraining epochs used by FaPIT / FalVolt comparisons.
+    pub fn retrain_epochs(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 8,
+            ExperimentScale::Quick => 15,
+            ExperimentScale::Full => 30,
+        }
+    }
+
+    /// Mini-batch size.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 16,
+            ExperimentScale::Quick | ExperimentScale::Full => 16,
+        }
+    }
+
+    /// Fault-map iterations per vulnerability sweep point.
+    pub fn vulnerability_config(&self) -> VulnerabilityConfig {
+        match self {
+            ExperimentScale::Tiny => VulnerabilityConfig {
+                iterations: 1,
+                seed: 0xFA11,
+            },
+            ExperimentScale::Quick => VulnerabilityConfig::quick(),
+            ExperimentScale::Full => VulnerabilityConfig::paper_like(),
+        }
+    }
+
+    fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig::default_experiment().with_samples_per_class(self.samples_per_class())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment context: data + trained baseline
+// ---------------------------------------------------------------------------
+
+/// A prepared experiment: generated train/test data and a network trained to
+/// its fault-free baseline accuracy, ready to be attacked with fault maps.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    kind: DatasetKind,
+    scale: ExperimentScale,
+    architecture: ArchitectureConfig,
+    systolic: SystolicConfig,
+    train: Vec<Batch>,
+    test: Vec<Batch>,
+    network: SpikingNetwork,
+    baseline_state: Vec<Tensor>,
+    baseline_accuracy: f32,
+    seed: u64,
+}
+
+impl ExperimentContext {
+    /// Generates the dataset, builds the architecture and trains the
+    /// fault-free baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction and training errors.
+    pub fn prepare(kind: DatasetKind, scale: ExperimentScale, seed: u64) -> Result<Self> {
+        let data_config = scale.dataset_config();
+        let architecture = kind.architecture();
+        let (train_raw, test_raw) = generate_dataset(kind, &data_config, seed);
+        let train = convert_batches(to_batches(train_raw.as_ref(), scale.batch_size(), seed))?;
+        let test = convert_batches(to_batches(
+            test_raw.as_ref(),
+            scale.batch_size(),
+            seed.wrapping_add(1),
+        ))?;
+
+        let mut network = architecture.build(seed)?;
+        let mut trainer = Trainer::new(Adam::new(5e-3), MseRateLoss::new(), kind.classes());
+        for _ in 0..scale.baseline_epochs() {
+            trainer.train_epoch(&mut network, &train)?;
+        }
+        let baseline_accuracy = falvolt_snn::trainer::evaluate(&mut network, &test)?;
+        let baseline_state = network.export_parameters();
+
+        // A 16x16 grid keeps the network-to-array size ratio comparable to
+        // the paper's 256x256 array serving much larger layers; Figure 5c
+        // sweeps other sizes explicitly.
+        let systolic = SystolicConfig::new(16, 16)?;
+
+        Ok(Self {
+            kind,
+            scale,
+            architecture,
+            systolic,
+            train,
+            test,
+            network,
+            baseline_state,
+            baseline_accuracy,
+            seed,
+        })
+    }
+
+    /// The workload this context was prepared for.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The experiment scale.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The network architecture.
+    pub fn architecture(&self) -> &ArchitectureConfig {
+        &self.architecture
+    }
+
+    /// The systolic-array configuration experiments run against.
+    pub fn systolic_config(&self) -> &SystolicConfig {
+        &self.systolic
+    }
+
+    /// Overrides the systolic-array configuration.
+    pub fn set_systolic_config(&mut self, config: SystolicConfig) {
+        self.systolic = config;
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.kind.classes()
+    }
+
+    /// Training batches.
+    pub fn train_batches(&self) -> &[Batch] {
+        &self.train
+    }
+
+    /// Test batches.
+    pub fn test_batches(&self) -> &[Batch] {
+        &self.test
+    }
+
+    /// Fault-free baseline accuracy of the trained network.
+    pub fn baseline_accuracy(&self) -> f32 {
+        self.baseline_accuracy
+    }
+
+    /// Restores the network to the trained baseline (undoing pruning,
+    /// retraining and threshold changes from a previous mitigation run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-import errors.
+    pub fn restore_baseline(&mut self) -> Result<()> {
+        self.network.import_parameters(&self.baseline_state)?;
+        self.network.set_thresholds_trainable(false);
+        self.network.set_backend(falvolt_snn::FloatBackend::shared());
+        Ok(())
+    }
+
+    /// Mutable access to the context's network (restore the baseline first if
+    /// the previous experiment modified it).
+    pub fn network_mut(&mut self) -> &mut SpikingNetwork {
+        &mut self.network
+    }
+
+    /// Builds a fresh copy of the baseline network (architecture rebuilt,
+    /// trained parameters imported).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and import errors.
+    pub fn network_clone(&self) -> Result<SpikingNetwork> {
+        let mut network = self.architecture.build(self.seed)?;
+        network.import_parameters(&self.baseline_state)?;
+        Ok(network)
+    }
+}
+
+fn generate_dataset(
+    kind: DatasetKind,
+    config: &DatasetConfig,
+    seed: u64,
+) -> (Box<dyn Dataset>, Box<dyn Dataset>) {
+    match kind {
+        DatasetKind::Mnist => {
+            let (train, test) = SyntheticMnist::train_test(config, seed);
+            (Box::new(train), Box::new(test))
+        }
+        DatasetKind::NMnist => {
+            let config = config.with_time_steps(kind.architecture().time_steps);
+            let (train, test) = SyntheticNMnist::train_test(&config, seed);
+            (Box::new(train), Box::new(test))
+        }
+        DatasetKind::DvsGesture => {
+            let config = config.with_time_steps(kind.architecture().time_steps);
+            let (train, test) = SyntheticDvsGesture::train_test(&config, seed);
+            (Box::new(train), Box::new(test))
+        }
+    }
+}
+
+fn convert_batches(batches: Vec<LabeledBatch>) -> Result<Vec<Batch>> {
+    batches
+        .into_iter()
+        .map(|b| Ok(Batch::new(b.input, b.labels)?))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: fixed-threshold retraining sweep (motivational study)
+// ---------------------------------------------------------------------------
+
+/// One cell of the Figure 2 bar chart: retraining accuracy at a fixed
+/// threshold voltage under a given fault rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSweepRow {
+    /// The fixed threshold voltage used for retraining.
+    pub threshold: f32,
+    /// Fraction of faulty PEs.
+    pub fault_rate: f64,
+    /// Test accuracy after retraining.
+    pub accuracy: f32,
+}
+
+/// The Figure 2 report for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSweepReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Fault-free baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// One row per (threshold, fault rate) pair.
+    pub rows: Vec<ThresholdSweepRow>,
+}
+
+/// Figure 2: retrains the pruned network at several *fixed* threshold
+/// voltages and fault rates, demonstrating that the best threshold depends on
+/// both the dataset and the fault rate — the motivation for learning it.
+///
+/// # Errors
+///
+/// Propagates mitigation errors.
+pub fn threshold_sweep(
+    ctx: &mut ExperimentContext,
+    thresholds: &[f32],
+    fault_rates: &[f64],
+    epochs: usize,
+) -> Result<ThresholdSweepReport> {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let msb = ctx.systolic.accumulator_format().msb();
+    let mut rows = Vec::new();
+    for &fault_rate in fault_rates {
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ (fault_rate.to_bits()));
+        let fault_map =
+            FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
+        for &threshold in thresholds {
+            ctx.restore_baseline()?;
+            let outcome = mitigator.run(
+                &mut ctx.network,
+                &fault_map,
+                &ctx.train,
+                &ctx.test,
+                MitigationStrategy::FaPIT { epochs, threshold },
+            )?;
+            rows.push(ThresholdSweepRow {
+                threshold,
+                fault_rate,
+                accuracy: outcome.final_accuracy,
+            });
+        }
+    }
+    ctx.restore_baseline()?;
+    Ok(ThresholdSweepReport {
+        dataset: ctx.kind.label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy,
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: vulnerability sweeps
+// ---------------------------------------------------------------------------
+
+/// The Figure 5a report for one dataset: accuracy vs fault bit position, for
+/// stuck-at-0 and stuck-at-1 faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitPositionReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// One series per stuck-at polarity.
+    pub series: Vec<SweepSeries>,
+}
+
+/// Figure 5a: accuracy vs accumulator fault-bit position.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn bit_position_experiment(
+    ctx: &mut ExperimentContext,
+    bits: &[u32],
+    faulty_pes: usize,
+) -> Result<BitPositionReport> {
+    ctx.restore_baseline()?;
+    let config = ctx.scale.vulnerability_config();
+    let systolic = ctx.systolic;
+    let series = vulnerability::bit_position_sweep(
+        &mut ctx.network,
+        systolic,
+        &ctx.test,
+        bits,
+        faulty_pes,
+        &config,
+    )?;
+    Ok(BitPositionReport {
+        dataset: ctx.kind.label().to_string(),
+        series,
+    })
+}
+
+/// The Figure 5b report for one dataset: accuracy vs number of faulty PEs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyPeReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Baseline accuracy (the zero-fault reference).
+    pub baseline_accuracy: f32,
+    /// The sweep series (MSB stuck-at-1 faults).
+    pub series: SweepSeries,
+}
+
+/// Figure 5b: accuracy vs number of faulty PEs (worst-case MSB stuck-at-1).
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn faulty_pe_experiment(
+    ctx: &mut ExperimentContext,
+    pe_counts: &[usize],
+) -> Result<FaultyPeReport> {
+    ctx.restore_baseline()?;
+    let config = ctx.scale.vulnerability_config();
+    let systolic = ctx.systolic;
+    let series =
+        vulnerability::faulty_pe_sweep(&mut ctx.network, systolic, &ctx.test, pe_counts, &config)?;
+    Ok(FaultyPeReport {
+        dataset: ctx.kind.label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy,
+        series,
+    })
+}
+
+/// The Figure 5c report for one dataset: accuracy vs systolic-array size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArraySizeReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Number of faulty PEs held constant across sizes.
+    pub faulty_pes: usize,
+    /// The sweep series (x = total PE count).
+    pub series: SweepSeries,
+}
+
+/// Figure 5c: accuracy vs array size for a fixed number of faulty PEs.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn array_size_experiment(
+    ctx: &mut ExperimentContext,
+    sizes: &[usize],
+    faulty_pes: usize,
+) -> Result<ArraySizeReport> {
+    ctx.restore_baseline()?;
+    let config = ctx.scale.vulnerability_config();
+    let series = vulnerability::array_size_sweep(
+        &mut ctx.network,
+        sizes,
+        &ctx.test,
+        faulty_pes,
+        &config,
+    )?;
+    Ok(ArraySizeReport {
+        dataset: ctx.kind.label().to_string(),
+        faulty_pes,
+        series,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6 & 7: mitigation comparison and optimized thresholds
+// ---------------------------------------------------------------------------
+
+/// Outcome of one (fault rate, strategy) cell of Figure 7, plus the learned
+/// thresholds that Figure 6 plots for the FalVolt rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigationRow {
+    /// Fraction of faulty PEs.
+    pub fault_rate: f64,
+    /// Strategy label ("FaP", "FaPIT", "FalVolt").
+    pub strategy: String,
+    /// Test accuracy after mitigation.
+    pub accuracy: f32,
+    /// Per-layer threshold voltages after mitigation (Figure 6 for FalVolt).
+    pub thresholds: Vec<(String, f32)>,
+}
+
+/// The combined Figure 6 / Figure 7 report for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigationComparisonReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Fault-free baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// One row per (fault rate, strategy) pair.
+    pub rows: Vec<MitigationRow>,
+}
+
+/// Figures 6 and 7: compares FaP, FaPIT and FalVolt at the given fault rates
+/// and records the per-layer threshold voltages FalVolt learns.
+///
+/// # Errors
+///
+/// Propagates mitigation errors.
+pub fn mitigation_comparison(
+    ctx: &mut ExperimentContext,
+    fault_rates: &[f64],
+    epochs: usize,
+) -> Result<MitigationComparisonReport> {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let msb = ctx.systolic.accumulator_format().msb();
+    let strategies = [
+        MitigationStrategy::FaP,
+        MitigationStrategy::fapit(epochs),
+        MitigationStrategy::falvolt(epochs),
+    ];
+    let mut rows = Vec::new();
+    for &fault_rate in fault_rates {
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ fault_rate.to_bits().rotate_left(13));
+        let fault_map =
+            FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
+        for strategy in strategies {
+            ctx.restore_baseline()?;
+            let outcome = mitigator.run(
+                &mut ctx.network,
+                &fault_map,
+                &ctx.train,
+                &ctx.test,
+                strategy,
+            )?;
+            rows.push(MitigationRow {
+                fault_rate,
+                strategy: outcome.strategy.clone(),
+                accuracy: outcome.final_accuracy,
+                thresholds: outcome.thresholds.clone(),
+            });
+        }
+    }
+    ctx.restore_baseline()?;
+    Ok(MitigationComparisonReport {
+        dataset: ctx.kind.label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy,
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: convergence (accuracy vs retraining epochs)
+// ---------------------------------------------------------------------------
+
+/// The Figure 8 report for one dataset: per-epoch accuracy of FaPIT and
+/// FalVolt at a fixed fault rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Dataset label.
+    pub dataset: String,
+    /// Fraction of faulty PEs.
+    pub fault_rate: f64,
+    /// Fault-free baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// Per-epoch accuracy of FaPIT (fixed threshold 1.0).
+    pub fapit: Vec<EpochPoint>,
+    /// Per-epoch accuracy of FalVolt.
+    pub falvolt: Vec<EpochPoint>,
+}
+
+impl ConvergenceReport {
+    /// Epochs each strategy needs to reach `fraction` of the baseline
+    /// accuracy: `(FaPIT, FalVolt)`. The paper's headline claim is that the
+    /// FalVolt number is about half the FaPIT number.
+    pub fn epochs_to_fraction_of_baseline(
+        &self,
+        fraction: f32,
+    ) -> (Option<usize>, Option<usize>) {
+        let target = self.baseline_accuracy * fraction;
+        let find = |history: &[EpochPoint]| {
+            history
+                .iter()
+                .find(|p| p.test_accuracy >= target)
+                .map(|p| p.epoch)
+        };
+        (find(&self.fapit), find(&self.falvolt))
+    }
+}
+
+/// Figure 8: records per-epoch test accuracy of FaPIT and FalVolt while
+/// retraining under `fault_rate` faulty PEs.
+///
+/// # Errors
+///
+/// Propagates mitigation errors.
+pub fn convergence_experiment(
+    ctx: &mut ExperimentContext,
+    fault_rate: f64,
+    epochs: usize,
+) -> Result<ConvergenceReport> {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let msb = ctx.systolic.accumulator_format().msb();
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF16_8);
+    let fault_map =
+        FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
+
+    ctx.restore_baseline()?;
+    let fapit = mitigator.run(
+        &mut ctx.network,
+        &fault_map,
+        &ctx.train,
+        &ctx.test,
+        MitigationStrategy::fapit(epochs),
+    )?;
+
+    ctx.restore_baseline()?;
+    let falvolt = mitigator.run(
+        &mut ctx.network,
+        &fault_map,
+        &ctx.train,
+        &ctx.test,
+        MitigationStrategy::falvolt(epochs),
+    )?;
+    ctx.restore_baseline()?;
+
+    Ok(ConvergenceReport {
+        dataset: ctx.kind.label().to_string(),
+        fault_rate,
+        baseline_accuracy: ctx.baseline_accuracy,
+        fapit: fapit.history,
+        falvolt: falvolt.history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kind_metadata() {
+        assert_eq!(DatasetKind::ALL.len(), 3);
+        assert_eq!(DatasetKind::Mnist.classes(), 10);
+        assert_eq!(DatasetKind::DvsGesture.classes(), 11);
+        assert_eq!(DatasetKind::NMnist.label(), "N-MNIST");
+        assert_eq!(DatasetKind::Mnist.architecture().input_channels, 1);
+        assert_eq!(DatasetKind::DvsGesture.architecture().conv_blocks, 5);
+    }
+
+    #[test]
+    fn scales_order_their_budgets() {
+        let tiny = ExperimentScale::Tiny;
+        let quick = ExperimentScale::Quick;
+        let full = ExperimentScale::Full;
+        assert!(tiny.samples_per_class() < quick.samples_per_class());
+        assert!(quick.samples_per_class() < full.samples_per_class());
+        assert!(tiny.baseline_epochs() < full.baseline_epochs());
+        assert!(tiny.retrain_epochs() <= quick.retrain_epochs());
+        assert!(tiny.vulnerability_config().iterations <= full.vulnerability_config().iterations);
+        assert!(tiny.batch_size() > 0);
+    }
+
+    // The end-to-end experiment flow is exercised by the workspace
+    // integration tests (tests/experiment_flow.rs) on the Tiny scale; unit
+    // tests here stay cheap.
+}

@@ -1,0 +1,266 @@
+//! Synthetic DVS-Gesture-like event dataset.
+
+use crate::dataset::{Dataset, DatasetConfig};
+use falvolt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An 11-class moving-pattern dataset standing in for DVS128 Gesture
+/// (Amir et al., CVPR 2017).
+///
+/// Every sample is a `[T, 2, size, size]` tensor of ON/OFF events produced by
+/// a simple moving shape; the class determines the *motion*, not the shape:
+///
+/// | class | motion                       |
+/// |-------|------------------------------|
+/// | 0..8  | translation along one of 8 compass directions |
+/// | 8     | clockwise rotation           |
+/// | 9     | counter-clockwise rotation   |
+/// | 10    | in-place flicker             |
+///
+/// This mirrors what makes DVS Gesture hard for a faulty accelerator: the
+/// label is carried by spatio-temporal structure rather than by a static
+/// spatial pattern, so corrupted partial sums disrupt it more easily — the
+/// paper observes exactly this (DVS Gesture is the most fault-sensitive of
+/// the three datasets).
+///
+/// # Example
+///
+/// ```
+/// use falvolt_datasets::{Dataset, DatasetConfig, SyntheticDvsGesture};
+///
+/// let config = DatasetConfig::tiny();
+/// let data = SyntheticDvsGesture::generate(&config, 5);
+/// assert_eq!(data.classes(), 11);
+/// let (events, label) = data.sample(0);
+/// assert_eq!(events.shape(), &[config.time_steps, 2, config.size, config.size]);
+/// assert!(label < 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticDvsGesture {
+    config: DatasetConfig,
+    samples: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl SyntheticDvsGesture {
+    /// Number of gesture classes (as in DVS128 Gesture).
+    pub const CLASSES: usize = 11;
+
+    /// Generates the dataset.
+    pub fn generate(config: &DatasetConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(Self::CLASSES * config.samples_per_class);
+        let mut labels = Vec::with_capacity(samples.capacity());
+        for class in 0..Self::CLASSES {
+            for _ in 0..config.samples_per_class {
+                samples.push(gesture_events(class, config, &mut rng));
+                labels.push(class);
+            }
+        }
+        Self {
+            config: *config,
+            samples,
+            labels,
+        }
+    }
+
+    /// Generates a `(train, test)` pair from two derived seeds.
+    pub fn train_test(config: &DatasetConfig, seed: u64) -> (Self, Self) {
+        (
+            Self::generate(config, seed),
+            Self::generate(config, seed.wrapping_add(0x9E37_79B9)),
+        )
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+}
+
+impl Dataset for SyntheticDvsGesture {
+    fn name(&self) -> &str {
+        "synthetic-dvs-gesture"
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn classes(&self) -> usize {
+        Self::CLASSES
+    }
+
+    fn sample(&self, index: usize) -> (Tensor, usize) {
+        (self.samples[index].clone(), self.labels[index])
+    }
+}
+
+/// Renders a filled square at a (possibly rotated) position.
+fn render_frame(size: usize, cx: f32, cy: f32, half: f32, angle: f32) -> Vec<f32> {
+    let mut frame = vec![0.0f32; size * size];
+    let (sin, cos) = angle.sin_cos();
+    for y in 0..size {
+        for x in 0..size {
+            // Rotate the pixel into the square's frame.
+            let dx = x as f32 - cx;
+            let dy = y as f32 - cy;
+            let rx = cos * dx + sin * dy;
+            let ry = -sin * dx + cos * dy;
+            if rx.abs() <= half && ry.abs() <= half {
+                frame[y * size + x] = 1.0;
+            }
+        }
+    }
+    frame
+}
+
+fn gesture_events(class: usize, config: &DatasetConfig, rng: &mut StdRng) -> Tensor {
+    let size = config.size;
+    let t_steps = config.time_steps;
+    let mut events = Tensor::zeros(&[t_steps, 2, size, size]);
+    let centre = size as f32 / 2.0;
+    let half = size as f32 / 6.0;
+    let radius = size as f32 / 4.0;
+    // Small per-sample perturbations keep the class non-trivial.
+    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let speed_jitter: f32 = rng.gen_range(0.8..1.2);
+    let start_offset: f32 = rng.gen_range(-1.0..1.0);
+
+    let mut previous = vec![0.0f32; size * size];
+    let data = events.data_mut();
+    for t in 0..t_steps {
+        let progress = t as f32 / t_steps as f32;
+        let (cx, cy, angle) = match class {
+            // Eight compass translations.
+            0..=7 => {
+                let dir = class as f32 * std::f32::consts::FRAC_PI_4;
+                let travel = (progress - 0.5) * size as f32 * 0.5 * speed_jitter + start_offset;
+                (
+                    centre + dir.cos() * travel,
+                    centre + dir.sin() * travel,
+                    0.0,
+                )
+            }
+            // Clockwise / counter-clockwise rotation around the centre.
+            8 | 9 => {
+                let sign = if class == 8 { 1.0 } else { -1.0 };
+                let theta = phase + sign * progress * std::f32::consts::TAU * speed_jitter;
+                (
+                    centre + radius * theta.cos(),
+                    centre + radius * theta.sin(),
+                    theta,
+                )
+            }
+            // In-place flicker: the square appears only on even steps.
+            _ => {
+                let visible = t % 2 == 0;
+                if visible {
+                    (centre + start_offset, centre, 0.0)
+                } else {
+                    (-(size as f32), -(size as f32), 0.0) // off screen
+                }
+            }
+        };
+        let current = render_frame(size, cx, cy, half, angle);
+        for i in 0..size * size {
+            let on = (current[i] > 0.5 && previous[i] <= 0.5) as u8;
+            let off = (current[i] <= 0.5 && previous[i] > 0.5) as u8;
+            let mut on_value = on as f32;
+            let mut off_value = off as f32;
+            // Sensor noise: spurious events.
+            if rng.gen::<f32>() < config.noise * 0.2 {
+                on_value = 1.0 - on_value;
+            }
+            if rng.gen::<f32>() < config.noise * 0.2 {
+                off_value = 1.0 - off_value;
+            }
+            data[(t * 2) * size * size + i] = on_value;
+            data[(t * 2 + 1) * size * size + i] = off_value;
+        }
+        previous = current;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_eleven_balanced_classes() {
+        let config = DatasetConfig::tiny();
+        let data = SyntheticDvsGesture::generate(&config, 1);
+        assert_eq!(data.classes(), 11);
+        assert_eq!(data.len(), 11 * config.samples_per_class);
+        assert_eq!(data.name(), "synthetic-dvs-gesture");
+        let mut counts = [0usize; 11];
+        for i in 0..data.len() {
+            let (x, y) = data.sample(i);
+            assert_eq!(x.shape(), &[config.time_steps, 2, config.size, config.size]);
+            assert!(x.data().iter().all(|&v| v == 0.0 || v == 1.0));
+            counts[y] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == config.samples_per_class));
+    }
+
+    #[test]
+    fn motion_classes_produce_events_in_every_later_frame() {
+        let config = DatasetConfig::default_experiment().with_samples_per_class(1);
+        let data = SyntheticDvsGesture::generate(&config, 2);
+        // Class 0 (translation): the moving square must generate ON or OFF
+        // events in most frames after the first.
+        let (events, label) = data.sample(0);
+        assert_eq!(label, 0);
+        let frames_with_events = (1..config.time_steps)
+            .filter(|&t| {
+                let base = t * 2 * config.size * config.size;
+                events.data()[base..base + 2 * config.size * config.size]
+                    .iter()
+                    .sum::<f32>()
+                    > 0.0
+            })
+            .count();
+        assert!(frames_with_events >= config.time_steps / 2);
+    }
+
+    #[test]
+    fn different_motion_classes_differ_in_event_streams() {
+        let config = DatasetConfig::default_experiment().with_samples_per_class(1);
+        let data = SyntheticDvsGesture::generate(&config, 7);
+        let (east, _) = data.sample(0); // class 0: translation east
+        let (west, _) = data.sample(4); // class 4: translation west
+        let diff: f32 = east
+            .data()
+            .iter()
+            .zip(west.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 10.0, "opposite translations must differ, diff {diff}");
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let config = DatasetConfig::tiny();
+        let a = SyntheticDvsGesture::generate(&config, 5);
+        let b = SyntheticDvsGesture::generate(&config, 5);
+        assert_eq!(a.sample(10).0, b.sample(10).0);
+        let (train, test) = SyntheticDvsGesture::train_test(&config, 5);
+        assert_ne!(train.sample(0).0, test.sample(0).0);
+        assert_eq!(train.config(), &config);
+    }
+
+    #[test]
+    fn flicker_class_alternates_activity() {
+        let config = DatasetConfig::default_experiment()
+            .with_samples_per_class(1)
+            .with_time_steps(6);
+        let data = SyntheticDvsGesture::generate(&config, 3);
+        let (events, label) = data.sample(10 * config.samples_per_class);
+        assert_eq!(label, 10);
+        // The flicker class produces bursts of events on the on/off
+        // transitions; total activity must be well above zero.
+        assert!(events.data().iter().sum::<f32>() > 5.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # falvolt-datasets
+//!
+//! Synthetic stand-ins for the three datasets of the FalVolt evaluation:
+//!
+//! * [`SyntheticMnist`] — static single-channel digit-like images (MNIST
+//!   substitute),
+//! * [`SyntheticNMnist`] — saccade-style event versions of the same glyphs
+//!   with ON/OFF polarity channels (N-MNIST substitute),
+//! * [`SyntheticDvsGesture`] — 11 classes of moving/rotating patterns encoded
+//!   as event frames (DVS128 Gesture substitute).
+//!
+//! The real datasets cannot be downloaded in this offline reproduction; the
+//! synthetic ones preserve what the paper's experiments actually exercise:
+//! a static pixel-intensity workload and two temporal event-stream workloads
+//! with the same tensor shapes, enough class structure to reach a high
+//! baseline accuracy, and enough intra-class variation that accuracy genuinely
+//! degrades when the accelerator computes wrong sums. See `DESIGN.md` §3 for
+//! the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use falvolt_datasets::{Dataset, DatasetConfig, SyntheticMnist};
+//!
+//! let config = DatasetConfig::tiny();
+//! let train = SyntheticMnist::generate(&config, 1);
+//! assert_eq!(train.classes(), 10);
+//! let (image, label) = train.sample(0);
+//! assert_eq!(image.shape(), &[1, config.size, config.size]);
+//! assert!(label < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod dvs_gesture;
+mod generator;
+mod mnist;
+mod nmnist;
+
+pub use dataset::{to_batches, Dataset, DatasetConfig, LabeledBatch};
+pub use dvs_gesture::SyntheticDvsGesture;
+pub use generator::GlyphBank;
+pub use mnist::SyntheticMnist;
+pub use nmnist::SyntheticNMnist;

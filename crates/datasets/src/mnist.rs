@@ -1,0 +1,154 @@
+//! Synthetic MNIST-like static image dataset.
+
+use crate::dataset::{Dataset, DatasetConfig};
+use crate::generator::GlyphBank;
+use falvolt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A static, single-channel, 10-class digit-like dataset: the MNIST
+/// substitute (see `DESIGN.md` §3).
+///
+/// Each sample is a `[1, size, size]` image with intensities in `[0, 1]`:
+/// a jittered, noisy variant of the class glyph.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_datasets::{Dataset, DatasetConfig, SyntheticMnist};
+///
+/// let data = SyntheticMnist::generate(&DatasetConfig::tiny(), 7);
+/// assert_eq!(data.classes(), 10);
+/// assert_eq!(data.len(), 10 * DatasetConfig::tiny().samples_per_class);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticMnist {
+    config: DatasetConfig,
+    samples: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl SyntheticMnist {
+    /// Number of classes (digits 0-9).
+    pub const CLASSES: usize = 10;
+
+    /// Generates the dataset with a seed controlling jitter and noise.
+    pub fn generate(config: &DatasetConfig, seed: u64) -> Self {
+        let bank = GlyphBank::new(Self::CLASSES, config.size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(Self::CLASSES * config.samples_per_class);
+        let mut labels = Vec::with_capacity(samples.capacity());
+        for class in 0..Self::CLASSES {
+            for _ in 0..config.samples_per_class {
+                let glyph = bank.variant(class, config.noise, config.jitter, &mut rng);
+                let image = glyph
+                    .into_reshaped(&[1, config.size, config.size])
+                    .expect("glyph has size*size elements");
+                samples.push(image);
+                labels.push(class);
+            }
+        }
+        Self {
+            config: *config,
+            samples,
+            labels,
+        }
+    }
+
+    /// Generates a `(train, test)` pair from two derived seeds.
+    pub fn train_test(config: &DatasetConfig, seed: u64) -> (Self, Self) {
+        (
+            Self::generate(config, seed),
+            Self::generate(config, seed.wrapping_add(0x9E37_79B9)),
+        )
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+}
+
+impl Dataset for SyntheticMnist {
+    fn name(&self) -> &str {
+        "synthetic-mnist"
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn classes(&self) -> usize {
+        Self::CLASSES
+    }
+
+    fn sample(&self, index: usize) -> (Tensor, usize) {
+        (self.samples[index].clone(), self.labels[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_balanced_classes_with_correct_shapes() {
+        let config = DatasetConfig::tiny();
+        let data = SyntheticMnist::generate(&config, 1);
+        assert_eq!(data.len(), 10 * config.samples_per_class);
+        assert_eq!(data.name(), "synthetic-mnist");
+        assert!(!data.is_empty());
+        let mut counts = [0usize; 10];
+        for i in 0..data.len() {
+            let (x, y) = data.sample(i);
+            assert_eq!(x.shape(), &[1, config.size, config.size]);
+            assert!(x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            counts[y] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == config.samples_per_class));
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_differs() {
+        let config = DatasetConfig::tiny();
+        let a = SyntheticMnist::generate(&config, 5);
+        let b = SyntheticMnist::generate(&config, 5);
+        let c = SyntheticMnist::generate(&config, 6);
+        assert_eq!(a.sample(0).0, b.sample(0).0);
+        assert_ne!(a.sample(0).0, c.sample(0).0);
+    }
+
+    #[test]
+    fn train_test_split_differs_but_shares_structure() {
+        let config = DatasetConfig::tiny();
+        let (train, test) = SyntheticMnist::train_test(&config, 11);
+        assert_eq!(train.len(), test.len());
+        assert_ne!(train.sample(0).0, test.sample(0).0);
+        assert_eq!(train.sample(0).1, test.sample(0).1);
+        assert_eq!(train.config(), &config);
+    }
+
+    #[test]
+    fn samples_within_a_class_are_mutually_closer_than_across_classes() {
+        // A crude separability check: the mean intra-class L1 distance should
+        // be smaller than the mean inter-class distance.
+        let config = DatasetConfig::tiny();
+        let data = SyntheticMnist::generate(&config, 3);
+        let dist = |a: &Tensor, b: &Tensor| -> f32 {
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(x, y)| (x - y).abs())
+                .sum()
+        };
+        let (x0a, _) = data.sample(0);
+        let (x0b, _) = data.sample(1);
+        let (x1a, _) = data.sample(config.samples_per_class);
+        let intra = dist(&x0a, &x0b);
+        let inter = dist(&x0a, &x1a);
+        assert!(
+            intra < inter,
+            "intra-class distance {intra} should be below inter-class {inter}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Synthetic N-MNIST-like event dataset (saccade-style).
+
+use crate::dataset::{Dataset, DatasetConfig};
+use crate::generator::GlyphBank;
+use falvolt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An event-camera version of the digit glyphs: each sample is a
+/// `[T, 2, size, size]` tensor of ON/OFF polarity events produced by sweeping
+/// the glyph across the sensor in a small saccade, mirroring how the real
+/// N-MNIST dataset was recorded (Orchard et al.).
+///
+/// # Example
+///
+/// ```
+/// use falvolt_datasets::{Dataset, DatasetConfig, SyntheticNMnist};
+///
+/// let config = DatasetConfig::tiny();
+/// let data = SyntheticNMnist::generate(&config, 3);
+/// let (events, label) = data.sample(0);
+/// assert_eq!(events.shape(), &[config.time_steps, 2, config.size, config.size]);
+/// assert!(label < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticNMnist {
+    config: DatasetConfig,
+    samples: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl SyntheticNMnist {
+    /// Number of classes (digits 0-9).
+    pub const CLASSES: usize = 10;
+
+    /// Generates the dataset.
+    pub fn generate(config: &DatasetConfig, seed: u64) -> Self {
+        let bank = GlyphBank::new(Self::CLASSES, config.size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(Self::CLASSES * config.samples_per_class);
+        let mut labels = Vec::with_capacity(samples.capacity());
+        for class in 0..Self::CLASSES {
+            for _ in 0..config.samples_per_class {
+                let glyph = bank.variant(class, config.noise, config.jitter, &mut rng);
+                samples.push(saccade_events(&glyph, config, &mut rng));
+                labels.push(class);
+            }
+        }
+        Self {
+            config: *config,
+            samples,
+            labels,
+        }
+    }
+
+    /// Generates a `(train, test)` pair from two derived seeds.
+    pub fn train_test(config: &DatasetConfig, seed: u64) -> (Self, Self) {
+        (
+            Self::generate(config, seed),
+            Self::generate(config, seed.wrapping_add(0x9E37_79B9)),
+        )
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+}
+
+impl Dataset for SyntheticNMnist {
+    fn name(&self) -> &str {
+        "synthetic-nmnist"
+    }
+
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn classes(&self) -> usize {
+        Self::CLASSES
+    }
+
+    fn sample(&self, index: usize) -> (Tensor, usize) {
+        (self.samples[index].clone(), self.labels[index])
+    }
+}
+
+/// Sweeps the glyph over a small triangular saccade trajectory and emits
+/// ON events where pixels turn on between consecutive frames and OFF events
+/// where they turn off.
+fn saccade_events(glyph: &Tensor, config: &DatasetConfig, rng: &mut StdRng) -> Tensor {
+    let size = config.size;
+    let t_steps = config.time_steps;
+    let mut events = Tensor::zeros(&[t_steps, 2, size, size]);
+    let mut previous = vec![0.0f32; size * size];
+    // Saccade offsets cycle through a small triangle, like the three saccades
+    // of the real N-MNIST recording procedure.
+    let trajectory = [(0isize, 0isize), (1, 0), (1, 1), (0, 1), (-1, 0), (0, -1)];
+    let phase = rng.gen_range(0..trajectory.len());
+    {
+        let data = events.data_mut();
+        for t in 0..t_steps {
+            let (dx, dy) = trajectory[(phase + t) % trajectory.len()];
+            // Shift the glyph by (dx, dy).
+            let mut current = vec![0.0f32; size * size];
+            for y in 0..size as isize {
+                for x in 0..size as isize {
+                    let sy = y - dy;
+                    let sx = x - dx;
+                    if sy >= 0 && sx >= 0 && (sy as usize) < size && (sx as usize) < size {
+                        current[(y as usize) * size + x as usize] =
+                            glyph.data()[(sy as usize) * size + sx as usize];
+                    }
+                }
+            }
+            for i in 0..size * size {
+                let on = (current[i] > 0.5 && previous[i] <= 0.5) as u8;
+                let off = (current[i] <= 0.5 && previous[i] > 0.5) as u8;
+                // Channel 0 = ON events, channel 1 = OFF events.
+                data[((t * 2) * size * size) + i] = on as f32;
+                data[((t * 2 + 1) * size * size) + i] = off as f32;
+            }
+            previous = current;
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_binary_events() {
+        let config = DatasetConfig::tiny();
+        let data = SyntheticNMnist::generate(&config, 1);
+        assert_eq!(data.len(), 10 * config.samples_per_class);
+        assert_eq!(data.classes(), 10);
+        assert_eq!(data.name(), "synthetic-nmnist");
+        let (events, _) = data.sample(0);
+        assert_eq!(
+            events.shape(),
+            &[config.time_steps, 2, config.size, config.size]
+        );
+        assert!(events.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn first_frame_contains_the_glyph_onset() {
+        // At t = 0 the previous frame is empty, so every glyph pixel emits an
+        // ON event and there are no OFF events.
+        let config = DatasetConfig::tiny();
+        let data = SyntheticNMnist::generate(&config, 2);
+        let (events, _) = data.sample(0);
+        let size = config.size;
+        let on_count: f32 = (0..size * size)
+            .map(|i| events.data()[i])
+            .sum();
+        let off_count: f32 = (0..size * size)
+            .map(|i| events.data()[size * size + i])
+            .sum();
+        assert!(on_count > 0.0, "the onset frame must contain ON events");
+        assert_eq!(off_count, 0.0, "nothing can turn off before it was on");
+    }
+
+    #[test]
+    fn later_frames_contain_motion_events() {
+        let config = DatasetConfig::tiny();
+        let data = SyntheticNMnist::generate(&config, 4);
+        let (events, _) = data.sample(3);
+        let per_frame: Vec<f32> = (0..config.time_steps)
+            .map(|t| {
+                let base = t * 2 * config.size * config.size;
+                events.data()[base..base + 2 * config.size * config.size]
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        // The saccade keeps producing events after the onset (frames where the
+        // glyph moves produce ON+OFF edges).
+        assert!(per_frame[1..].iter().any(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn reproducibility_and_split() {
+        let config = DatasetConfig::tiny();
+        let a = SyntheticNMnist::generate(&config, 9);
+        let b = SyntheticNMnist::generate(&config, 9);
+        assert_eq!(a.sample(5).0, b.sample(5).0);
+        let (train, test) = SyntheticNMnist::train_test(&config, 9);
+        assert_eq!(train.len(), test.len());
+        assert_eq!(train.config(), &config);
+        assert_ne!(train.sample(0).0, test.sample(0).0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for fixed-point configuration.
+
+use std::fmt;
+
+/// Error returned when constructing an invalid fixed-point format or when a
+/// bit index is out of range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedPointError {
+    /// The requested word width is unsupported (must be 2..=32 bits).
+    InvalidWordWidth {
+        /// Requested total number of bits.
+        total_bits: u32,
+    },
+    /// The fractional part does not fit into the word.
+    InvalidFractionalBits {
+        /// Requested total number of bits.
+        total_bits: u32,
+        /// Requested fractional bits.
+        frac_bits: u32,
+    },
+    /// A bit index referenced a bit outside the word.
+    BitOutOfRange {
+        /// The offending bit index.
+        bit: u32,
+        /// The word width.
+        total_bits: u32,
+    },
+}
+
+impl fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointError::InvalidWordWidth { total_bits } => {
+                write!(f, "unsupported fixed-point word width {total_bits} (must be 2..=32)")
+            }
+            FixedPointError::InvalidFractionalBits {
+                total_bits,
+                frac_bits,
+            } => write!(
+                f,
+                "fractional bits {frac_bits} must be smaller than the word width {total_bits}"
+            ),
+            FixedPointError::BitOutOfRange { bit, total_bits } => {
+                write!(f, "bit {bit} out of range for a {total_bits}-bit word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_values() {
+        assert!(FixedPointError::InvalidWordWidth { total_bits: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(FixedPointError::BitOutOfRange {
+            bit: 20,
+            total_bits: 16
+        }
+        .to_string()
+        .contains("20"));
+    }
+}

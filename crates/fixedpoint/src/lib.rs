@@ -1,0 +1,45 @@
+//! # falvolt-fixedpoint
+//!
+//! Bit-accurate Q-format fixed-point arithmetic for the systolic-array
+//! accumulator fault model.
+//!
+//! The FalVolt paper injects stuck-at faults into *individual output bits of
+//! the accumulator* inside each processing element (PE). Reproducing that
+//! requires knowing exactly which bit holds what: this crate provides a
+//! [`QFormat`] describing a signed two's-complement fixed-point encoding and a
+//! [`Fixed`] value type with saturating arithmetic and bit-manipulation
+//! helpers used by the fault injector.
+//!
+//! # Example
+//!
+//! ```
+//! use falvolt_fixedpoint::{Fixed, QFormat};
+//!
+//! # fn main() -> Result<(), falvolt_fixedpoint::FixedPointError> {
+//! let q = QFormat::new(16, 8)?;            // 16-bit word, 8 fractional bits
+//! let x = Fixed::from_f32(1.5, q);
+//! let y = Fixed::from_f32(2.25, q);
+//! let sum = x.saturating_add(y);
+//! assert!((sum.to_f32() - 3.75).abs() < 1e-6);
+//!
+//! // A stuck-at-1 fault in the most significant (sign) bit flips the value
+//! // negative — the catastrophic case the paper observes.
+//! let faulty = sum.with_bit_set(q.msb());
+//! assert!(faulty.to_f32() < 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fixed;
+mod format;
+
+pub use error::FixedPointError;
+pub use fixed::Fixed;
+pub use format::QFormat;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FixedPointError>;

@@ -1,0 +1,71 @@
+//! Property-based tests for fixed-point arithmetic and fault-bit semantics.
+
+use falvolt_fixedpoint::{Fixed, QFormat};
+use proptest::prelude::*;
+
+fn formats() -> impl Strategy<Value = QFormat> {
+    prop_oneof![
+        Just(QFormat::new(16, 8).unwrap()),
+        Just(QFormat::new(12, 4).unwrap()),
+        Just(QFormat::new(32, 16).unwrap()),
+        Just(QFormat::new(8, 2).unwrap()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quantize_dequantize_error_bounded(q in formats(), v in -60.0f32..60.0) {
+        let clamped = v.clamp(q.min_value(), q.max_value());
+        let fx = Fixed::from_f32(clamped, q);
+        prop_assert!((fx.to_f32() - clamped).abs() <= q.resolution());
+    }
+
+    #[test]
+    fn saturating_add_stays_in_range(q in formats(), a in -200.0f32..200.0, b in -200.0f32..200.0) {
+        let fa = Fixed::from_f32(a, q);
+        let fb = Fixed::from_f32(b, q);
+        let sum = fa.saturating_add(fb);
+        prop_assert!(sum.raw() <= q.max_raw());
+        prop_assert!(sum.raw() >= q.min_raw());
+        let diff = fa.saturating_sub(fb);
+        prop_assert!(diff.raw() <= q.max_raw());
+        prop_assert!(diff.raw() >= q.min_raw());
+    }
+
+    #[test]
+    fn stuck_bits_are_idempotent(q in formats(), v in -50.0f32..50.0, bit_frac in 0.0f32..1.0) {
+        let bit = ((q.total_bits() - 1) as f32 * bit_frac) as u32;
+        let fx = Fixed::from_f32(v, q);
+        let set_once = fx.with_bit_set(bit);
+        prop_assert_eq!(set_once.with_bit_set(bit), set_once);
+        let cleared_once = fx.with_bit_cleared(bit);
+        prop_assert_eq!(cleared_once.with_bit_cleared(bit), cleared_once);
+        // A stuck bit really is stuck at the requested polarity.
+        prop_assert!(set_once.bit(bit));
+        prop_assert!(!cleared_once.bit(bit));
+    }
+
+    #[test]
+    fn msb_fault_error_dominates_lsb_fault_error(q in formats(), v in 1.0f32..40.0) {
+        let fx = Fixed::from_f32(v, q);
+        let msb_err = (fx.with_bit_set(q.msb()).to_f32() - fx.to_f32()).abs();
+        let lsb_err = (fx.with_bit_set(0).to_f32() - fx.to_f32()).abs();
+        prop_assert!(msb_err >= lsb_err);
+    }
+
+    #[test]
+    fn masks_match_individual_bit_operations(q in formats(), v in -50.0f32..50.0) {
+        let fx = Fixed::from_f32(v, q);
+        let set_bit = q.msb() - 1;
+        let clear_bit = 1u32;
+        let via_masks = fx.with_masks(!(1u32 << clear_bit), 1u32 << set_bit);
+        let via_ops = fx.with_bit_cleared(clear_bit).with_bit_set(set_bit);
+        prop_assert_eq!(via_masks, via_ops);
+    }
+
+    #[test]
+    fn identity_masks_are_noop(q in formats(), v in -50.0f32..50.0) {
+        let fx = Fixed::from_f32(v, q);
+        prop_assert_eq!(fx.with_masks(u32::MAX, 0), fx);
+    }
+}

@@ -1,0 +1,115 @@
+//! Pluggable matrix-multiplication backend.
+//!
+//! Convolutional (after im2col lowering) and fully connected layers perform
+//! all of their arithmetic through a [`MatmulBackend`]. Training always uses
+//! the plain floating-point [`FloatBackend`]; for fault-vulnerability
+//! analysis the `falvolt` crate installs an adapter around the systolic-array
+//! executor so that inference runs through the (possibly faulty) accelerator
+//! model without this crate depending on it.
+
+use falvolt_tensor::{ops, Tensor};
+use std::fmt;
+use std::sync::Arc;
+
+/// Abstraction over "how matrix products are executed".
+///
+/// Implementations must be deterministic for a fixed input (the fault model
+/// is a deterministic corruption, not a stochastic one).
+pub trait MatmulBackend: fmt::Debug + Send + Sync {
+    /// Computes `a @ b` for rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for rank or inner-dimension mismatches.
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor>;
+
+    /// Human-readable backend name for diagnostics.
+    fn name(&self) -> &str {
+        "backend"
+    }
+}
+
+/// The default floating-point backend (exact `f32` accumulation).
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::{FloatBackend, MatmulBackend};
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_tensor::TensorError> {
+/// let backend = FloatBackend::new();
+/// let a = Tensor::ones(&[2, 3]);
+/// let b = Tensor::ones(&[3, 4]);
+/// assert_eq!(backend.matmul(&a, &b)?.get(&[0, 0]), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloatBackend;
+
+impl FloatBackend {
+    /// Creates the floating-point backend.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Convenience constructor returning the backend behind an [`Arc`], the
+    /// form the network container stores.
+    pub fn shared() -> Arc<dyn MatmulBackend> {
+        Arc::new(Self)
+    }
+}
+
+impl MatmulBackend for FloatBackend {
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
+        ops::matmul(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "float"
+    }
+}
+
+impl<B: MatmulBackend + ?Sized> MatmulBackend for Arc<B> {
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
+        (**self).matmul(a, b)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_backend_matches_ops_matmul() {
+        let backend = FloatBackend::new();
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let via_backend = backend.matmul(&a, &b).unwrap();
+        let via_ops = ops::matmul(&a, &b).unwrap();
+        assert_eq!(via_backend, via_ops);
+        assert_eq!(backend.name(), "float");
+    }
+
+    #[test]
+    fn arc_backend_delegates() {
+        let backend: Arc<dyn MatmulBackend> = FloatBackend::shared();
+        let a = Tensor::ones(&[1, 2]);
+        let b = Tensor::ones(&[2, 1]);
+        assert_eq!(backend.matmul(&a, &b).unwrap().get(&[0, 0]), 2.0);
+        assert_eq!(backend.name(), "float");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let backend = FloatBackend::new();
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 1]);
+        assert!(backend.matmul(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Input encoders turning analog values into spike trains.
+//!
+//! The paper's architectures use *direct encoding*: the static image is fed
+//! identically at every time step and the first convolution + spiking layer
+//! learn the encoding (following Lee et al. and the PLIF reference
+//! implementation). Poisson rate coding is provided as an alternative for
+//! ablations and tests.
+
+use crate::{Result, SnnError};
+use falvolt_tensor::Tensor;
+use rand::Rng;
+
+/// Repeats a static input `[N, ...]` across `time_steps`, producing
+/// `[N, T, ...]`.
+///
+/// # Errors
+///
+/// Returns an error when `time_steps == 0` or the input has no batch axis.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::encoding::repeat_encode;
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let image = Tensor::ones(&[2, 1, 4, 4]);
+/// let train = repeat_encode(&image, 3)?;
+/// assert_eq!(train.shape(), &[2, 3, 1, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn repeat_encode(input: &Tensor, time_steps: usize) -> Result<Tensor> {
+    if time_steps == 0 {
+        return Err(SnnError::invalid_input("time_steps must be non-zero".to_string()));
+    }
+    if input.ndim() == 0 {
+        return Err(SnnError::invalid_input("input needs a batch axis".to_string()));
+    }
+    let n = input.shape()[0];
+    let inner: usize = input.shape()[1..].iter().product();
+    let mut out_shape = vec![n, time_steps];
+    out_shape.extend_from_slice(&input.shape()[1..]);
+    let mut out = Tensor::zeros(&out_shape);
+    let src = input.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for t in 0..time_steps {
+            let dst_base = (b * time_steps + t) * inner;
+            dst[dst_base..dst_base + inner]
+                .copy_from_slice(&src[b * inner..(b + 1) * inner]);
+        }
+    }
+    Ok(out)
+}
+
+/// Poisson (Bernoulli-per-step) rate coding: each input intensity in `[0, 1]`
+/// becomes an independent spike with that probability at every time step.
+///
+/// # Errors
+///
+/// Returns an error when `time_steps == 0` or the input has no batch axis.
+pub fn poisson_encode(input: &Tensor, time_steps: usize, rng: &mut impl Rng) -> Result<Tensor> {
+    if time_steps == 0 {
+        return Err(SnnError::invalid_input("time_steps must be non-zero".to_string()));
+    }
+    if input.ndim() == 0 {
+        return Err(SnnError::invalid_input("input needs a batch axis".to_string()));
+    }
+    let n = input.shape()[0];
+    let inner: usize = input.shape()[1..].iter().product();
+    let mut out_shape = vec![n, time_steps];
+    out_shape.extend_from_slice(&input.shape()[1..]);
+    let mut out = Tensor::zeros(&out_shape);
+    let src = input.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for t in 0..time_steps {
+            let dst_base = (b * time_steps + t) * inner;
+            for i in 0..inner {
+                let p = src[b * inner + i].clamp(0.0, 1.0);
+                dst[dst_base + i] = if rng.gen::<f32>() < p { 1.0 } else { 0.0 };
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repeat_encode_copies_every_frame() {
+        let x = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let t = repeat_encode(&x, 4).unwrap();
+        assert_eq!(t.shape(), &[2, 4, 3]);
+        for b in 0..2 {
+            for step in 0..4 {
+                for f in 0..3 {
+                    assert_eq!(t.get(&[b, step, f]), x.get(&[b, f]));
+                }
+            }
+        }
+        assert!(repeat_encode(&x, 0).is_err());
+        assert!(repeat_encode(&Tensor::scalar(1.0), 2).is_err());
+    }
+
+    #[test]
+    fn poisson_encode_rate_tracks_intensity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::from_vec(vec![1, 2], vec![0.1, 0.9]).unwrap();
+        let spikes = poisson_encode(&x, 2000, &mut rng).unwrap();
+        assert_eq!(spikes.shape(), &[1, 2000, 2]);
+        let mut counts = [0.0f32; 2];
+        for t in 0..2000 {
+            counts[0] += spikes.get(&[0, t, 0]);
+            counts[1] += spikes.get(&[0, t, 1]);
+        }
+        assert!((counts[0] / 2000.0 - 0.1).abs() < 0.03);
+        assert!((counts[1] / 2000.0 - 0.9).abs() < 0.03);
+        assert!(spikes.data().iter().all(|&s| s == 0.0 || s == 1.0));
+    }
+
+    #[test]
+    fn poisson_encode_validates_arguments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::ones(&[1, 2]);
+        assert!(poisson_encode(&x, 0, &mut rng).is_err());
+        assert!(poisson_encode(&Tensor::scalar(0.5), 2, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the SNN library.
+
+use falvolt_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by SNN construction, forward or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnnError {
+    /// An underlying tensor operation failed (usually a shape mismatch).
+    Tensor(TensorError),
+    /// A layer or network was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// `backward` was called without a matching `forward` (or after the
+    /// cached state was consumed).
+    MissingForwardState {
+        /// The layer reporting the problem.
+        layer: String,
+    },
+    /// The network received an input of unexpected rank/shape.
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl SnnError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        SnnError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for input errors.
+    pub fn invalid_input(reason: impl Into<String>) -> Self {
+        SnnError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SnnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SnnError::MissingForwardState { layer } => {
+                write!(f, "backward called on layer '{layer}' without cached forward state")
+            }
+            SnnError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SnnError {
+    fn from(e: TensorError) -> Self {
+        SnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SnnError::invalid_config("negative learning rate");
+        assert!(e.to_string().contains("negative learning rate"));
+        let e: SnnError = TensorError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SnnError::MissingForwardState {
+            layer: "conv1".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(SnnError::invalid_input("bad rank").to_string().contains("bad rank"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Per-channel batch normalisation over `[N, C, H, W]` feature maps.
+
+use crate::layers::{ForwardContext, Layer};
+use crate::param::Param;
+use crate::{Result, SnnError};
+use falvolt_tensor::Tensor;
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+/// Batch normalisation with learnable scale/shift and running statistics.
+///
+/// In training mode statistics are computed per time step over the batch and
+/// spatial positions of each channel (the convention the PLIF reference
+/// implementation uses); evaluation uses the running averages.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::layers::{BatchNorm2d, ForwardContext, Layer, Mode};
+/// use falvolt_snn::FloatBackend;
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let mut bn = BatchNorm2d::new("bn1", 3);
+/// let backend = FloatBackend::new();
+/// let ctx = ForwardContext::new(Mode::Train, &backend);
+/// let out = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), &ctx)?;
+/// assert_eq!(out.shape(), &[2, 3, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    // Running statistics are stored as *frozen* parameters so that they are
+    // part of the network's exported/imported state (a baseline restore must
+    // bring the evaluation-mode statistics back too), while optimizers skip
+    // them.
+    running_mean: Param,
+    running_var: Param,
+    momentum: f32,
+    eps: f32,
+    caches: Vec<StepCache>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature channels.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        let name = name.into();
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Param::frozen(
+                format!("{name}.running_mean"),
+                Tensor::zeros(&[channels]),
+            ),
+            running_var: Param::frozen(
+                format!("{name}.running_var"),
+                Tensor::ones(&[channels]),
+            ),
+            momentum: 0.1,
+            eps: 1e-5,
+            caches: Vec::new(),
+            channels,
+            name,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Running mean per channel (used in evaluation mode).
+    pub fn running_mean(&self) -> &[f32] {
+        self.running_mean.value().data()
+    }
+
+    /// Running variance per channel (used in evaluation mode).
+    pub fn running_var(&self) -> &[f32] {
+        self.running_var.value().data()
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        if input.ndim() != 4 || input.shape()[1] != self.channels {
+            return Err(SnnError::invalid_input(format!(
+                "batch-norm layer '{}' expects [N, {}, H, W] input, got {:?}",
+                self.name,
+                self.channels,
+                input.shape()
+            )));
+        }
+        Ok((
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+        let data = input.data();
+
+        let (mean, var) = if ctx.mode.is_train() {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            let running_mean = self.running_mean.value_mut().data_mut();
+            let running_var = self.running_var.value_mut().data_mut();
+            for ch in 0..c {
+                let mut sum = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * spatial;
+                    sum += data[base..base + spatial].iter().sum::<f32>();
+                }
+                mean[ch] = sum / count;
+                let mut sq = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * spatial;
+                    sq += data[base..base + spatial]
+                        .iter()
+                        .map(|&x| (x - mean[ch]) * (x - mean[ch]))
+                        .sum::<f32>();
+                }
+                var[ch] = sq / count;
+                running_mean[ch] =
+                    (1.0 - self.momentum) * running_mean[ch] + self.momentum * mean[ch];
+                running_var[ch] =
+                    (1.0 - self.momentum) * running_var[ch] + self.momentum * var[ch];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.value().data().to_vec(),
+                self.running_var.value().data().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value().data().to_vec();
+        let beta = self.beta.value().data().to_vec();
+
+        let mut normalized = Tensor::zeros(input.shape());
+        let mut output = Tensor::zeros(input.shape());
+        {
+            let nd = normalized.data_mut();
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * spatial;
+                    for i in 0..spatial {
+                        nd[base + i] = (data[base + i] - mean[ch]) * inv_std[ch];
+                    }
+                }
+            }
+            let od = output.data_mut();
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * spatial;
+                    for i in 0..spatial {
+                        od[base + i] = gamma[ch] * nd[base + i] + beta[ch];
+                    }
+                }
+            }
+        }
+
+        if ctx.mode.is_train() {
+            self.caches.push(StepCache {
+                normalized,
+                inv_std,
+                shape: input.shape().to_vec(),
+            });
+        }
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .caches
+            .pop()
+            .ok_or_else(|| SnnError::MissingForwardState {
+                layer: self.name.clone(),
+            })?;
+        if grad_output.shape() != cache.shape.as_slice() {
+            return Err(SnnError::invalid_input(format!(
+                "batch-norm '{}' got gradient shape {:?}, expected {:?}",
+                self.name,
+                grad_output.shape(),
+                cache.shape
+            )));
+        }
+        let (n, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
+        let spatial = h * w;
+        let count = (n * spatial) as f32;
+        let go = grad_output.data();
+        let xhat = cache.normalized.data();
+        let gamma = self.gamma.value().data().to_vec();
+
+        let mut grad_gamma = vec![0.0f32; c];
+        let mut grad_beta = vec![0.0f32; c];
+        let mut sum_go = vec![0.0f32; c];
+        let mut sum_go_xhat = vec![0.0f32; c];
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                for i in 0..spatial {
+                    let g = go[base + i];
+                    grad_beta[ch] += g;
+                    grad_gamma[ch] += g * xhat[base + i];
+                }
+            }
+        }
+        for ch in 0..c {
+            sum_go[ch] = grad_beta[ch];
+            sum_go_xhat[ch] = grad_gamma[ch];
+        }
+
+        let mut grad_input = Tensor::zeros(&cache.shape);
+        {
+            let gi = grad_input.data_mut();
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * spatial;
+                    let scale = gamma[ch] * cache.inv_std[ch];
+                    for i in 0..spatial {
+                        gi[base + i] = scale
+                            * (go[base + i]
+                                - sum_go[ch] / count
+                                - xhat[base + i] * sum_go_xhat[ch] / count);
+                    }
+                }
+            }
+        }
+
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(vec![c], grad_gamma)?)?;
+        self.beta
+            .accumulate_grad(&Tensor::from_vec(vec![c], grad_beta)?)?;
+        Ok(grad_input)
+    }
+
+    fn reset_state(&mut self) {
+        self.caches.clear();
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.gamma,
+            &mut self.beta,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+    use crate::layers::Mode;
+    use falvolt_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_forward_normalizes_each_channel() {
+        let backend = FloatBackend::new();
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::normal(&[4, 2, 3, 3], 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, &ctx).unwrap();
+        // Each channel of the output should have ~zero mean and ~unit variance.
+        let spatial = 9;
+        for ch in 0..2 {
+            let mut values = Vec::new();
+            for b in 0..4 {
+                let base = (b * 2 + ch) * spatial;
+                values.extend_from_slice(&y.data()[base..base + spatial]);
+            }
+            let mean: f32 = values.iter().sum::<f32>() / values.len() as f32;
+            let var: f32 =
+                values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let backend = FloatBackend::new();
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let train_ctx = ForwardContext::new(Mode::Train, &backend);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Several training passes to move the running stats toward the data.
+        for _ in 0..50 {
+            let x = init::normal(&[8, 1, 2, 2], 3.0, 1.0, &mut rng);
+            bn.forward(&x, &train_ctx).unwrap();
+            bn.reset_state();
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.3);
+        // In eval mode an input equal to the running mean maps near beta = 0.
+        let eval_ctx = ForwardContext::new(Mode::Eval, &backend);
+        let x = Tensor::full(&[1, 1, 2, 2], bn.running_mean()[0]);
+        let y = bn.forward(&x, &eval_ctx).unwrap();
+        assert!(y.data().iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let backend = FloatBackend::new();
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let x = Tensor::from_vec(vec![2, 1, 1, 2], vec![0.5, 1.5, -0.5, 2.0]).unwrap();
+        bn.forward(&x, &ctx).unwrap();
+        let grad_out = Tensor::from_vec(vec![2, 1, 1, 2], vec![1.0, -1.0, 0.5, 2.0]).unwrap();
+        let grad_in = bn.backward(&grad_out).unwrap();
+
+        // Finite differences through a fresh layer (same gamma/beta = 1/0).
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let mut bnp = BatchNorm2d::new("bn", 1);
+            let mut bnm = BatchNorm2d::new("bn", 1);
+            let yp = bnp.forward(&xp, &ctx).unwrap();
+            let ym = bnm.forward(&xm, &ctx).unwrap();
+            let lp: f32 = yp.data().iter().zip(grad_out.data()).map(|(a, b)| a * b).sum();
+            let lm: f32 = ym.data().iter().zip(grad_out.data()).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data()[i]).abs() < 1e-2,
+                "position {i}: numeric {numeric} vs analytic {}",
+                grad_in.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_validation_and_cache_discipline() {
+        let backend = FloatBackend::new();
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), &ctx).is_err());
+        assert!(bn.backward(&Tensor::zeros(&[1, 2, 2, 2])).is_err());
+        bn.forward(&Tensor::zeros(&[1, 2, 2, 2]), &ctx).unwrap();
+        assert!(bn.backward(&Tensor::zeros(&[1, 2, 3, 3])).is_err());
+        assert_eq!(bn.channels(), 2);
+        // gamma, beta + the two frozen running-statistics parameters.
+        assert_eq!(bn.params_mut().len(), 4);
+        let trainable = bn.params_mut().iter().filter(|p| p.is_trainable()).count();
+        assert_eq!(trainable, 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! 2-D convolution layer (im2col lowering, backend-executed matmul).
+
+use crate::layers::{ForwardContext, Layer};
+use crate::param::Param;
+use crate::{Result, SnnError};
+use falvolt_tensor::ops::{self, Conv2dDims};
+use falvolt_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    cols: Tensor,
+    dims: Conv2dDims,
+}
+
+/// A 2-D convolution over `[N, C, H, W]` inputs with square kernels.
+///
+/// The weight is stored in the `[out_channels, in_channels * k * k]` matrix
+/// layout — the same matrix the systolic array tiles over its PEs, which is
+/// what makes fault-aware pruning of this layer straightforward.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::layers::{Conv2d, ForwardContext, Layer, Mode};
+/// use falvolt_snn::FloatBackend;
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let mut conv = Conv2d::new("conv1", 1, 4, 3, 1, 1, 42)?;
+/// let backend = FloatBackend::new();
+/// let ctx = ForwardContext::new(Mode::Eval, &backend);
+/// let out = conv.forward(&Tensor::zeros(&[2, 1, 8, 8]), &ctx)?;
+/// assert_eq!(out.shape(), &[2, 4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Param,
+    bias: Param,
+    caches: Vec<StepCache>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform initialised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for zero-sized channels, kernel or
+    /// stride.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(SnnError::invalid_config("channel counts must be non-zero"));
+        }
+        if kernel == 0 || stride == 0 {
+            return Err(SnnError::invalid_config("kernel and stride must be non-zero"));
+        }
+        let name = name.into();
+        let fan_in = in_channels * kernel * kernel;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::kaiming_uniform(out_channels, fan_in, &mut rng),
+        );
+        let bias = Param::new(format!("{name}.bias"), Tensor::zeros(&[out_channels]));
+        Ok(Self {
+            name,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight,
+            bias,
+            caches: Vec::new(),
+        })
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The `[out_channels, in_channels * k * k]` weight matrix.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    fn dims_for(&self, input: &Tensor) -> Result<Conv2dDims> {
+        if input.ndim() != 4 {
+            return Err(SnnError::invalid_input(format!(
+                "conv layer '{}' expects [N, C, H, W] input, got shape {:?}",
+                self.name,
+                input.shape()
+            )));
+        }
+        if input.shape()[1] != self.in_channels {
+            return Err(SnnError::invalid_input(format!(
+                "conv layer '{}' expects {} input channels, got {}",
+                self.name,
+                self.in_channels,
+                input.shape()[1]
+            )));
+        }
+        Ok(Conv2dDims::new(
+            input.shape()[0],
+            self.in_channels,
+            self.out_channels,
+            input.shape()[2],
+            input.shape()[3],
+            self.kernel,
+            self.stride,
+            self.padding,
+        )?)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
+        let dims = self.dims_for(input)?;
+        let cols = ops::im2col(input, &dims)?;
+        let weight_t = ops::transpose2d(self.weight.value())?;
+        let rows = ctx.backend.matmul(&cols, &weight_t)?;
+        let mut feature_map = ops::rows_to_feature_map(&rows, &dims)?;
+        ops::add_channel_bias(&mut feature_map, self.bias.value())?;
+        if ctx.mode.is_train() {
+            self.caches.push(StepCache { cols, dims });
+        }
+        Ok(feature_map)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .caches
+            .pop()
+            .ok_or_else(|| SnnError::MissingForwardState {
+                layer: self.name.clone(),
+            })?;
+        let grads =
+            ops::conv2d_backward(grad_output, &cache.cols, self.weight.value(), &cache.dims)?;
+        self.weight.accumulate_grad(&grads.grad_weight)?;
+        self.bias.accumulate_grad(&grads.grad_bias)?;
+        Ok(grads.grad_input)
+    }
+
+    fn reset_state(&mut self) {
+        self.caches.clear();
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn weight_mut(&mut self) -> Option<&mut Param> {
+        Some(&mut self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+    use crate::layers::Mode;
+
+    fn train_ctx(backend: &FloatBackend) -> ForwardContext<'_> {
+        ForwardContext::new(Mode::Train, backend)
+    }
+
+    #[test]
+    fn construction_validates_arguments() {
+        assert!(Conv2d::new("c", 0, 4, 3, 1, 1, 0).is_err());
+        assert!(Conv2d::new("c", 1, 0, 3, 1, 1, 0).is_err());
+        assert!(Conv2d::new("c", 1, 4, 0, 1, 1, 0).is_err());
+        assert!(Conv2d::new("c", 1, 4, 3, 0, 1, 0).is_err());
+        let c = Conv2d::new("c", 2, 4, 3, 1, 1, 0).unwrap();
+        assert_eq!(c.weight().value().shape(), &[4, 18]);
+        assert_eq!(c.in_channels(), 2);
+        assert_eq!(c.out_channels(), 4);
+    }
+
+    #[test]
+    fn forward_shape_and_input_validation() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 2, 8, 3, 1, 1, 1).unwrap();
+        let ctx = train_ctx(&backend);
+        let out = conv.forward(&Tensor::zeros(&[3, 2, 6, 6]), &ctx).unwrap();
+        assert_eq!(out.shape(), &[3, 8, 6, 6]);
+        assert!(conv.forward(&Tensor::zeros(&[3, 1, 6, 6]), &ctx).is_err());
+        assert!(conv.forward(&Tensor::zeros(&[3, 6, 6]), &ctx).is_err());
+    }
+
+    #[test]
+    fn backward_consumes_cache_in_reverse_and_errors_when_empty() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, 2).unwrap();
+        let ctx = train_ctx(&backend);
+        conv.forward(&Tensor::ones(&[1, 1, 4, 4]), &ctx).unwrap();
+        conv.forward(&Tensor::ones(&[1, 1, 4, 4]), &ctx).unwrap();
+        assert!(conv.backward(&Tensor::ones(&[1, 2, 4, 4])).is_ok());
+        assert!(conv.backward(&Tensor::ones(&[1, 2, 4, 4])).is_ok());
+        assert!(matches!(
+            conv.backward(&Tensor::ones(&[1, 2, 4, 4])),
+            Err(SnnError::MissingForwardState { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_mode_keeps_no_cache() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, 2).unwrap();
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        conv.forward(&Tensor::ones(&[1, 1, 4, 4]), &ctx).unwrap();
+        assert!(conv.backward(&Tensor::ones(&[1, 2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn gradients_accumulate_across_time_steps() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 1, 1, 1, 1, 0, 3).unwrap();
+        let ctx = train_ctx(&backend);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        conv.forward(&x, &ctx).unwrap();
+        conv.forward(&x, &ctx).unwrap();
+        conv.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        let g1 = conv.weight.grad().data()[0];
+        conv.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        let g2 = conv.weight.grad().data()[0];
+        assert!((g2 - 2.0 * g1).abs() < 1e-5, "second step doubles the grad");
+        // Bias gradient counts output positions: 4 per step.
+        assert!((conv.bias.grad().data()[0] - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference_through_layer() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 1, 1, 2, 1, 0, 5).unwrap();
+        let ctx = train_ctx(&backend);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| (i as f32 * 0.7).sin());
+        conv.forward(&x, &ctx).unwrap();
+        conv.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        let analytic = conv.weight.grad().data().to_vec();
+
+        let eps = 1e-3;
+        for wi in 0..conv.weight.value().len() {
+            for (sign, store) in [(1.0f32, 0usize), (-1.0, 1)] {
+                let _ = store;
+                let mut perturbed = Conv2d::new("c", 1, 1, 2, 1, 0, 5).unwrap();
+                perturbed
+                    .weight
+                    .value_mut()
+                    .data_mut()
+                    .copy_from_slice(conv.weight.value().data());
+                perturbed.weight.value_mut().data_mut()[wi] += sign * eps;
+                let out = perturbed
+                    .forward(&x, &ForwardContext::new(Mode::Eval, &backend))
+                    .unwrap();
+                let loss: f32 = out.data().iter().sum();
+                if sign > 0.0 {
+                    // store plus-loss in a thread-local-free way: recompute below
+                    let mut minus = Conv2d::new("c", 1, 1, 2, 1, 0, 5).unwrap();
+                    minus
+                        .weight
+                        .value_mut()
+                        .data_mut()
+                        .copy_from_slice(conv.weight.value().data());
+                    minus.weight.value_mut().data_mut()[wi] -= eps;
+                    let lm: f32 = minus
+                        .forward(&x, &ForwardContext::new(Mode::Eval, &backend))
+                        .unwrap()
+                        .data()
+                        .iter()
+                        .sum();
+                    let numeric = (loss - lm) / (2.0 * eps);
+                    assert!(
+                        (numeric - analytic[wi]).abs() < 1e-2,
+                        "weight {wi}: numeric {numeric} vs analytic {}",
+                        analytic[wi]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_clears_caches() {
+        let backend = FloatBackend::new();
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, 2).unwrap();
+        let ctx = train_ctx(&backend);
+        conv.forward(&Tensor::ones(&[1, 1, 4, 4]), &ctx).unwrap();
+        conv.reset_state();
+        assert!(conv.backward(&Tensor::ones(&[1, 2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn exposes_prunable_weight() {
+        let mut conv = Conv2d::new("c", 2, 4, 3, 1, 1, 9).unwrap();
+        assert!(conv.weight_mut().is_some());
+        assert_eq!(conv.weight_mut().unwrap().value().shape(), &[4, 18]);
+        assert!(conv.threshold_mut().is_none());
+        assert_eq!(conv.params_mut().len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Inverted dropout.
+
+use crate::layers::{ForwardContext, Layer};
+use crate::{Result, SnnError};
+use falvolt_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: in training mode each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`; evaluation mode is the identity.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::layers::{Dropout, ForwardContext, Layer, Mode};
+/// use falvolt_snn::FloatBackend;
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let mut dropout = Dropout::new("drop1", 0.5, 1)?;
+/// let backend = FloatBackend::new();
+/// let eval = ForwardContext::new(Mode::Eval, &backend);
+/// let x = Tensor::ones(&[2, 4]);
+/// assert_eq!(dropout.forward(&x, &eval)?, x);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    name: String,
+    p: f32,
+    rng: StdRng,
+    caches: Vec<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] when `p` is outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(SnnError::invalid_config(format!(
+                "dropout probability {p} must lie in [0, 1)"
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            caches: Vec::new(),
+        })
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
+        if !ctx.mode.is_train() || self.p == 0.0 {
+            return Ok(input.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.shape(), |_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let output = input.mul(&mask)?;
+        self.caches.push(mask);
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .caches
+            .pop()
+            .ok_or_else(|| SnnError::MissingForwardState {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_output.mul(&mask)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.caches.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+    use crate::layers::Mode;
+
+    #[test]
+    fn construction_validates_probability() {
+        assert!(Dropout::new("d", -0.1, 0).is_err());
+        assert!(Dropout::new("d", 1.0, 0).is_err());
+        assert!(Dropout::new("d", 0.0, 0).is_ok());
+        assert_eq!(Dropout::new("d", 0.3, 0).unwrap().probability(), 0.3);
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let backend = FloatBackend::new();
+        let mut d = Dropout::new("d", 0.9, 3).unwrap();
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        let x = Tensor::ones(&[4, 4]);
+        assert_eq!(d.forward(&x, &ctx).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction_and_preserves_expectation() {
+        let backend = FloatBackend::new();
+        let mut d = Dropout::new("d", 0.5, 7).unwrap();
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, &ctx).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.5).abs() < 0.05, "dropped fraction {frac}");
+        let mean: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "inverted scaling keeps E[y]=E[x]");
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let backend = FloatBackend::new();
+        let mut d = Dropout::new("d", 0.5, 11).unwrap();
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let x = Tensor::ones(&[8, 8]);
+        let y = d.forward(&x, &ctx).unwrap();
+        let g = d.backward(&Tensor::ones(&[8, 8])).unwrap();
+        // Positions zeroed in the forward pass must also be zero in the grad.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+        assert!(d.backward(&Tensor::ones(&[8, 8])).is_err());
+    }
+
+    #[test]
+    fn zero_probability_never_caches() {
+        let backend = FloatBackend::new();
+        let mut d = Dropout::new("d", 0.0, 11).unwrap();
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let x = Tensor::ones(&[2, 2]);
+        assert_eq!(d.forward(&x, &ctx).unwrap(), x);
+        assert!(d.backward(&Tensor::ones(&[2, 2])).is_err());
+        d.reset_state();
+    }
+}

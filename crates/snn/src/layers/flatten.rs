@@ -1,0 +1,109 @@
+//! Flattening layer bridging convolutional and fully connected stages.
+
+use crate::layers::{ForwardContext, Layer};
+use crate::{Result, SnnError};
+use falvolt_tensor::Tensor;
+
+/// Flattens `[N, C, H, W]` (or any rank >= 2 tensor) into `[N, features]`.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::layers::{Flatten, ForwardContext, Layer, Mode};
+/// use falvolt_snn::FloatBackend;
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let mut flatten = Flatten::new("flatten");
+/// let backend = FloatBackend::new();
+/// let ctx = ForwardContext::new(Mode::Eval, &backend);
+/// let out = flatten.forward(&Tensor::zeros(&[2, 3, 4, 4]), &ctx)?;
+/// assert_eq!(out.shape(), &[2, 48]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Flatten {
+    name: String,
+    caches: Vec<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flattening layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            caches: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
+        if input.ndim() < 2 {
+            return Err(SnnError::invalid_input(format!(
+                "flatten layer '{}' needs a batch dimension, got shape {:?}",
+                self.name,
+                input.shape()
+            )));
+        }
+        let batch = input.shape()[0];
+        let features: usize = input.shape()[1..].iter().product();
+        let output = input.reshape(&[batch, features])?;
+        if ctx.mode.is_train() {
+            self.caches.push(input.shape().to_vec());
+        }
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .caches
+            .pop()
+            .ok_or_else(|| SnnError::MissingForwardState {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_output.reshape(&shape)?)
+    }
+
+    fn reset_state(&mut self) {
+        self.caches.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+    use crate::layers::Mode;
+
+    #[test]
+    fn flattens_and_restores_shape() {
+        let backend = FloatBackend::new();
+        let mut layer = Flatten::new("f");
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = layer.forward(&x, &ctx).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = layer.backward(&y).unwrap();
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn rejects_scalars_and_requires_cache() {
+        let backend = FloatBackend::new();
+        let mut layer = Flatten::new("f");
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        assert!(layer.forward(&Tensor::scalar(1.0), &ctx).is_err());
+        assert!(layer.backward(&Tensor::zeros(&[1, 1])).is_err());
+        layer.forward(&Tensor::zeros(&[1, 2, 2]), &ctx).unwrap();
+        // Eval mode: no cache.
+        assert!(layer.backward(&Tensor::zeros(&[1, 4])).is_err());
+        layer.reset_state();
+    }
+}

@@ -1,0 +1,150 @@
+//! Neural-network layers with backpropagation-through-time support.
+//!
+//! Every layer processes **one time step per `forward` call**. The
+//! [`crate::SpikingNetwork`] container calls `forward` once per time step and
+//! then `backward` the same number of times in reverse order; layers push an
+//! internal cache per forward call and pop it per backward call. Stateful
+//! layers (the spiking neurons) additionally carry membrane-potential state
+//! across forward calls and its gradient across backward calls.
+
+use crate::backend::MatmulBackend;
+use crate::param::Param;
+use crate::Result;
+use falvolt_tensor::Tensor;
+use std::fmt;
+
+pub mod batchnorm;
+pub mod conv;
+pub mod dropout;
+pub mod flatten;
+pub mod linear;
+pub mod pool;
+pub mod spiking;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use spiking::SpikingLayer;
+
+/// Whether a forward pass is part of training (caches kept, dropout active,
+/// batch-norm uses batch statistics) or evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Training: gradients will be requested, stochastic layers are active.
+    Train,
+    /// Evaluation/inference: no caches, deterministic behaviour.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// Returns `true` in training mode.
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// Per-time-step context handed to every layer's forward pass.
+pub struct ForwardContext<'a> {
+    /// Training or evaluation mode.
+    pub mode: Mode,
+    /// Backend executing matrix products (float or systolic-array model).
+    pub backend: &'a dyn MatmulBackend,
+}
+
+impl<'a> ForwardContext<'a> {
+    /// Creates a context.
+    pub fn new(mode: Mode, backend: &'a dyn MatmulBackend) -> Self {
+        Self { mode, backend }
+    }
+}
+
+impl fmt::Debug for ForwardContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ForwardContext")
+            .field("mode", &self.mode)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+/// A neural-network layer processing one time step per call.
+///
+/// The contract between [`Layer::forward`] and [`Layer::backward`] is
+/// stack-like: with `T` forward calls in training mode, the container must
+/// issue exactly `T` backward calls which consume the cached time steps in
+/// reverse order.
+pub trait Layer: fmt::Debug {
+    /// A short human-readable layer name (used in diagnostics and reports).
+    fn name(&self) -> &str;
+
+    /// Processes one time step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor>;
+
+    /// Backpropagates through the most recent un-consumed forward call and
+    /// returns the gradient with respect to that call's input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SnnError::MissingForwardState`] when no cached
+    /// forward state is available.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Clears all cached forward state and any temporal state (membrane
+    /// potentials). Called by the network before every sample/batch.
+    fn reset_state(&mut self);
+
+    /// The layer's trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// The layer's prunable weight matrix (`[out, in]` layout), if it has
+    /// one. Fault-aware pruning multiplies this by the PE-derived mask.
+    fn weight_mut(&mut self) -> Option<&mut Param> {
+        None
+    }
+
+    /// The layer's threshold-voltage parameter, if it is a spiking layer.
+    fn threshold_mut(&mut self) -> Option<&mut Param> {
+        None
+    }
+
+    /// Current threshold voltage of a spiking layer.
+    fn threshold(&self) -> Option<f32> {
+        None
+    }
+
+    /// Enables or disables threshold-voltage learning (no-op for non-spiking
+    /// layers).
+    fn set_threshold_trainable(&mut self, _trainable: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FloatBackend;
+
+    #[test]
+    fn mode_helpers() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+        assert_eq!(Mode::default(), Mode::Eval);
+    }
+
+    #[test]
+    fn context_debug_mentions_backend() {
+        let backend = FloatBackend::new();
+        let ctx = ForwardContext::new(Mode::Train, &backend);
+        let debug = format!("{ctx:?}");
+        assert!(debug.contains("float"));
+        assert!(debug.contains("Train"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Loss functions on firing rates.
+//!
+//! The paper (following the PLIF reference implementation) trains on the mean
+//! square error between the output firing rates and the one-hot target —
+//! described in the paper as "the cross entropy loss function defined by the
+//! mean square error". Both the MSE-on-rate loss and a softmax cross-entropy
+//! variant are provided; all experiments use [`MseRateLoss`].
+
+use crate::{Result, SnnError};
+use falvolt_tensor::Tensor;
+
+/// A differentiable loss on `[N, classes]` rate/target pairs.
+pub trait Loss: std::fmt::Debug {
+    /// The scalar loss value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when predictions and targets have different shapes.
+    fn forward(&self, predictions: &Tensor, targets: &Tensor) -> Result<f32>;
+
+    /// The gradient of the loss with respect to the predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when predictions and targets have different shapes.
+    fn backward(&self, predictions: &Tensor, targets: &Tensor) -> Result<Tensor>;
+
+    /// Human-readable name.
+    fn name(&self) -> &str;
+}
+
+fn check_shapes(predictions: &Tensor, targets: &Tensor) -> Result<()> {
+    if predictions.shape() != targets.shape() || predictions.ndim() != 2 {
+        return Err(SnnError::invalid_input(format!(
+            "loss expects matching [N, classes] tensors, got {:?} and {:?}",
+            predictions.shape(),
+            targets.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Mean square error between firing rates and one-hot targets.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::loss::{Loss, MseRateLoss};
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let loss = MseRateLoss::new();
+/// let perfect = Tensor::from_vec(vec![1, 2], vec![0.0, 1.0])?;
+/// assert_eq!(loss.forward(&perfect, &perfect)?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MseRateLoss;
+
+impl MseRateLoss {
+    /// Creates the MSE loss.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Loss for MseRateLoss {
+    fn forward(&self, predictions: &Tensor, targets: &Tensor) -> Result<f32> {
+        check_shapes(predictions, targets)?;
+        let n = predictions.len() as f32;
+        let sum: f32 = predictions
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum();
+        Ok(sum / n)
+    }
+
+    fn backward(&self, predictions: &Tensor, targets: &Tensor) -> Result<Tensor> {
+        check_shapes(predictions, targets)?;
+        let n = predictions.len() as f32;
+        Ok(predictions.zip_map(targets, |p, t| 2.0 * (p - t) / n)?)
+    }
+
+    fn name(&self) -> &str {
+        "mse-rate"
+    }
+}
+
+/// Softmax cross-entropy on firing rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Creates the cross-entropy loss.
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn softmax_rows(predictions: &Tensor) -> Tensor {
+        let (n, c) = (predictions.shape()[0], predictions.shape()[1]);
+        let mut out = Tensor::zeros(&[n, c]);
+        let src = predictions.data();
+        let dst = out.data_mut();
+        for i in 0..n {
+            let row = &src[i * c..(i + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for j in 0..c {
+                dst[i * c + j] = exps[j] / sum;
+            }
+        }
+        out
+    }
+}
+
+impl Loss for CrossEntropyLoss {
+    fn forward(&self, predictions: &Tensor, targets: &Tensor) -> Result<f32> {
+        check_shapes(predictions, targets)?;
+        let probs = Self::softmax_rows(predictions);
+        let n = predictions.shape()[0] as f32;
+        let loss: f32 = probs
+            .data()
+            .iter()
+            .zip(targets.data())
+            .map(|(p, t)| if *t > 0.0 { -t * p.max(1e-12).ln() } else { 0.0 })
+            .sum();
+        Ok(loss / n)
+    }
+
+    fn backward(&self, predictions: &Tensor, targets: &Tensor) -> Result<Tensor> {
+        check_shapes(predictions, targets)?;
+        let probs = Self::softmax_rows(predictions);
+        let n = predictions.shape()[0] as f32;
+        Ok(probs.zip_map(targets, |p, t| (p - t) / n)?)
+    }
+
+    fn name(&self) -> &str {
+        "cross-entropy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falvolt_tensor::reduce;
+
+    #[test]
+    fn mse_is_zero_at_target_and_positive_elsewhere() {
+        let loss = MseRateLoss::new();
+        let target = reduce::one_hot(&[1, 0], 3).unwrap();
+        assert_eq!(loss.forward(&target, &target).unwrap(), 0.0);
+        let pred = Tensor::full(&[2, 3], 0.5);
+        assert!(loss.forward(&pred, &target).unwrap() > 0.0);
+        assert_eq!(loss.name(), "mse-rate");
+    }
+
+    #[test]
+    fn mse_gradient_points_from_target_to_prediction() {
+        let loss = MseRateLoss::new();
+        let target = reduce::one_hot(&[0], 2).unwrap();
+        let pred = Tensor::from_vec(vec![1, 2], vec![0.25, 0.75]).unwrap();
+        let grad = loss.backward(&pred, &target).unwrap();
+        // d/dp mean((p - t)^2) = 2 (p - t) / N.
+        assert!((grad.get(&[0, 0]) - 2.0 * (0.25 - 1.0) / 2.0).abs() < 1e-6);
+        assert!((grad.get(&[0, 1]) - 2.0 * 0.75 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let loss = MseRateLoss::new();
+        let target = reduce::one_hot(&[1, 2], 3).unwrap();
+        let pred = Tensor::from_fn(&[2, 3], |i| 0.1 * i as f32);
+        let grad = loss.backward(&pred, &target).unwrap();
+        let eps = 1e-3;
+        for i in 0..pred.len() {
+            let mut plus = pred.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = pred.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (loss.forward(&plus, &target).unwrap()
+                - loss.forward(&minus, &target).unwrap())
+                / (2.0 * eps);
+            assert!((numeric - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let loss = CrossEntropyLoss::new();
+        let target = reduce::one_hot(&[0], 2).unwrap();
+        let good = Tensor::from_vec(vec![1, 2], vec![5.0, -5.0]).unwrap();
+        let bad = Tensor::from_vec(vec![1, 2], vec![-5.0, 5.0]).unwrap();
+        assert!(loss.forward(&good, &target).unwrap() < loss.forward(&bad, &target).unwrap());
+        assert_eq!(loss.name(), "cross-entropy");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let loss = CrossEntropyLoss::new();
+        let target = reduce::one_hot(&[1], 3).unwrap();
+        let pred = Tensor::from_vec(vec![1, 3], vec![0.2, 0.5, -0.1]).unwrap();
+        let grad = loss.backward(&pred, &target).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = pred.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = pred.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (loss.forward(&plus, &target).unwrap()
+                - loss.forward(&minus, &target).unwrap())
+                / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "{numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let loss = MseRateLoss::new();
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(loss.forward(&a, &b).is_err());
+        assert!(loss.backward(&a, &b).is_err());
+        let ce = CrossEntropyLoss::new();
+        assert!(ce.forward(&a, &b).is_err());
+        assert!(ce.backward(&Tensor::zeros(&[3]), &Tensor::zeros(&[3])).is_err());
+    }
+}

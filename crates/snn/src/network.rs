@@ -1,0 +1,484 @@
+//! The multi-time-step spiking network container.
+
+use crate::backend::{FloatBackend, MatmulBackend};
+use crate::layers::{ForwardContext, Layer, Mode};
+use crate::param::Param;
+use crate::{Result, SnnError};
+use falvolt_tensor::{reduce, Tensor};
+use std::sync::Arc;
+
+/// A feed-forward spiking neural network executed over `T` discrete time
+/// steps.
+///
+/// * Static inputs (`[N, C, H, W]` or `[N, features]`) are presented
+///   identically at every time step — the "direct encoding" the paper's
+///   architectures use, where the first convolution acts as the spike
+///   encoder.
+/// * Neuromorphic inputs (`[N, T, C, H, W]`) provide one frame per time step.
+///
+/// The network output is the **firing rate** of the last (spiking) layer:
+/// the per-class spike count divided by `T`. Classification takes the argmax
+/// of the rates; the loss is computed on the rates as well.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::layers::{Flatten, Linear, SpikingLayer};
+/// use falvolt_snn::neuron::NeuronConfig;
+/// use falvolt_snn::{Mode, SpikingNetwork, Tensor};
+///
+/// # fn main() -> Result<(), falvolt_snn::SnnError> {
+/// let mut network = SpikingNetwork::new(4);
+/// network.push(Flatten::new("flatten"));
+/// network.push(Linear::new("fc", 16, 3, 1)?);
+/// network.push(SpikingLayer::new("sn", NeuronConfig::paper_default()));
+/// let rates = network.forward(&Tensor::ones(&[2, 1, 4, 4]), Mode::Eval)?;
+/// assert_eq!(rates.shape(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SpikingNetwork {
+    layers: Vec<Box<dyn Layer>>,
+    time_steps: usize,
+    backend: Arc<dyn MatmulBackend>,
+}
+
+impl SpikingNetwork {
+    /// Creates an empty network executed over `time_steps` steps with the
+    /// floating-point backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_steps == 0`.
+    pub fn new(time_steps: usize) -> Self {
+        assert!(time_steps > 0, "a spiking network needs at least one time step");
+        Self {
+            layers: Vec::new(),
+            time_steps,
+            backend: FloatBackend::shared(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Number of simulation time steps.
+    pub fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    /// Changes the number of simulation time steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] for zero.
+    pub fn set_time_steps(&mut self, time_steps: usize) -> Result<()> {
+        if time_steps == 0 {
+            return Err(SnnError::invalid_config("time_steps must be non-zero"));
+        }
+        self.time_steps = time_steps;
+        Ok(())
+    }
+
+    /// The backend executing matrix products.
+    pub fn backend(&self) -> &Arc<dyn MatmulBackend> {
+        &self.backend
+    }
+
+    /// Installs a different matmul backend (e.g. the systolic-array model).
+    pub fn set_backend(&mut self, backend: Arc<dyn MatmulBackend>) {
+        self.backend = backend;
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// All trainable parameters of all layers.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for param in self.params_mut() {
+            param.zero_grad();
+        }
+    }
+
+    /// Exports the values of all parameters (a "state dict"), in the same
+    /// order [`SpikingNetwork::params_mut`] yields them.
+    pub fn export_parameters(&mut self) -> Vec<Tensor> {
+        self.params_mut()
+            .iter()
+            .map(|p| p.value().clone())
+            .collect()
+    }
+
+    /// Imports parameter values previously produced by
+    /// [`SpikingNetwork::export_parameters`] into a network with the same
+    /// architecture, and resets all optimizer state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] when the number or shapes of the
+    /// parameters do not match.
+    pub fn import_parameters(&mut self, values: &[Tensor]) -> Result<()> {
+        let mut params = self.params_mut();
+        if params.len() != values.len() {
+            return Err(SnnError::invalid_config(format!(
+                "cannot import {} parameter tensors into a network with {} parameters",
+                values.len(),
+                params.len()
+            )));
+        }
+        for (param, value) in params.iter_mut().zip(values) {
+            if param.value().shape() != value.shape() {
+                return Err(SnnError::invalid_config(format!(
+                    "parameter '{}' has shape {:?} but the imported tensor has shape {:?}",
+                    param.name(),
+                    param.value().shape(),
+                    value.shape()
+                )));
+            }
+            *param.value_mut() = value.clone();
+            param.zero_grad();
+            param.reset_optimizer_state();
+        }
+        Ok(())
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// The prunable weight matrices (convolutional and fully connected
+    /// layers), paired with their layer names, in network order.
+    pub fn prunable_weights_mut(&mut self) -> Vec<(String, &mut Param)> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| {
+                let name = l.name().to_string();
+                l.weight_mut().map(|w| (name, w))
+            })
+            .collect()
+    }
+
+    /// The threshold voltages of all spiking layers, paired with their layer
+    /// names, in network order.
+    pub fn thresholds(&self) -> Vec<(String, f32)> {
+        self.layers
+            .iter()
+            .filter_map(|l| l.threshold().map(|v| (l.name().to_string(), v)))
+            .collect()
+    }
+
+    /// The threshold parameters of all spiking layers.
+    pub fn threshold_params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| l.threshold_mut())
+            .collect()
+    }
+
+    /// Enables or disables threshold-voltage learning on every spiking layer
+    /// (the switch between FaPIT and FalVolt retraining).
+    pub fn set_thresholds_trainable(&mut self, trainable: bool) {
+        for layer in &mut self.layers {
+            layer.set_threshold_trainable(trainable);
+        }
+    }
+
+    /// Overwrites the threshold voltage of every spiking layer with `v`
+    /// (used by the fixed-threshold sweep of Figure 2).
+    pub fn set_all_thresholds(&mut self, v: f32) {
+        for layer in &mut self.layers {
+            if let Some(param) = layer.threshold_mut() {
+                param.value_mut().fill(v);
+            }
+        }
+    }
+
+    /// Resets the temporal state (membrane potentials, caches) of all layers.
+    pub fn reset_state(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_state();
+        }
+    }
+
+    /// Runs the network over all time steps and returns the firing-rate
+    /// tensor `[N, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inputs of unsupported rank or for layer shape
+    /// mismatches.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if self.layers.is_empty() {
+            return Err(SnnError::invalid_config("network has no layers"));
+        }
+        self.reset_state();
+        let time_steps = self.time_steps;
+        let backend = Arc::clone(&self.backend);
+        let ctx = ForwardContext::new(mode, backend.as_ref());
+
+        let mut rate_sum: Option<Tensor> = None;
+        for t in 0..time_steps {
+            let mut x = step_input(input, t, time_steps)?;
+            for layer in &mut self.layers {
+                x = layer.forward(&x, &ctx)?;
+            }
+            if x.ndim() != 2 {
+                return Err(SnnError::invalid_config(format!(
+                    "network output must be [N, classes], got shape {:?}",
+                    x.shape()
+                )));
+            }
+            match &mut rate_sum {
+                Some(sum) => sum.add_assign(&x)?,
+                None => rate_sum = Some(x),
+            }
+        }
+        let mut rates = rate_sum.expect("time_steps > 0 guarantees at least one step");
+        rates.scale_inplace(1.0 / time_steps as f32);
+        Ok(rates)
+    }
+
+    /// Backpropagates a gradient with respect to the firing rates through all
+    /// time steps (BPTT). Must follow a `forward` call in [`Mode::Train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::MissingForwardState`] when no training forward
+    /// pass preceded this call.
+    pub fn backward(&mut self, grad_rates: &Tensor) -> Result<()> {
+        let per_step = grad_rates.mul_scalar(1.0 / self.time_steps as f32);
+        for _ in 0..self.time_steps {
+            let mut grad = per_step.clone();
+            for layer in self.layers.iter_mut().rev() {
+                grad = layer.backward(&grad)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: forward pass in evaluation mode followed by per-sample
+    /// argmax.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
+        let rates = self.forward(input, Mode::Eval)?;
+        Ok(reduce::argmax_rows(&rates)?)
+    }
+}
+
+/// Extracts the input for time step `t`: temporal inputs (`[N, T, ...]`) are
+/// sliced, static inputs are replicated.
+fn step_input(input: &Tensor, t: usize, time_steps: usize) -> Result<Tensor> {
+    match input.ndim() {
+        2 | 4 => Ok(input.clone()),
+        5 => {
+            if input.shape()[1] != time_steps {
+                return Err(SnnError::invalid_input(format!(
+                    "temporal input has {} frames but the network runs {} time steps",
+                    input.shape()[1],
+                    time_steps
+                )));
+            }
+            let (n, _t, c, h, w) = (
+                input.shape()[0],
+                input.shape()[1],
+                input.shape()[2],
+                input.shape()[3],
+                input.shape()[4],
+            );
+            let mut frame = Tensor::zeros(&[n, c, h, w]);
+            let chw = c * h * w;
+            let src = input.data();
+            let dst = frame.data_mut();
+            for b in 0..n {
+                let src_base = (b * time_steps + t) * chw;
+                let dst_base = b * chw;
+                dst[dst_base..dst_base + chw].copy_from_slice(&src[src_base..src_base + chw]);
+            }
+            Ok(frame)
+        }
+        other => Err(SnnError::invalid_input(format!(
+            "unsupported input rank {other}: expected [N, F], [N, C, H, W] or [N, T, C, H, W]"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear, SpikingLayer};
+    use crate::neuron::NeuronConfig;
+
+    fn tiny_network() -> SpikingNetwork {
+        let mut network = SpikingNetwork::new(4);
+        network.push(Flatten::new("flatten"));
+        network.push(Linear::new("fc1", 8, 6, 1).unwrap());
+        network.push(SpikingLayer::new("sn1", NeuronConfig::paper_default()));
+        network.push(Linear::new("fc2", 6, 3, 2).unwrap());
+        network.push(SpikingLayer::new("sn2", NeuronConfig::paper_default()));
+        network
+    }
+
+    #[test]
+    fn forward_produces_rates_in_unit_interval() {
+        let mut network = tiny_network();
+        let input = Tensor::from_fn(&[5, 1, 2, 4], |i| (i % 7) as f32 * 0.3);
+        let rates = network.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(rates.shape(), &[5, 3]);
+        assert!(rates.data().iter().all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn temporal_input_is_sliced_per_time_step() {
+        let mut network = tiny_network();
+        let temporal = Tensor::from_fn(&[2, 4, 1, 2, 4], |i| (i % 5) as f32 * 0.4);
+        let rates = network.forward(&temporal, Mode::Eval).unwrap();
+        assert_eq!(rates.shape(), &[2, 3]);
+        // Mismatched frame count is rejected.
+        let wrong = Tensor::zeros(&[2, 3, 1, 2, 4]);
+        assert!(network.forward(&wrong, Mode::Eval).is_err());
+        // Unsupported rank is rejected.
+        assert!(network.forward(&Tensor::zeros(&[2, 1, 2]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut network = tiny_network();
+        let input = Tensor::ones(&[2, 1, 2, 4]);
+        network.forward(&input, Mode::Eval).unwrap();
+        assert!(network.backward(&Tensor::ones(&[2, 3])).is_err());
+        network.forward(&input, Mode::Train).unwrap();
+        assert!(network.backward(&Tensor::ones(&[2, 3])).is_ok());
+    }
+
+    #[test]
+    fn training_pass_produces_nonzero_gradients() {
+        let mut network = tiny_network();
+        let input = Tensor::from_fn(&[3, 1, 2, 4], |i| (i % 3) as f32);
+        network.zero_grads();
+        network.forward(&input, Mode::Train).unwrap();
+        network.backward(&Tensor::ones(&[3, 3])).unwrap();
+        let grads_nonzero = network
+            .params_mut()
+            .iter()
+            .any(|p| p.grad().data().iter().any(|&g| g != 0.0));
+        assert!(grads_nonzero, "at least one parameter should receive gradient");
+        network.zero_grads();
+        assert!(network
+            .params_mut()
+            .iter()
+            .all(|p| p.grad().data().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn threshold_management_touches_only_spiking_layers() {
+        let mut network = tiny_network();
+        assert_eq!(network.thresholds().len(), 2);
+        assert_eq!(network.threshold_params_mut().len(), 2);
+        network.set_all_thresholds(0.55);
+        assert!(network.thresholds().iter().all(|(_, v)| (*v - 0.55).abs() < 1e-6));
+        network.set_thresholds_trainable(true);
+        assert!(network
+            .threshold_params_mut()
+            .iter()
+            .all(|p| p.is_trainable()));
+        assert_eq!(network.prunable_weights_mut().len(), 2);
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_validates() {
+        let mut a = tiny_network();
+        let mut b = tiny_network();
+        // Perturb `a` so the two networks differ.
+        for p in a.params_mut() {
+            p.value_mut().map_inplace(|v| v + 0.25);
+        }
+        let state = a.export_parameters();
+        b.import_parameters(&state).unwrap();
+        assert_eq!(a.export_parameters(), b.export_parameters());
+
+        // Mismatched architectures are rejected.
+        let mut small = SpikingNetwork::new(2);
+        small.push(Flatten::new("flatten"));
+        small.push(Linear::new("fc", 8, 3, 1).unwrap());
+        assert!(small.import_parameters(&state).is_err());
+        // Mismatched shapes are rejected.
+        let mut wrong = state.clone();
+        wrong[0] = Tensor::zeros(&[1]);
+        assert!(b.import_parameters(&wrong).is_err());
+    }
+
+    #[test]
+    fn predict_returns_one_label_per_sample() {
+        let mut network = tiny_network();
+        let input = Tensor::ones(&[4, 1, 2, 4]);
+        let labels = network.predict(&input).unwrap();
+        assert_eq!(labels.len(), 4);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn accessors_and_configuration() {
+        let mut network = tiny_network();
+        assert_eq!(network.len(), 5);
+        assert!(!network.is_empty());
+        assert_eq!(network.time_steps(), 4);
+        assert!(network.set_time_steps(0).is_err());
+        network.set_time_steps(2).unwrap();
+        assert_eq!(network.time_steps(), 2);
+        assert!(network.parameter_count() > 0);
+        assert_eq!(network.backend().name(), "float");
+        let empty = SpikingNetwork::new(1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one time step")]
+    fn zero_time_steps_panics() {
+        let _ = SpikingNetwork::new(0);
+    }
+
+    #[test]
+    fn forward_on_empty_network_errors() {
+        let mut network = SpikingNetwork::new(2);
+        assert!(network.forward(&Tensor::ones(&[1, 4]), Mode::Eval).is_err());
+    }
+}

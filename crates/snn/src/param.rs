@@ -1,0 +1,196 @@
+//! Trainable parameters.
+
+use crate::Result;
+use falvolt_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a value tensor, its accumulated gradient and the
+/// optimizer state attached to it.
+///
+/// Layers expose their parameters through [`crate::Layer::params_mut`]; the
+/// optimizers in [`crate::optim`] update them in place. The `trainable` flag
+/// lets FalVolt freeze or un-freeze individual parameters (e.g. the threshold
+/// voltage is frozen during initial training and unfrozen during fault-aware
+/// retraining).
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::Param;
+/// use falvolt_tensor::Tensor;
+///
+/// let mut p = Param::new("weight", Tensor::ones(&[2, 2]));
+/// assert!(p.is_trainable());
+/// p.grad_mut().fill(0.5);
+/// p.zero_grad();
+/// assert!(p.grad().data().iter().all(|&g| g == 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    trainable: bool,
+    // Adam state (lazily meaningful: zeros until the first Adam step).
+    adam_m: Tensor,
+    adam_v: Tensor,
+    adam_step: u64,
+    // SGD momentum buffer.
+    momentum: Tensor,
+}
+
+impl Param {
+    /// Creates a trainable parameter with zeroed gradient and optimizer state.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let shape = value.shape().to_vec();
+        Self {
+            name: name.into(),
+            grad: Tensor::zeros(&shape),
+            adam_m: Tensor::zeros(&shape),
+            adam_v: Tensor::zeros(&shape),
+            momentum: Tensor::zeros(&shape),
+            adam_step: 0,
+            trainable: true,
+            value,
+        }
+    }
+
+    /// Creates a parameter that optimizers will skip.
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.trainable = false;
+        p
+    }
+
+    /// The parameter name (used in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// The parameter value, mutably.
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// The accumulated gradient, mutably.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Accumulates `grad` into the parameter's gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the gradient shape differs from the value.
+    pub fn accumulate_grad(&mut self, grad: &Tensor) -> Result<()> {
+        self.grad.add_assign(grad)?;
+        Ok(())
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Whether optimizers should update this parameter.
+    pub fn is_trainable(&self) -> bool {
+        self.trainable
+    }
+
+    /// Freezes or unfreezes the parameter.
+    pub fn set_trainable(&mut self, trainable: bool) {
+        self.trainable = trainable;
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets all optimizer state (Adam moments, momentum buffer).
+    pub fn reset_optimizer_state(&mut self) {
+        self.adam_m.fill(0.0);
+        self.adam_v.fill(0.0);
+        self.momentum.fill(0.0);
+        self.adam_step = 0;
+    }
+
+    pub(crate) fn adam_state_mut(&mut self) -> (&mut Tensor, &mut Tensor, &mut u64) {
+        (&mut self.adam_m, &mut self.adam_v, &mut self.adam_step)
+    }
+
+    pub(crate) fn momentum_mut(&mut self) -> &mut Tensor {
+        &mut self.momentum
+    }
+
+    pub(crate) fn value_and_grad_mut(&mut self) -> (&mut Tensor, &Tensor) {
+        (&mut self.value, &self.grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_state() {
+        let p = Param::new("w", Tensor::ones(&[3]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(p.grad().data().iter().all(|&g| g == 0.0));
+        assert!(p.is_trainable());
+    }
+
+    #[test]
+    fn frozen_param_is_not_trainable() {
+        let mut p = Param::frozen("vth", Tensor::scalar(1.0));
+        assert!(!p.is_trainable());
+        p.set_trainable(true);
+        assert!(p.is_trainable());
+    }
+
+    #[test]
+    fn accumulate_and_zero_grad() {
+        let mut p = Param::new("w", Tensor::zeros(&[2]));
+        let g = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        p.accumulate_grad(&g).unwrap();
+        p.accumulate_grad(&g).unwrap();
+        assert_eq!(p.grad().data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+        assert!(p.accumulate_grad(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn reset_optimizer_state_clears_moments() {
+        let mut p = Param::new("w", Tensor::zeros(&[2]));
+        {
+            let (m, v, step) = p.adam_state_mut();
+            m.fill(1.0);
+            v.fill(1.0);
+            *step = 10;
+        }
+        p.momentum_mut().fill(2.0);
+        p.reset_optimizer_state();
+        let (m, v, step) = p.adam_state_mut();
+        assert!(m.data().iter().all(|&x| x == 0.0));
+        assert!(v.data().iter().all(|&x| x == 0.0));
+        assert_eq!(*step, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the SNN library's core invariants.
+
+use falvolt_snn::config::ArchitectureConfig;
+use falvolt_snn::layers::{ForwardContext, Layer, Mode, SpikingLayer};
+use falvolt_snn::loss::{Loss, MseRateLoss};
+use falvolt_snn::neuron::{NeuronConfig, NeuronModel};
+use falvolt_snn::{FloatBackend, Tensor};
+use falvolt_tensor::reduce;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spikes_are_always_binary(seed in 0u64..200, amplitude in 0.1f32..5.0, threshold in 0.2f32..2.0) {
+        let backend = FloatBackend::new();
+        let mut layer = SpikingLayer::new(
+            "sn",
+            NeuronConfig::paper_default().with_threshold(threshold),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        for _ in 0..3 {
+            let input = falvolt_tensor::init::uniform(&[2, 8], -amplitude, amplitude, &mut rng);
+            let spikes = layer.forward(&input, &ctx).unwrap();
+            prop_assert!(spikes.data().iter().all(|&s| s == 0.0 || s == 1.0));
+        }
+    }
+
+    #[test]
+    fn membrane_never_exceeds_threshold_after_reset(seed in 0u64..200, amplitude in 0.1f32..3.0) {
+        // With hard reset, the stored membrane potential after a step is
+        // either below threshold (no spike) or exactly v_reset (spiked).
+        let backend = FloatBackend::new();
+        let config = NeuronConfig::paper_default();
+        let mut layer = SpikingLayer::new("sn", config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        for _ in 0..4 {
+            let input = falvolt_tensor::init::uniform(&[1, 16], 0.0, amplitude, &mut rng);
+            layer.forward(&input, &ctx).unwrap();
+            let v = layer.membrane_potential().unwrap();
+            for &vi in v.data() {
+                prop_assert!(
+                    vi <= config.v_threshold + 1e-5 || (vi - config.v_reset).abs() < 1e-6,
+                    "membrane {} escaped both cases", vi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lif_and_plif_agree_at_matching_decay(seed in 0u64..100, amplitude in 0.1f32..2.0) {
+        // A PLIF neuron initialised at tau and an LIF neuron with the same tau
+        // produce identical spike trains before any training step.
+        let backend = FloatBackend::new();
+        let mut plif = SpikingLayer::new(
+            "p",
+            NeuronConfig::paper_default().with_model(NeuronModel::Plif { init_tau: 3.0 }),
+        );
+        let mut lif = SpikingLayer::new(
+            "l",
+            NeuronConfig::paper_default().with_model(NeuronModel::Lif { tau: 3.0 }),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = ForwardContext::new(Mode::Eval, &backend);
+        for _ in 0..3 {
+            let input = falvolt_tensor::init::uniform(&[1, 8], 0.0, amplitude, &mut rng);
+            let a = plif.forward(&input, &ctx).unwrap();
+            let b = lif.forward(&input, &ctx).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mse_loss_is_nonnegative_and_zero_only_at_target(labels in proptest::collection::vec(0usize..4, 1..6)) {
+        let loss = MseRateLoss::new();
+        let targets = reduce::one_hot(&labels, 4).unwrap();
+        prop_assert_eq!(loss.forward(&targets, &targets).unwrap(), 0.0);
+        let off = targets.add_scalar(0.25);
+        prop_assert!(loss.forward(&off, &targets).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn architecture_scales_parameter_count_with_channels(channels in 2usize..12) {
+        let mut small = ArchitectureConfig::tiny_test();
+        small.conv_channels = channels;
+        let mut network = small.build(1).unwrap();
+        let count = network.parameter_count();
+        let mut bigger = small.clone();
+        bigger.conv_channels = channels + 2;
+        let mut network2 = bigger.build(1).unwrap();
+        prop_assert!(network2.parameter_count() > count);
+    }
+
+    #[test]
+    fn forward_is_invariant_to_batch_packing(seed in 0u64..50) {
+        // Evaluating two samples in one batch equals evaluating them
+        // separately (no cross-sample leakage in eval mode).
+        let config = ArchitectureConfig::tiny_test();
+        let mut network = config.build(9).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let together = network.forward(&batch, Mode::Eval).unwrap();
+        let first = network
+            .forward(&batch.slice_axis0(0, 1).unwrap(), Mode::Eval)
+            .unwrap();
+        let second = network
+            .forward(&batch.slice_axis0(1, 2).unwrap(), Mode::Eval)
+            .unwrap();
+        let recombined = Tensor::concat_axis0(&[first, second]).unwrap();
+        for (a, b) in together.data().iter().zip(recombined.data()) {
+            prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Structural (PE-by-PE) simulation of the systolic array.
+//!
+//! [`SystolicArray`] instantiates one [`ProcessingElement`] per grid position
+//! and pushes spike wavefronts through it, exactly as the block diagram in
+//! the paper's Figure 1 describes: spikes enter the rows, weights are
+//! pre-stored in the PEs, partial sums flow down the columns. It is slower
+//! than [`crate::SystolicExecutor`] but serves as the ground-truth model the
+//! executor is validated against (see the crate's integration tests).
+
+use crate::{FaultMap, PeCoord, ProcessingElement, Result, SystolicConfig, SystolicError};
+use falvolt_fixedpoint::Fixed;
+use falvolt_tensor::Tensor;
+
+/// A structural model of the weight-stationary systolic array.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_systolic::{FaultMap, SystolicArray, SystolicConfig};
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystolicConfig::new(2, 2)?;
+/// let mut array = SystolicArray::new(config, &FaultMap::new(config));
+/// array.load_weights(&Tensor::from_vec(vec![2, 2], vec![0.5, 1.0, 0.25, 0.75])?)?;
+/// let sums = array.process_spikes(&[true, true]);
+/// assert!((sums[0] - 0.75).abs() < 1e-2);
+/// assert!((sums[1] - 1.75).abs() < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    config: SystolicConfig,
+    grid: Vec<ProcessingElement>,
+}
+
+impl SystolicArray {
+    /// Builds the array and installs the fault masks from `fault_map`.
+    pub fn new(config: SystolicConfig, fault_map: &FaultMap) -> Self {
+        let format = config.accumulator_format();
+        let mut grid = vec![ProcessingElement::new(format); config.pe_count()];
+        for (idx, pe) in grid.iter_mut().enumerate() {
+            let coord = PeCoord::new(idx / config.cols(), idx % config.cols());
+            if let Some(masks) = fault_map.masks(coord) {
+                pe.set_masks(masks);
+            }
+        }
+        Self { config, grid }
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// Borrow a PE for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::PeOutOfRange`] for coordinates outside the
+    /// grid.
+    pub fn pe(&self, coord: PeCoord) -> Result<&ProcessingElement> {
+        self.index(coord).map(|i| &self.grid[i])
+    }
+
+    /// Borrow a PE mutably (e.g. to enable its bypass path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::PeOutOfRange`] for coordinates outside the
+    /// grid.
+    pub fn pe_mut(&mut self, coord: PeCoord) -> Result<&mut ProcessingElement> {
+        self.index(coord).map(move |i| &mut self.grid[i])
+    }
+
+    /// Enables the bypass multiplexer of every faulty PE.
+    pub fn bypass_faulty_pes(&mut self) {
+        for pe in &mut self.grid {
+            if pe.is_faulty() {
+                pe.set_bypassed(true);
+            }
+        }
+    }
+
+    /// Pre-stores a weight tile of shape `[rows, cols]` (or smaller) into the
+    /// grid. Weight `(r, c)` lands in PE `(r, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystolicError::Tensor`] if the tile is not a matrix or is
+    /// larger than the grid.
+    pub fn load_weights(&mut self, tile: &Tensor) -> Result<()> {
+        if tile.ndim() != 2 {
+            return Err(SystolicError::Tensor(
+                falvolt_tensor::TensorError::RankMismatch {
+                    expected: 2,
+                    actual: tile.ndim(),
+                },
+            ));
+        }
+        let (r, c) = (tile.shape()[0], tile.shape()[1]);
+        if r > self.config.rows() || c > self.config.cols() {
+            return Err(SystolicError::Tensor(
+                falvolt_tensor::TensorError::InvalidArgument {
+                    reason: format!(
+                        "weight tile {r}x{c} does not fit the {}x{} grid",
+                        self.config.rows(),
+                        self.config.cols()
+                    ),
+                },
+            ));
+        }
+        for row in 0..r {
+            for col in 0..c {
+                let idx = row * self.config.cols() + col;
+                self.grid[idx].load_weight(tile.get(&[row, col]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams one spike wavefront (one spike per row) through the array and
+    /// returns the per-column accumulated sums.
+    ///
+    /// Rows beyond `spikes.len()` contribute nothing.
+    pub fn process_spikes(&mut self, spikes: &[bool]) -> Vec<f32> {
+        let format = self.config.accumulator_format();
+        let cols = self.config.cols();
+        let mut sums = vec![0.0f32; cols];
+        for (col, sum) in sums.iter_mut().enumerate() {
+            let mut acc = Fixed::zero(format);
+            for (row, &spike) in spikes.iter().enumerate().take(self.config.rows()) {
+                let idx = row * cols + col;
+                acc = self.grid[idx].process(acc, spike);
+            }
+            *sum = acc.to_f32();
+        }
+        sums
+    }
+
+    /// Total number of spikes observed by all PEs since the last reset.
+    pub fn total_spike_count(&self) -> u64 {
+        self.grid.iter().map(ProcessingElement::spike_count).sum()
+    }
+
+    /// Resets every PE's spike counter.
+    pub fn reset_spike_counts(&mut self) {
+        for pe in &mut self.grid {
+            pe.reset_spike_count();
+        }
+    }
+
+    fn index(&self, coord: PeCoord) -> Result<usize> {
+        if coord.row >= self.config.rows() || coord.col >= self.config.cols() {
+            return Err(SystolicError::PeOutOfRange {
+                row: coord.row,
+                col: coord.col,
+                rows: self.config.rows(),
+                cols: self.config.cols(),
+            });
+        }
+        Ok(coord.row * self.config.cols() + coord.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::BypassPolicy;
+    use crate::{Fault, StuckAt, SystolicExecutor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config() -> SystolicConfig {
+        SystolicConfig::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn clean_array_computes_column_sums() {
+        let config = config();
+        let mut array = SystolicArray::new(config, &FaultMap::new(config));
+        let tile = Tensor::from_fn(&[4, 4], |i| (i % 3) as f32 * 0.5);
+        array.load_weights(&tile).unwrap();
+        let sums = array.process_spikes(&[true, false, true, true]);
+        // Column sums of rows {0, 2, 3}.
+        for (c, &sum) in sums.iter().enumerate() {
+            let expected: f32 = [0usize, 2, 3]
+                .iter()
+                .map(|&r| tile.get(&[r, c]))
+                .sum();
+            assert!((sum - expected).abs() < 1e-2, "column {c}");
+        }
+        assert_eq!(array.total_spike_count(), 3 * 4);
+        array.reset_spike_counts();
+        assert_eq!(array.total_spike_count(), 0);
+    }
+
+    #[test]
+    fn structural_and_executor_models_agree() {
+        // The executor's fast path and the structural array must compute the
+        // same faulty column sums for a single tile pass.
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(31);
+        let fault_map =
+            FaultMap::random_faulty_pes(&config, 3, 15, StuckAt::One, &mut rng).unwrap();
+        let tile = falvolt_tensor::init::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let spikes: Vec<bool> = (0..4).map(|_| rng.gen_bool(0.5)).collect();
+
+        let mut array = SystolicArray::new(config, &fault_map);
+        array.load_weights(&tile).unwrap();
+        let structural = array.process_spikes(&spikes);
+
+        let executor = SystolicExecutor::new(config, fault_map);
+        let spike_row = Tensor::from_vec(
+            vec![1, 4],
+            spikes.iter().map(|&s| if s { 1.0 } else { 0.0 }).collect(),
+        )
+        .unwrap();
+        let fast = executor.matmul(&spike_row, &tile).unwrap();
+        for c in 0..4 {
+            assert!(
+                (structural[c] - fast.get(&[0, c])).abs() < 1e-4,
+                "column {c}: structural {} vs executor {}",
+                structural[c],
+                fast.get(&[0, c])
+            );
+        }
+    }
+
+    #[test]
+    fn bypassing_faulty_pes_matches_skip_policy() {
+        let config = config();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(1, 2), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let tile = Tensor::full(&[4, 4], 0.5);
+        let spikes = [true, true, true, true];
+
+        let mut array = SystolicArray::new(config, &fault_map);
+        array.load_weights(&tile).unwrap();
+        array.bypass_faulty_pes();
+        let structural = array.process_spikes(&spikes);
+
+        let executor =
+            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let spike_row = Tensor::ones(&[1, 4]);
+        let fast = executor.matmul(&spike_row, &tile).unwrap();
+        for c in 0..4 {
+            assert!((structural[c] - fast.get(&[0, c])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pe_access_validates_coordinates() {
+        let config = config();
+        let mut array = SystolicArray::new(config, &FaultMap::new(config));
+        assert!(array.pe(PeCoord::new(0, 0)).is_ok());
+        assert!(array.pe(PeCoord::new(4, 0)).is_err());
+        assert!(array.pe_mut(PeCoord::new(0, 4)).is_err());
+    }
+
+    #[test]
+    fn load_weights_validates_tile() {
+        let config = config();
+        let mut array = SystolicArray::new(config, &FaultMap::new(config));
+        assert!(array.load_weights(&Tensor::ones(&[5, 4])).is_err());
+        assert!(array.load_weights(&Tensor::ones(&[4])).is_err());
+        assert!(array.load_weights(&Tensor::ones(&[3, 2])).is_ok());
+    }
+}

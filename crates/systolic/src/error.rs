@@ -1,0 +1,128 @@
+//! Error type for the systolic-array simulator.
+
+use falvolt_fixedpoint::FixedPointError;
+use falvolt_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by the systolic-array simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystolicError {
+    /// The grid dimensions are invalid (zero rows or columns).
+    InvalidGrid {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+    /// A PE coordinate lies outside the grid.
+    PeOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// The offending column.
+        col: usize,
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// More faulty PEs were requested than the grid contains.
+    TooManyFaultyPes {
+        /// Number of faulty PEs requested.
+        requested: usize,
+        /// Number of PEs available.
+        available: usize,
+    },
+    /// A fault rate outside `[0, 1]` was requested.
+    InvalidFaultRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// An underlying fixed-point error (e.g. a fault bit outside the word).
+    FixedPoint(FixedPointError),
+    /// An underlying tensor error (e.g. a shape mismatch in the executor).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for SystolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystolicError::InvalidGrid { rows, cols } => {
+                write!(f, "invalid systolic grid {rows}x{cols}: both dimensions must be non-zero")
+            }
+            SystolicError::PeOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "PE ({row}, {col}) outside the {rows}x{cols} grid"),
+            SystolicError::TooManyFaultyPes {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} faulty PEs but the grid only has {available}"
+            ),
+            SystolicError::InvalidFaultRate { rate } => {
+                write!(f, "fault rate {rate} outside the valid range [0, 1]")
+            }
+            SystolicError::FixedPoint(e) => write!(f, "fixed-point error: {e}"),
+            SystolicError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystolicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystolicError::FixedPoint(e) => Some(e),
+            SystolicError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FixedPointError> for SystolicError {
+    fn from(e: FixedPointError) -> Self {
+        SystolicError::FixedPoint(e)
+    }
+}
+
+impl From<TensorError> for SystolicError {
+    fn from(e: TensorError) -> Self {
+        SystolicError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SystolicError::InvalidGrid { rows: 0, cols: 4 }
+            .to_string()
+            .contains("0x4"));
+        assert!(SystolicError::TooManyFaultyPes {
+            requested: 20,
+            available: 16
+        }
+        .to_string()
+        .contains("20"));
+        assert!(SystolicError::InvalidFaultRate { rate: 1.5 }
+            .to_string()
+            .contains("1.5"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: SystolicError = TensorError::RankMismatch {
+            expected: 2,
+            actual: 3,
+        }
+        .into();
+        assert!(matches!(e, SystolicError::Tensor(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SystolicError = FixedPointError::InvalidWordWidth { total_bits: 1 }.into();
+        assert!(matches!(e, SystolicError::FixedPoint(_)));
+    }
+}

@@ -1,0 +1,360 @@
+//! Faulty matrix-product executor.
+//!
+//! The SNN layers lower their linear algebra (convolutions via im2col, fully
+//! connected layers directly) to matrix products `activations x weights`. The
+//! executor replays those products through the systolic array: every partial
+//! sum of an output element passes through the accumulator of the PE that
+//! stores the corresponding weight, where the PE's stuck-at faults corrupt it.
+
+use crate::fault_map::PeMasks;
+use crate::{FaultMap, PeCoord, Result, SystolicConfig, SystolicError, WeightMapping};
+use falvolt_fixedpoint::Fixed;
+use falvolt_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// How the executor treats faulty PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BypassPolicy {
+    /// Faulty PEs stay in the datapath and corrupt partial sums (the
+    /// vulnerability-analysis setting).
+    #[default]
+    None,
+    /// Faulty PEs are bypassed through the multiplexer of Figure 3b: their
+    /// weight contribution is skipped and their faults never reach the
+    /// partial sum (the fault-aware-pruning setting).
+    SkipFaulty,
+}
+
+/// Executes matrix products on the (possibly faulty) systolic array.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_systolic::executor::BypassPolicy;
+/// use falvolt_systolic::{FaultMap, SystolicConfig, SystolicExecutor};
+/// use falvolt_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystolicConfig::new(4, 4)?;
+/// let executor = SystolicExecutor::new(config, FaultMap::new(config));
+/// let a = Tensor::ones(&[2, 4]);
+/// let b = Tensor::full(&[4, 3], 0.25);
+/// let out = executor.matmul(&a, &b)?;
+/// // With no faults the array reproduces the exact product (within
+/// // fixed-point resolution).
+/// assert!((out.get(&[0, 0]) - 1.0).abs() < 1e-2);
+/// assert_eq!(executor.bypass_policy(), BypassPolicy::None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystolicExecutor {
+    config: SystolicConfig,
+    fault_map: FaultMap,
+    mapping: WeightMapping,
+    bypass: BypassPolicy,
+}
+
+impl SystolicExecutor {
+    /// Creates an executor for a configuration and fault map, with faults
+    /// active in the datapath ([`BypassPolicy::None`]).
+    pub fn new(config: SystolicConfig, fault_map: FaultMap) -> Self {
+        let mapping = WeightMapping::new(&config);
+        Self {
+            config,
+            fault_map,
+            mapping,
+            bypass: BypassPolicy::None,
+        }
+    }
+
+    /// Creates an executor with an explicit bypass policy.
+    pub fn with_bypass(config: SystolicConfig, fault_map: FaultMap, bypass: BypassPolicy) -> Self {
+        let mut e = Self::new(config, fault_map);
+        e.bypass = bypass;
+        e
+    }
+
+    /// The systolic configuration.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.config
+    }
+
+    /// The installed fault map.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.fault_map
+    }
+
+    /// The weight-stationary mapping used by this executor.
+    pub fn mapping(&self) -> WeightMapping {
+        self.mapping
+    }
+
+    /// The current bypass policy.
+    pub fn bypass_policy(&self) -> BypassPolicy {
+        self.bypass
+    }
+
+    /// Changes the bypass policy.
+    pub fn set_bypass_policy(&mut self, bypass: BypassPolicy) {
+        self.bypass = bypass;
+    }
+
+    /// Replaces the fault map (e.g. to evaluate several chips with one
+    /// executor).
+    pub fn set_fault_map(&mut self, fault_map: FaultMap) {
+        self.fault_map = fault_map;
+    }
+
+    /// Computes `activations x weights` on the systolic array.
+    ///
+    /// `activations` has shape `[M, K]` (rows of spikes or activations) and
+    /// `weights` has shape `[K, N]`. Weight element `(k, n)` resides in PE
+    /// `(k mod rows, n mod cols)`; the partial sum of output `(m, n)` passes
+    /// through that PE's accumulator, where its stuck-at faults are applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for non-matrix inputs or mismatched inner
+    /// dimensions.
+    pub fn matmul(&self, activations: &Tensor, weights: &Tensor) -> Result<Tensor> {
+        let (m, k) = matrix_dims(activations)?;
+        let (k2, n) = matrix_dims(weights)?;
+        if k != k2 {
+            return Err(SystolicError::Tensor(TensorError::MatmulDimMismatch {
+                left_cols: k,
+                right_rows: k2,
+            }));
+        }
+        let format = self.config.accumulator_format();
+        let rows = self.config.rows();
+        let cols = self.config.cols();
+
+        // Precompute per-(k, n-fold) PE state: quantized weight, masks, skip flag.
+        // The PE for (k, n) only depends on (k mod rows, n mod cols); weights
+        // themselves depend on (k, n), so cache masks per (k, n mod cols).
+        let fault_free = self.fault_map.is_empty();
+        let a = activations.data();
+        let w = weights.data();
+        let mut out = vec![0.0f32; m * n];
+
+        // Cache the fault masks for each (row, col-fold) of the grid to avoid
+        // a BTreeMap lookup in the innermost loop.
+        let mut mask_tile: Vec<Option<PeMasks>> = vec![None; rows * cols];
+        if !fault_free {
+            for r in 0..rows {
+                for c in 0..cols {
+                    mask_tile[r * cols + c] = self.fault_map.masks(PeCoord::new(r, c));
+                }
+            }
+        }
+
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let col_fold = j % cols;
+                let mut acc = Fixed::zero(format);
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    let masks = if fault_free {
+                        None
+                    } else {
+                        mask_tile[(p % rows) * cols + col_fold]
+                    };
+                    let skip = matches!(self.bypass, BypassPolicy::SkipFaulty) && masks.is_some();
+                    if skip {
+                        continue;
+                    }
+                    if a_ip != 0.0 {
+                        let contribution = Fixed::from_f32(a_ip * w[p * n + j], format);
+                        acc = acc.saturating_add(contribution);
+                    }
+                    if let Some(masks) = masks {
+                        acc = masks.apply(acc);
+                    }
+                }
+                out[i * n + j] = acc.to_f32();
+            }
+        }
+        Ok(Tensor::from_vec(vec![m, n], out)?)
+    }
+
+    /// Reference clean product computed in floating point (no quantization,
+    /// no faults) — used by tests and by callers that need the ideal output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for invalid matrix shapes.
+    pub fn clean_matmul(&self, activations: &Tensor, weights: &Tensor) -> Result<Tensor> {
+        Ok(falvolt_tensor::ops::matmul(activations, weights)?)
+    }
+}
+
+fn matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
+    if t.ndim() != 2 {
+        return Err(SystolicError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+        }));
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fault, StuckAt};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> SystolicConfig {
+        SystolicConfig::new(4, 4).unwrap()
+    }
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn fault_free_array_matches_float_matmul_within_resolution() {
+        let config = config();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = falvolt_tensor::init::uniform(&[5, 7], 0.0, 1.0, &mut rng);
+        let b = falvolt_tensor::init::uniform(&[7, 6], -0.5, 0.5, &mut rng);
+        let faulty = executor.matmul(&a, &b).unwrap();
+        let clean = executor.clean_matmul(&a, &b).unwrap();
+        // Each of the 7 accumulation steps quantizes to 1/256 resolution.
+        assert!(max_abs_diff(&faulty, &clean) < 7.0 / 256.0 + 1e-4);
+    }
+
+    #[test]
+    fn binary_spike_inputs_are_exact_for_small_weights() {
+        // With binary inputs and weights on the fixed-point lattice the
+        // systolic result is exact.
+        let config = config();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let a = Tensor::from_vec(vec![2, 4], vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0]).unwrap();
+        let b = Tensor::from_fn(&[4, 3], |i| (i % 5) as f32 * 0.25);
+        let faulty = executor.matmul(&a, &b).unwrap();
+        let clean = executor.clean_matmul(&a, &b).unwrap();
+        assert_eq!(faulty.data(), clean.data());
+    }
+
+    #[test]
+    fn stuck_at_one_msb_corrupts_affected_columns_only() {
+        let config = config();
+        // Fault in PE (0, 1): affects output columns j with j % 4 == 1.
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 1), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let executor = SystolicExecutor::new(config, fault_map);
+        let a = Tensor::ones(&[1, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let out = executor.matmul(&a, &b).unwrap();
+        let clean = executor.clean_matmul(&a, &b).unwrap();
+        for j in 0..4 {
+            let diff = (out.get(&[0, j]) - clean.get(&[0, j])).abs();
+            if j == 1 {
+                assert!(diff > 10.0, "column 1 must be corrupted, diff {diff}");
+            } else {
+                assert!(diff < 1e-3, "column {j} must be clean, diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_lsb_is_mild() {
+        let config = config();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 0), 0, StuckAt::Zero)],
+        )
+        .unwrap();
+        let executor = SystolicExecutor::new(config, fault_map);
+        let a = Tensor::ones(&[1, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let out = executor.matmul(&a, &b).unwrap();
+        let clean = executor.clean_matmul(&a, &b).unwrap();
+        // LSB stuck-at-0 can change each pass by at most one resolution step.
+        assert!(max_abs_diff(&out, &clean) <= 4.0 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn bypass_skips_faulty_contribution_instead_of_corrupting() {
+        let config = config();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(2, 1), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let executor =
+            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let a = Tensor::ones(&[1, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let out = executor.matmul(&a, &b).unwrap();
+        // Column 1 loses the contribution of k = 2 (weight 0.5): 2.0 -> 1.5.
+        assert!((out.get(&[0, 1]) - 1.5).abs() < 1e-3);
+        // Other columns unaffected.
+        assert!((out.get(&[0, 0]) - 2.0).abs() < 1e-3);
+        assert!((out.get(&[0, 3]) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_folding_reuses_faulty_pe_across_tiles() {
+        // K = 8 on a 4-row array: rows 0..4 and 4..8 share PEs. A fault in
+        // PE (0, 0) must therefore corrupt contributions from k = 0 and k = 4.
+        let config = config();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 0), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let executor =
+            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let a = Tensor::ones(&[1, 8]);
+        let b = Tensor::full(&[8, 4], 0.5);
+        let out = executor.matmul(&a, &b).unwrap();
+        // Column 0 loses k=0 and k=4 contributions: 4.0 - 1.0 = 3.0.
+        assert!((out.get(&[0, 0]) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_validates_shapes() {
+        let config = config();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 2]);
+        assert!(executor.matmul(&a, &b).is_err());
+        let v = Tensor::ones(&[3]);
+        assert!(executor.matmul(&v, &b).is_err());
+    }
+
+    #[test]
+    fn set_fault_map_and_policy_take_effect() {
+        let config = config();
+        let mut executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let a = Tensor::ones(&[1, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let clean = executor.matmul(&a, &b).unwrap();
+
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 0), 15, StuckAt::One)],
+        )
+        .unwrap();
+        executor.set_fault_map(fault_map);
+        let faulty = executor.matmul(&a, &b).unwrap();
+        assert!(max_abs_diff(&clean, &faulty) > 1.0);
+
+        executor.set_bypass_policy(BypassPolicy::SkipFaulty);
+        assert_eq!(executor.bypass_policy(), BypassPolicy::SkipFaulty);
+        let bypassed = executor.matmul(&a, &b).unwrap();
+        assert!(max_abs_diff(&clean, &bypassed) <= 0.5 + 1e-3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the systolic-array fault model.
+
+use falvolt_systolic::executor::BypassPolicy;
+use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig, SystolicExecutor, WeightMapping};
+use falvolt_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_grid() -> impl Strategy<Value = SystolicConfig> {
+    (2usize..8, 2usize..8).prop_map(|(r, c)| SystolicConfig::new(r, c).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fault_rate_matches_requested_pe_count(config in small_grid(), seed in 0u64..1000, frac in 0.0f64..1.0) {
+        let faulty = (frac * config.pe_count() as f64) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = FaultMap::random_faulty_pes(&config, faulty, 0, StuckAt::Zero, &mut rng).unwrap();
+        prop_assert_eq!(map.faulty_pe_count(), faulty);
+        prop_assert!((map.fault_rate() - config.fault_rate_for(faulty)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_mask_zero_fraction_equals_pruned_indices(
+        config in small_grid(),
+        seed in 0u64..1000,
+        out_dim in 1usize..20,
+        in_dim in 1usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faulty = config.pe_count() / 3;
+        let map = FaultMap::random_faulty_pes(&config, faulty, 15, StuckAt::One, &mut rng).unwrap();
+        let mapping = WeightMapping::new(&config);
+        let mask = mapping.prune_mask(out_dim, in_dim, &map);
+        let zeros = mask.data().iter().filter(|&&v| v == 0.0).count();
+        prop_assert_eq!(zeros, mapping.pruned_indices(out_dim, in_dim, &map).len());
+    }
+
+    #[test]
+    fn empty_fault_map_executor_is_close_to_float(config in small_grid(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = config.rows() + 1;
+        let n = config.cols() + 2;
+        let a = falvolt_tensor::init::uniform(&[3, k], 0.0, 1.0, &mut rng);
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.5, 0.5, &mut rng);
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let sys = executor.matmul(&a, &b).unwrap();
+        let float = executor.clean_matmul(&a, &b).unwrap();
+        let tolerance = k as f32 / 256.0 + 1e-3;
+        for (x, y) in sys.data().iter().zip(float.data()) {
+            prop_assert!((x - y).abs() <= tolerance, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn bypass_error_is_bounded_by_skipped_weight_mass(config in small_grid(), seed in 0u64..1000) {
+        // With SkipFaulty bypass, the deviation from the clean product is at
+        // most the sum of |weights| mapped to faulty PEs (per output), never
+        // the catastrophic MSB corruption.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faulty = (config.pe_count() / 4).max(1);
+        let map = FaultMap::random_faulty_pes(&config, faulty, 15, StuckAt::One, &mut rng).unwrap();
+        let k = config.rows();
+        let n = config.cols();
+        let a = Tensor::ones(&[2, k]);
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.5, 0.5, &mut rng);
+        let executor = SystolicExecutor::with_bypass(config, map.clone(), BypassPolicy::SkipFaulty);
+        let out = executor.matmul(&a, &b).unwrap();
+        let clean = executor.clean_matmul(&a, &b).unwrap();
+        let mapping = WeightMapping::new(&config);
+        for j in 0..n {
+            let skipped_mass: f32 = (0..k)
+                .filter(|&p| map.is_faulty(mapping.pe_for(j, p)))
+                .map(|p| b.get(&[p, j]).abs())
+                .sum();
+            for i in 0..2 {
+                let diff = (out.get(&[i, j]) - clean.get(&[i, j])).abs();
+                prop_assert!(diff <= skipped_mass + k as f32 / 256.0 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn msb_stuck_at_one_never_underestimates_lsb_damage(seed in 0u64..500) {
+        // Aggregate property behind Figure 5a: for the same fault location
+        // pattern, an MSB stuck-at-1 fault perturbs the output at least as
+        // much as the same fault in the LSB.
+        let config = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pes = FaultMap::random_faulty_pes(&config, 2, 0, StuckAt::One, &mut rng).unwrap();
+        let faults_lsb = pes.faults().to_vec();
+        let faults_msb: Vec<_> = faults_lsb
+            .iter()
+            .map(|f| falvolt_systolic::Fault::new(f.pe, config.accumulator_format().msb(), f.kind))
+            .collect();
+        let map_lsb = FaultMap::from_faults(config, faults_lsb).unwrap();
+        let map_msb = FaultMap::from_faults(config, faults_msb).unwrap();
+
+        let a = Tensor::ones(&[2, 4]);
+        let b = falvolt_tensor::init::uniform(&[4, 4], 0.0, 0.5, &mut rng);
+        let clean = falvolt_tensor::ops::matmul(&a, &b).unwrap();
+        let lsb_out = SystolicExecutor::new(config, map_lsb).matmul(&a, &b).unwrap();
+        let msb_out = SystolicExecutor::new(config, map_msb).matmul(&a, &b).unwrap();
+        let lsb_err: f32 = lsb_out
+            .data()
+            .iter()
+            .zip(clean.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        let msb_err: f32 = msb_out
+            .data()
+            .iter()
+            .zip(clean.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        prop_assert!(msb_err + 1e-3 >= lsb_err, "msb {} < lsb {}", msb_err, lsb_err);
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements implied
+    /// by the shape.
+    DataLengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The tensor does not have the number of dimensions the operation needs.
+    RankMismatch {
+        /// Expected number of dimensions.
+        expected: usize,
+        /// Actual number of dimensions.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A convolution/pooling configuration is invalid for the given input.
+    InvalidConvConfig {
+        /// Human readable description of what was wrong.
+        reason: String,
+    },
+    /// A generic invalid-argument error with a description.
+    InvalidArgument {
+        /// Human readable description of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected a rank-{expected} tensor, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor with {from} elements into shape with {to} elements"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidConvConfig { reason } => {
+                write!(f, "invalid convolution configuration: {reason}")
+            }
+            TensorError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = TensorError::DataLengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(err.to_string().contains('6'));
+        assert!(err.to_string().contains('5'));
+
+        let err = TensorError::MatmulDimMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        assert!(err.to_string().contains("columns"));
+
+        let err = TensorError::InvalidConvConfig {
+            reason: "kernel larger than input".into(),
+        };
+        assert!(err.to_string().contains("kernel larger"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! Random tensor initializers.
+//!
+//! The SNN layers use Kaiming-style initialisation (the PLIF reference
+//! implementation the paper builds on does the same); the synthetic datasets
+//! use uniform noise. All initialisers take an explicit RNG so experiments are
+//! reproducible from a seed.
+
+use crate::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Samples every element from `U(low, high)`.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_tensor::init;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = init::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+/// assert!(t.data().iter().all(|v| (-1.0..1.0).contains(v)));
+/// ```
+pub fn uniform(shape: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    let dist = Uniform::new(low, high);
+    Tensor::from_fn(shape, |_| dist.sample(rng))
+}
+
+/// Samples every element from a normal distribution `N(mean, std^2)` using the
+/// Box-Muller transform (avoids needing `rand_distr`).
+pub fn normal(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| mean + std * sample_standard_normal(rng))
+}
+
+/// Kaiming/He uniform initialisation for a weight of shape
+/// `[fan_out, fan_in]`: `U(-bound, bound)` with `bound = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform(fan_out: usize, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be non-zero");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    uniform(&[fan_out, fan_in], -bound, bound, rng)
+}
+
+/// Samples one standard-normal value via Box-Muller.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = uniform(&[100], -0.5, 0.5, &mut rng);
+        assert!(a.data().iter().all(|v| (-0.5..0.5).contains(v)));
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let b = uniform(&[100], -0.5, 0.5, &mut rng2);
+        assert_eq!(a, b, "same seed must reproduce the same tensor");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = normal(&[10_000], 2.0, 0.5, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_uniform(8, 600, &mut rng);
+        let bound = (6.0f32 / 600.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        assert_eq!(t.shape(), &[8, 600]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn kaiming_rejects_zero_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = kaiming_uniform(8, 0, &mut rng);
+    }
+}

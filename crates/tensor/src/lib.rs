@@ -1,0 +1,48 @@
+//! # falvolt-tensor
+//!
+//! Dense `f32` tensor and linear-algebra substrate for the FalVolt
+//! systolic-array SNN reproduction.
+//!
+//! The crate deliberately implements only what the rest of the workspace
+//! needs, from scratch and without external array libraries:
+//!
+//! * an owned, row-major, dynamically shaped [`Tensor`],
+//! * element-wise arithmetic and mapping helpers,
+//! * 2-D matrix multiplication and transposition ([`ops`]),
+//! * `im2col`/`col2im` and convolution / pooling kernels used by the SNN
+//!   layers ([`ops`]),
+//! * reductions and classification helpers ([`reduce`]),
+//! * random initializers ([`init`]).
+//!
+//! # Example
+//!
+//! ```
+//! use falvolt_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), falvolt_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::ones(&[3, 2]);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.get(&[0, 0]), 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+pub mod reduce;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,196 @@
+//! Reductions and classification helpers.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Returns the sum of all elements.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_tensor::{reduce, Tensor};
+///
+/// let t = Tensor::ones(&[2, 3]);
+/// assert_eq!(reduce::sum(&t), 6.0);
+/// ```
+pub fn sum(t: &Tensor) -> f32 {
+    t.data().iter().sum()
+}
+
+/// Returns the arithmetic mean of all elements (`0.0` for empty tensors).
+pub fn mean(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum(t) / t.len() as f32
+    }
+}
+
+/// Returns the maximum element (`f32::NEG_INFINITY` for empty tensors).
+pub fn max(t: &Tensor) -> f32 {
+    t.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Returns the minimum element (`f32::INFINITY` for empty tensors).
+pub fn min(t: &Tensor) -> f32 {
+    t.data().iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Sums a `[N, M]` matrix over its rows, producing `[M]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+        });
+    }
+    let (n, m) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; m];
+    for i in 0..n {
+        for j in 0..m {
+            out[j] += t.data()[i * m + j];
+        }
+    }
+    Tensor::from_vec(vec![m], out)
+}
+
+/// Averages a `[N, M]` matrix over its rows, producing `[M]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn mean_axis0(t: &Tensor) -> Result<Tensor> {
+    let n = if t.ndim() == 2 { t.shape()[0] } else { 0 };
+    let mut s = sum_axis0(t)?;
+    if n > 0 {
+        s.scale_inplace(1.0 / n as f32);
+    }
+    Ok(s)
+}
+
+/// Returns the per-row argmax of a `[N, M]` matrix.
+///
+/// Ties resolve to the lowest index, matching the behaviour expected of a
+/// classifier readout.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix inputs.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    if t.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.ndim(),
+        });
+    }
+    let (n, m) = (t.shape()[0], t.shape()[1]);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &t.data()[i * m..(i + 1) * m];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Builds a `[N, classes]` one-hot matrix from class labels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when any label is out of range.
+pub fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor> {
+    let mut out = vec![0.0f32; labels.len() * classes];
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(TensorError::InvalidArgument {
+                reason: format!("label {label} out of range for {classes} classes"),
+            });
+        }
+        out[i * classes + label] = 1.0;
+    }
+    Tensor::from_vec(vec![labels.len(), classes], out)
+}
+
+/// Fraction of rows of `scores` (shape `[N, classes]`) whose argmax equals the
+/// corresponding label.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when the number of labels differs
+/// from the number of rows.
+pub fn classification_accuracy(scores: &Tensor, labels: &[usize]) -> Result<f32> {
+    let predictions = argmax_rows(scores)?;
+    if predictions.len() != labels.len() {
+        return Err(TensorError::InvalidArgument {
+            reason: format!(
+                "{} predictions but {} labels",
+                predictions.len(),
+                labels.len()
+            ),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, -2.0, 3.0, 0.5]).unwrap();
+        assert_eq!(sum(&t), 2.5);
+        assert_eq!(mean(&t), 0.625);
+        assert_eq!(max(&t), 3.0);
+        assert_eq!(min(&t), -2.0);
+        let empty = Tensor::zeros(&[0]);
+        assert_eq!(mean(&empty), 0.0);
+    }
+
+    #[test]
+    fn axis0_reductions() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(sum_axis0(&t).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(mean_axis0(&t).unwrap().data(), &[2.5, 3.5, 4.5]);
+        assert!(sum_axis0(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_ties() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 3.0, 3.0, 0.0, -1.0, 2.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn one_hot_encodes_and_validates() {
+        let t = one_hot(&[0, 2], 3).unwrap();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let scores =
+            Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let acc = classification_accuracy(&scores, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+        assert!(classification_accuracy(&scores, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the tensor substrate.
+
+use falvolt_tensor::{ops, reduce, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |v| (r, c, v))
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative((r, c, data) in small_matrix(), scale in -3.0f32..3.0) {
+        let a = Tensor::from_vec(vec![r, c], data.clone()).unwrap();
+        let b = a.mul_scalar(scale);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn transpose_is_involutive((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        let t = ops::transpose2d(&a).unwrap();
+        let tt = ops::transpose2d(&t).unwrap();
+        prop_assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        let identity = Tensor::from_fn(&[c, c], |i| if i / c == i % c { 1.0 } else { 0.0 });
+        let prod = ops::matmul(&a, &identity).unwrap();
+        for (x, y) in a.data().iter().zip(prod.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (r, k, a_data) in small_matrix(),
+        scale in -2.0f32..2.0,
+        cols in 1usize..5,
+    ) {
+        let a = Tensor::from_vec(vec![r, k], a_data).unwrap();
+        let b = Tensor::from_fn(&[k, cols], |i| ((i * 7 % 13) as f32 - 6.0) * 0.3);
+        let c = b.mul_scalar(scale);
+        let left = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let right = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn sum_matches_axis0_sum((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        let total = reduce::sum(&a);
+        let by_axis = reduce::sum(&reduce::sum_axis0(&a).unwrap());
+        prop_assert!((total - by_axis).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reshape_preserves_sum((r, c, data) in small_matrix()) {
+        let a = Tensor::from_vec(vec![r, c], data).unwrap();
+        let b = a.reshape(&[c * r]).unwrap();
+        prop_assert!((reduce::sum(&a) - reduce::sum(&b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(labels in proptest::collection::vec(0usize..10, 1..20)) {
+        let t = reduce::one_hot(&labels, 10).unwrap();
+        for i in 0..labels.len() {
+            let row = t.slice_axis0(i, i + 1).unwrap();
+            prop_assert!((reduce::sum(&row) - 1.0).abs() < 1e-6);
+        }
+        prop_assert_eq!(reduce::argmax_rows(&t).unwrap(), labels);
+    }
+
+    #[test]
+    fn avg_pool_preserves_mean(n in 1usize..3, c in 1usize..3) {
+        let t = Tensor::from_fn(&[n, c, 4, 4], |i| (i % 17) as f32 * 0.25);
+        let pooled = ops::avg_pool2d_forward(&t, 2).unwrap();
+        prop_assert!((reduce::mean(&t) - reduce::mean(&pooled)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Mitigation comparison: FaP vs FaPIT vs FalVolt (the paper's Figures 6-8).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mitigation_comparison
+//! ```
+
+use falvolt::experiment::{
+    convergence_experiment, mitigation_comparison, DatasetKind, ExperimentContext,
+    ExperimentScale,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fault mitigation comparison (Figures 6, 7, 8) ==");
+    let scale = ExperimentScale::Tiny;
+    let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, scale, 42)?;
+    println!(
+        "baseline accuracy on {}: {:.1}%",
+        ctx.kind().label(),
+        ctx.baseline_accuracy() * 100.0
+    );
+
+    // Figure 7 (and 6): accuracy of each strategy at several fault rates,
+    // plus the per-layer thresholds FalVolt learns.
+    let fault_rates = [0.10, 0.30];
+    let epochs = scale.retrain_epochs();
+    let report = mitigation_comparison(&mut ctx, &fault_rates, epochs)?;
+    println!("\n-- Figure 7: accuracy after mitigation --");
+    println!("  fault rate | strategy | accuracy");
+    for row in &report.rows {
+        println!(
+            "  {:>9.0}% | {:<8} | {:>5.1}%",
+            row.fault_rate * 100.0,
+            row.strategy,
+            row.accuracy * 100.0
+        );
+    }
+    println!("\n-- Figure 6: per-layer thresholds learned by FalVolt --");
+    for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
+        println!("  fault rate {:.0}%:", row.fault_rate * 100.0);
+        for (layer, v) in &row.thresholds {
+            println!("    {layer:12} V = {v:.3}");
+        }
+    }
+
+    // Figure 8: convergence speed of FaPIT vs FalVolt at 30% faulty PEs.
+    let convergence = convergence_experiment(&mut ctx, 0.30, epochs)?;
+    println!("\n-- Figure 8: accuracy vs retraining epochs (30% faulty PEs) --");
+    println!("  epoch |  FaPIT  | FalVolt");
+    for (fapit, falvolt) in convergence.fapit.iter().zip(&convergence.falvolt) {
+        println!(
+            "  {:>5} | {:>6.1}% | {:>6.1}%",
+            fapit.epoch,
+            fapit.test_accuracy * 100.0,
+            falvolt.test_accuracy * 100.0
+        );
+    }
+    let (fapit_epochs, falvolt_epochs) = convergence.epochs_to_fraction_of_baseline(0.95);
+    println!(
+        "  epochs to reach 95% of baseline: FaPIT {:?}, FalVolt {:?}",
+        fapit_epochs, falvolt_epochs
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Quickstart: train a small spiking network, break the accelerator with
+//! stuck-at faults, and repair it with FalVolt.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+use falvolt::mitigation::{MitigationStrategy, Mitigator, RetrainConfig};
+use falvolt::vulnerability::accuracy_under_faults;
+use falvolt_systolic::{FaultMap, StuckAt};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== FalVolt quickstart ==");
+    println!("1. generating a synthetic MNIST-like dataset and training a PLIF-SNN baseline...");
+    let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, ExperimentScale::Tiny, 42)?;
+    println!(
+        "   baseline accuracy (fault-free): {:.1}%",
+        ctx.baseline_accuracy() * 100.0
+    );
+
+    // A chip whose post-fabrication test found stuck-at-1 faults in the
+    // accumulator MSB of 30% of its PEs.
+    let systolic = *ctx.systolic_config();
+    let mut rng = StdRng::seed_from_u64(7);
+    let fault_map = FaultMap::random_with_rate(
+        &systolic,
+        0.30,
+        systolic.accumulator_format().msb(),
+        StuckAt::One,
+        &mut rng,
+    )?;
+    println!("2. injecting faults: {fault_map}");
+
+    // Faulty inference without any mitigation.
+    ctx.restore_baseline()?;
+    let test = ctx.test_batches().to_vec();
+    let faulty_accuracy =
+        accuracy_under_faults(ctx.network_mut(), systolic, fault_map.clone(), &test)?;
+    println!(
+        "   accuracy with faults active and unmitigated: {:.1}%",
+        faulty_accuracy * 100.0
+    );
+
+    // FalVolt: prune the weights mapped to faulty PEs, retrain with per-layer
+    // learnable threshold voltages.
+    println!("3. running FalVolt mitigation (Algorithm 1)...");
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::quick());
+    ctx.restore_baseline()?;
+    let train = ctx.train_batches().to_vec();
+    let outcome = mitigator.run(
+        ctx.network_mut(),
+        &fault_map,
+        &train,
+        &test,
+        MitigationStrategy::falvolt(ExperimentScale::Tiny.retrain_epochs()),
+    )?;
+
+    println!(
+        "   accuracy right after fault-aware pruning: {:.1}%",
+        outcome.accuracy_after_pruning * 100.0
+    );
+    println!(
+        "   accuracy after FalVolt retraining:        {:.1}%",
+        outcome.final_accuracy * 100.0
+    );
+    println!("   learned per-layer threshold voltages:");
+    for (layer, v) in &outcome.thresholds {
+        println!("     {layer:12} V = {v:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # falvolt-suite
+//!
+//! Umbrella crate of the FalVolt reproduction workspace. It re-exports the
+//! member crates so that the examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`) have a single dependency, and so that a
+//! downstream user can depend on one crate and reach the whole stack.
+//!
+//! * [`tensor`] — dense tensor substrate,
+//! * [`fixedpoint`] — Q-format fixed-point arithmetic,
+//! * [`systolic`] — systolic-array accelerator simulator with stuck-at fault
+//!   injection,
+//! * [`snn`] — spiking-neural-network library (PLIF neurons, BPTT),
+//! * [`datasets`] — synthetic MNIST / N-MNIST / DVS-Gesture stand-ins,
+//! * [`core`] — FalVolt itself: pruning, mitigation, vulnerability analysis
+//!   and figure-level experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use falvolt_suite::snn::config::ArchitectureConfig;
+//!
+//! # fn main() -> Result<(), falvolt_suite::snn::SnnError> {
+//! let network = ArchitectureConfig::tiny_test().build(1)?;
+//! assert!(!network.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The FalVolt core crate: mitigation, vulnerability analysis, experiments.
+pub use falvolt as core;
+/// Synthetic dataset generators.
+pub use falvolt_datasets as datasets;
+/// Fixed-point arithmetic.
+pub use falvolt_fixedpoint as fixedpoint;
+/// Spiking-neural-network library.
+pub use falvolt_snn as snn;
+/// Systolic-array accelerator simulator.
+pub use falvolt_systolic as systolic;
+/// Dense tensor substrate.
+pub use falvolt_tensor as tensor;

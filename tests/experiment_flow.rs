@@ -1,0 +1,91 @@
+//! End-to-end experiment-flow integration test: dataset generation, baseline
+//! training, fault injection, and all three mitigation strategies, exercised
+//! exactly the way the benchmark harness drives them (at the Tiny scale).
+
+use falvolt::experiment::{
+    convergence_experiment, faulty_pe_experiment, mitigation_comparison, DatasetKind,
+    ExperimentContext, ExperimentScale,
+};
+
+#[test]
+fn mnist_like_experiment_flow_reproduces_the_papers_shape() {
+    let scale = ExperimentScale::Tiny;
+    let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, scale, 42)
+        .expect("experiment preparation must succeed");
+
+    // The fault-free baseline must be far above the 10% chance level — the
+    // paper's baseline is 99%; the Tiny synthetic setup should reach at least
+    // 60% with its handful of samples and epochs.
+    let baseline = ctx.baseline_accuracy();
+    assert!(
+        baseline >= 0.6,
+        "baseline accuracy {baseline} too low for the experiment to be meaningful"
+    );
+
+    // Figure 5b shape: more faulty PEs (MSB stuck-at-1) never help, and a
+    // substantial number of faulty PEs causes a visible drop.
+    let report = faulty_pe_experiment(&mut ctx, &[0, 32]).expect("faulty-PE sweep");
+    let clean = report.series.points[0].accuracy;
+    let heavy = report.series.points[1].accuracy;
+    assert!(
+        heavy <= clean + 0.05,
+        "32 faulty PEs ({heavy}) should not beat the clean array ({clean})"
+    );
+
+    // Figures 6/7 shape: FalVolt >= FaPIT >= FaP (within a small tolerance)
+    // and FalVolt recovers most of the baseline at a 30% fault rate.
+    let epochs = scale.retrain_epochs();
+    let comparison =
+        mitigation_comparison(&mut ctx, &[0.30], epochs).expect("mitigation comparison");
+    let accuracy_of = |strategy: &str| {
+        comparison
+            .rows
+            .iter()
+            .find(|r| r.strategy == strategy)
+            .map(|r| r.accuracy)
+            .expect("strategy present")
+    };
+    let fap = accuracy_of("FaP");
+    let fapit = accuracy_of("FaPIT");
+    let falvolt = accuracy_of("FalVolt");
+    assert!(
+        falvolt + 0.05 >= fapit,
+        "FalVolt ({falvolt}) should not trail FaPIT ({fapit}) by more than noise"
+    );
+    assert!(
+        falvolt >= fap,
+        "FalVolt ({falvolt}) must beat pruning-only FaP ({fap})"
+    );
+    assert!(
+        falvolt >= baseline - 0.3,
+        "FalVolt ({falvolt}) should recover most of the baseline ({baseline})"
+    );
+
+    // Figure 6 shape: FalVolt actually learned per-layer thresholds (at least
+    // one layer moved away from the initial 1.0).
+    let falvolt_row = comparison
+        .rows
+        .iter()
+        .find(|r| r.strategy == "FalVolt")
+        .unwrap();
+    assert!(
+        falvolt_row
+            .thresholds
+            .iter()
+            .any(|(_, v)| (*v - 1.0).abs() > 1e-3),
+        "FalVolt should adapt at least one layer threshold, got {:?}",
+        falvolt_row.thresholds
+    );
+
+    // Figure 8 shape: per-epoch histories exist for both strategies and
+    // FalVolt's final point is at least as good as FaPIT's.
+    let convergence = convergence_experiment(&mut ctx, 0.30, epochs).expect("convergence");
+    assert_eq!(convergence.fapit.len(), epochs + 1);
+    assert_eq!(convergence.falvolt.len(), epochs + 1);
+    let fapit_final = convergence.fapit.last().unwrap().test_accuracy;
+    let falvolt_final = convergence.falvolt.last().unwrap().test_accuracy;
+    assert!(
+        falvolt_final + 0.1 >= fapit_final,
+        "FalVolt convergence ({falvolt_final}) should keep up with FaPIT ({fapit_final})"
+    );
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property-based tests on the core invariants of the
+//! reproduction.
+
+use falvolt::prune::PruneMasks;
+use falvolt_snn::config::ArchitectureConfig;
+use falvolt_snn::neuron::NeuronConfig;
+use falvolt_snn::{Mode, SpikingNetwork};
+use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig};
+use falvolt_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_network(threshold: f32) -> SpikingNetwork {
+    ArchitectureConfig::tiny_test()
+        .with_neuron(NeuronConfig::paper_default().with_threshold(threshold))
+        .build(5)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn network_outputs_are_valid_firing_rates(seed in 0u64..50, amplitude in 0.0f32..2.0) {
+        let mut network = tiny_network(1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, amplitude.max(0.01), &mut rng);
+        let rates = network.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(rates.shape(), &[2, 4]);
+        // Firing rates are averages of binary spikes over T steps.
+        for &r in rates.data() {
+            prop_assert!((0.0..=1.0).contains(&r));
+            let scaled = r * network.time_steps() as f32;
+            prop_assert!((scaled - scaled.round()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic(seed in 0u64..50) {
+        let mut network = tiny_network(1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = falvolt_tensor::init::uniform(&[3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let a = network.forward(&input, Mode::Eval).unwrap();
+        let b = network.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raising_the_threshold_never_increases_total_spiking(seed in 0u64..30) {
+        // Single forward pass: a higher threshold voltage can only suppress
+        // spikes, never create them (monotonicity of Eq. 1).
+        let mut low = tiny_network(0.5);
+        let mut high = tiny_network(1.5);
+        // Identical weights (same build seed), only the threshold differs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.5, &mut rng);
+        let low_rates = low.forward(&input, Mode::Eval).unwrap();
+        let high_rates = high.forward(&input, Mode::Eval).unwrap();
+        let low_total: f32 = low_rates.data().iter().sum();
+        let high_total: f32 = high_rates.data().iter().sum();
+        prop_assert!(
+            high_total <= low_total + 1e-5,
+            "threshold 1.5 produced more output spikes ({}) than 0.5 ({})",
+            high_total,
+            low_total
+        );
+    }
+
+    #[test]
+    fn prune_fraction_tracks_fault_rate(seed in 0u64..50, rate in 0.0f64..0.9) {
+        let mut network = tiny_network(1.0);
+        let systolic = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fault_map =
+            FaultMap::random_with_rate(&systolic, rate, 15, StuckAt::One, &mut rng).unwrap();
+        let masks = PruneMasks::derive(&mut network, &fault_map);
+        // The realized PE fault rate (after rounding to an integer PE count).
+        let realized = fault_map.fault_rate();
+        // For layers larger than the array the pruned fraction equals the PE
+        // fault rate; small layers can deviate, so allow a generous band.
+        prop_assert!((masks.pruned_fraction() - realized).abs() < 0.30);
+        // Applying masks twice is idempotent.
+        masks.apply(&mut network).unwrap();
+        let after_once: Vec<Tensor> = network.export_parameters();
+        masks.apply(&mut network).unwrap();
+        prop_assert_eq!(after_once, network.export_parameters());
+    }
+
+    #[test]
+    fn fault_free_prune_masks_are_identity(seed in 0u64..20) {
+        let mut network = tiny_network(1.0);
+        let systolic = SystolicConfig::new(8, 8).unwrap();
+        let before = network.export_parameters();
+        let masks = PruneMasks::derive(&mut network, &FaultMap::new(systolic));
+        masks.apply(&mut network).unwrap();
+        prop_assert_eq!(before, network.export_parameters());
+        let _ = seed;
+    }
+}
