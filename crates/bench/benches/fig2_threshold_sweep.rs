@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
     // Regenerate the figure series.
     let report = threshold_sweep(&mut ctx, &[0.45, 0.55, 0.7, 1.0], &[0.30, 0.60], epochs)
         .expect("figure 2 sweep");
-    println!("\nFigure 2 — fixed-threshold retraining ({}):", report.dataset);
+    println!(
+        "\nFigure 2 — fixed-threshold retraining ({}):",
+        report.dataset
+    );
     println!("  threshold | fault rate | accuracy");
     for row in &report.rows {
         println!(

@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     let msb = ctx.systolic_config().accumulator_format().msb();
 
     let report = bit_position_experiment(&mut ctx, &[0, 4, 8, 12, msb], 8).expect("figure 5a");
-    println!("\nFigure 5a — accuracy vs fault bit location ({}):", report.dataset);
+    println!(
+        "\nFigure 5a — accuracy vs fault bit location ({}):",
+        report.dataset
+    );
     for series in &report.series {
         print_series("  series", "bit", series);
     }
@@ -25,18 +28,13 @@ fn bench(c: &mut Criterion) {
     // Kernel benchmark: one evaluation pass with MSB stuck-at-1 faults.
     let systolic = *ctx.systolic_config();
     let mut rng = StdRng::seed_from_u64(2);
-    let fault_map =
-        FaultMap::random_faulty_pes(&systolic, 8, msb, StuckAt::One, &mut rng).unwrap();
+    let fault_map = FaultMap::random_faulty_pes(&systolic, 8, msb, StuckAt::One, &mut rng).unwrap();
     let test = ctx.test_batches().to_vec();
     c.bench_function("fig5a/faulty_inference_eval", |b| {
         b.iter(|| {
-            let accuracy = accuracy_under_faults(
-                ctx.network_mut(),
-                systolic,
-                fault_map.clone(),
-                &test,
-            )
-            .unwrap();
+            let accuracy =
+                accuracy_under_faults(ctx.network_mut(), systolic, fault_map.clone(), &test)
+                    .unwrap();
             criterion::black_box(accuracy)
         })
     });

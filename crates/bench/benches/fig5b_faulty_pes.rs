@@ -13,8 +13,7 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
-    let report =
-        faulty_pe_experiment(&mut ctx, &[0, 4, 8, 16, 32, 64]).expect("figure 5b sweep");
+    let report = faulty_pe_experiment(&mut ctx, &[0, 4, 8, 16, 32, 64]).expect("figure 5b sweep");
     println!("\nFigure 5b — accuracy vs faulty PEs ({}):", report.dataset);
     println!("  baseline: {:.1}%", report.baseline_accuracy * 100.0);
     print_series("  series", "faulty PEs", &report.series);

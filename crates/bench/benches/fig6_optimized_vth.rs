@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
     let epochs = ExperimentScale::Tiny.retrain_epochs();
     let report =
         mitigation_comparison(&mut ctx, &[0.10, 0.30], epochs).expect("figure 6 comparison");
-    println!("\nFigure 6 — optimized threshold voltages ({}):", report.dataset);
+    println!(
+        "\nFigure 6 — optimized threshold voltages ({}):",
+        report.dataset
+    );
     for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
         let thresholds: Vec<String> = row
             .thresholds

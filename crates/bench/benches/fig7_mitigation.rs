@@ -16,8 +16,8 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
-    let report = mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs)
-        .expect("figure 7 comparison");
+    let report =
+        mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs).expect("figure 7 comparison");
     println!("\nFigure 7 — mitigation comparison ({}):", report.dataset);
     println!("  baseline: {}", pct(report.baseline_accuracy));
     println!("  fault rate | strategy | accuracy");

@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
     let report = convergence_experiment(&mut ctx, 0.30, epochs).expect("figure 8 convergence");
-    println!("\nFigure 8 — convergence at 30% faulty PEs ({}):", report.dataset);
+    println!(
+        "\nFigure 8 — convergence at 30% faulty PEs ({}):",
+        report.dataset
+    );
     println!("  epoch |  FaPIT  | FalVolt");
     for (fapit, falvolt) in report.fapit.iter().zip(&report.falvolt) {
         println!(

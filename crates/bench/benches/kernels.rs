@@ -66,7 +66,10 @@ fn surrogate_ablation(c: &mut Criterion) {
         ("triangular_gamma_1.0", Surrogate::Triangular { gamma: 1.0 }),
         ("triangular_gamma_2.0", Surrogate::Triangular { gamma: 2.0 }),
         ("atan_alpha_2.0", Surrogate::Atan { alpha: 2.0 }),
-        ("fast_sigmoid_alpha_4", Surrogate::FastSigmoid { alpha: 4.0 }),
+        (
+            "fast_sigmoid_alpha_4",
+            Surrogate::FastSigmoid { alpha: 4.0 },
+        ),
     ];
     for (name, surrogate) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(name), &surrogate, |b, &s| {
@@ -87,6 +90,162 @@ fn surrogate_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Seed-vs-kernel-layer comparison (emits BENCH_kernels.json)
+// ---------------------------------------------------------------------------
+
+/// The seed's executor inner loop (pre-`FoldPlan`), kept verbatim as the
+/// "before" baseline: per-element mask-tile lookups, every column through the
+/// quantized chain, no parallelism, no clean-column fast path.
+fn seed_executor_matmul(
+    config: &SystolicConfig,
+    fault_map: &FaultMap,
+    activations: &Tensor,
+    weights: &Tensor,
+) -> Tensor {
+    use falvolt_fixedpoint::Fixed;
+    use falvolt_systolic::PeCoord;
+
+    let (m, k) = (activations.shape()[0], activations.shape()[1]);
+    let n = weights.shape()[1];
+    let format = config.accumulator_format();
+    let rows = config.rows();
+    let cols = config.cols();
+    let fault_free = fault_map.is_empty();
+    let a = activations.data();
+    let w = weights.data();
+    let mut out = vec![0.0f32; m * n];
+    let mut mask_tile = vec![None; rows * cols];
+    if !fault_free {
+        for r in 0..rows {
+            for c in 0..cols {
+                mask_tile[r * cols + c] = fault_map.masks(PeCoord::new(r, c));
+            }
+        }
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let col_fold = j % cols;
+            let mut acc = Fixed::zero(format);
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                let masks = if fault_free {
+                    None
+                } else {
+                    mask_tile[(p % rows) * cols + col_fold]
+                };
+                if a_ip != 0.0 {
+                    let contribution = Fixed::from_f32(a_ip * w[p * n + j], format);
+                    acc = acc.saturating_add(contribution);
+                }
+                if let Some(masks) = masks {
+                    acc = masks.apply(acc);
+                }
+            }
+            out[i * n + j] = acc.to_f32();
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).unwrap()
+}
+
+/// Best-of-`reps` wall-clock time of `f`, in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        criterion::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the seed's naive matmul against the blocked-parallel kernel at
+/// 512x512x512 and the seed executor against the FoldPlan executor, then
+/// writes the machine-readable comparison to `BENCH_kernels.json` at the
+/// workspace root.
+fn kernel_comparison(c: &mut Criterion) {
+    use falvolt_tensor::kernels;
+
+    // --- matmul: naive vs blocked-parallel at 512^3 -----------------------
+    let (m, k, n) = (512usize, 512usize, 512usize);
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 2654435761 + 11) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    let b: Vec<f32> = (0..k * n)
+        .map(|i| ((i * 2246822519 + 7) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    let naive_s = best_of(5, || kernels::matmul_naive(&a, &b, m, k, n));
+    let blocked_s = best_of(5, || kernels::matmul(&a, &b, m, k, n));
+    let matmul_speedup = naive_s / blocked_s;
+
+    // --- executor: seed loop vs FoldPlan path on a faulty 16x16 array -----
+    let config = SystolicConfig::new(16, 16).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let fault_map = FaultMap::random_faulty_pes(
+        &config,
+        8,
+        config.accumulator_format().msb(),
+        StuckAt::One,
+        &mut rng,
+    )
+    .unwrap();
+    let (em, ek, en) = (128usize, 256usize, 256usize);
+    let acts = Tensor::from_fn(&[em, ek], |i| ((i % 3) == 0) as u8 as f32);
+    let wts = Tensor::from_fn(&[ek, en], |i| (i % 11) as f32 * 0.02 - 0.1);
+    let executor = SystolicExecutor::new(config, fault_map.clone());
+    let seed_s = best_of(3, || seed_executor_matmul(&config, &fault_map, &acts, &wts));
+    let foldplan_s = best_of(3, || executor.matmul(&acts, &wts).unwrap());
+    let executor_speedup = seed_s / foldplan_s;
+
+    // Same comparison with an empty fault map (the all-clean fast path).
+    let clean_executor = SystolicExecutor::new(config, FaultMap::new(config));
+    let empty_map = FaultMap::new(config);
+    let seed_clean_s = best_of(3, || seed_executor_matmul(&config, &empty_map, &acts, &wts));
+    let clean_s = best_of(3, || clean_executor.matmul(&acts, &wts).unwrap());
+
+    let threads = rayon::current_num_threads();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        naive_s * 1e3,
+        blocked_s * 1e3,
+        matmul_speedup,
+        seed_s * 1e3,
+        foldplan_s * 1e3,
+        executor_speedup,
+        seed_clean_s * 1e3,
+        clean_s * 1e3,
+        seed_clean_s / clean_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("kernel comparison written to BENCH_kernels.json:\n{json}");
+
+    // Register the same comparisons as criterion benchmarks for trend runs.
+    let mut group = c.benchmark_group("kernels/matmul_512");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("naive", |bch| {
+        bch.iter(|| criterion::black_box(kernels::matmul_naive(&a, &b, m, k, n)))
+    });
+    group.bench_function("blocked_parallel", |bch| {
+        bch.iter(|| criterion::black_box(kernels::matmul(&a, &b, m, k, n)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/executor_faulty");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("seed_loop", |bch| {
+        bch.iter(|| criterion::black_box(seed_executor_matmul(&config, &fault_map, &acts, &wts)))
+    });
+    group.bench_function("foldplan", |bch| {
+        bch.iter(|| criterion::black_box(executor.matmul(&acts, &wts).unwrap()))
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -97,6 +256,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = matmul_backends, im2col_lowering, surrogate_ablation
+    targets = kernel_comparison, matmul_backends, im2col_lowering, surrogate_ablation
 }
 criterion_main!(benches);

@@ -72,10 +72,7 @@ fn parse_args() -> Options {
 }
 
 fn wants(options: &Options, figure: &str) -> bool {
-    options
-        .figures
-        .iter()
-        .any(|f| f == "all" || f == figure)
+    options.figures.iter().any(|f| f == "all" || f == figure)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -102,12 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if wants(&options, "2") {
             println!("\n--- Figure 2: fixed-threshold retraining sweep ---");
-            let report = threshold_sweep(
-                &mut ctx,
-                &[0.45, 0.55, 0.7, 1.0],
-                &[0.30, 0.60],
-                epochs,
-            )?;
+            let report = threshold_sweep(&mut ctx, &[0.45, 0.55, 0.7, 1.0], &[0.30, 0.60], epochs)?;
             println!("  threshold | fault rate | accuracy");
             for row in &report.rows {
                 println!(

@@ -26,6 +26,7 @@ use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig};
 use falvolt_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------------
@@ -263,7 +264,8 @@ impl ExperimentContext {
     pub fn restore_baseline(&mut self) -> Result<()> {
         self.network.import_parameters(&self.baseline_state)?;
         self.network.set_thresholds_trainable(false);
-        self.network.set_backend(falvolt_snn::FloatBackend::shared());
+        self.network
+            .set_backend(falvolt_snn::FloatBackend::shared());
         Ok(())
     }
 
@@ -358,27 +360,40 @@ pub fn threshold_sweep(
 ) -> Result<ThresholdSweepReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
     let msb = ctx.systolic.accumulator_format().msb();
-    let mut rows = Vec::new();
+    // Draw fault maps sequentially (deterministic per-rate seeds), then run
+    // every (fault rate, threshold) retraining cell in parallel on its own
+    // clone of the trained baseline.
+    let mut cells = Vec::new();
     for &fault_rate in fault_rates {
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ (fault_rate.to_bits()));
         let fault_map =
             FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
         for &threshold in thresholds {
-            ctx.restore_baseline()?;
+            cells.push((fault_rate, fault_map.clone(), threshold));
+        }
+    }
+    ctx.restore_baseline()?;
+    let baseline = &ctx.network;
+    let (train, test) = (&ctx.train, &ctx.test);
+    let results: Vec<Result<ThresholdSweepRow>> = cells
+        .into_par_iter()
+        .map(|(fault_rate, fault_map, threshold)| {
+            let mut network = baseline.clone();
             let outcome = mitigator.run(
-                &mut ctx.network,
+                &mut network,
                 &fault_map,
-                &ctx.train,
-                &ctx.test,
+                train,
+                test,
                 MitigationStrategy::FaPIT { epochs, threshold },
             )?;
-            rows.push(ThresholdSweepRow {
+            Ok(ThresholdSweepRow {
                 threshold,
                 fault_rate,
                 accuracy: outcome.final_accuracy,
-            });
-        }
-    }
+            })
+        })
+        .collect();
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
     ctx.restore_baseline()?;
     Ok(ThresholdSweepReport {
         dataset: ctx.kind.label().to_string(),
@@ -483,13 +498,8 @@ pub fn array_size_experiment(
 ) -> Result<ArraySizeReport> {
     ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
-    let series = vulnerability::array_size_sweep(
-        &mut ctx.network,
-        sizes,
-        &ctx.test,
-        faulty_pes,
-        &config,
-    )?;
+    let series =
+        vulnerability::array_size_sweep(&mut ctx.network, sizes, &ctx.test, faulty_pes, &config)?;
     Ok(ArraySizeReport {
         dataset: ctx.kind.label().to_string(),
         faulty_pes,
@@ -544,28 +554,35 @@ pub fn mitigation_comparison(
         MitigationStrategy::fapit(epochs),
         MitigationStrategy::falvolt(epochs),
     ];
-    let mut rows = Vec::new();
+    // One retraining cell per (fault rate, strategy), all cells in parallel
+    // on clones of the trained baseline; fault maps drawn sequentially from
+    // deterministic per-rate seeds so worker count never changes results.
+    let mut cells = Vec::new();
     for &fault_rate in fault_rates {
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ fault_rate.to_bits().rotate_left(13));
         let fault_map =
             FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
         for strategy in strategies {
-            ctx.restore_baseline()?;
-            let outcome = mitigator.run(
-                &mut ctx.network,
-                &fault_map,
-                &ctx.train,
-                &ctx.test,
-                strategy,
-            )?;
-            rows.push(MitigationRow {
+            cells.push((fault_rate, fault_map.clone(), strategy));
+        }
+    }
+    ctx.restore_baseline()?;
+    let baseline = &ctx.network;
+    let (train, test) = (&ctx.train, &ctx.test);
+    let results: Vec<Result<MitigationRow>> = cells
+        .into_par_iter()
+        .map(|(fault_rate, fault_map, strategy)| {
+            let mut network = baseline.clone();
+            let outcome = mitigator.run(&mut network, &fault_map, train, test, strategy)?;
+            Ok(MitigationRow {
                 fault_rate,
                 strategy: outcome.strategy.clone(),
                 accuracy: outcome.final_accuracy,
                 thresholds: outcome.thresholds.clone(),
-            });
-        }
-    }
+            })
+        })
+        .collect();
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
     ctx.restore_baseline()?;
     Ok(MitigationComparisonReport {
         dataset: ctx.kind.label().to_string(),
@@ -598,10 +615,7 @@ impl ConvergenceReport {
     /// Epochs each strategy needs to reach `fraction` of the baseline
     /// accuracy: `(FaPIT, FalVolt)`. The paper's headline claim is that the
     /// FalVolt number is about half the FaPIT number.
-    pub fn epochs_to_fraction_of_baseline(
-        &self,
-        fraction: f32,
-    ) -> (Option<usize>, Option<usize>) {
+    pub fn epochs_to_fraction_of_baseline(&self, fraction: f32) -> (Option<usize>, Option<usize>) {
         let target = self.baseline_accuracy * fraction;
         let find = |history: &[EpochPoint]| {
             history
@@ -626,27 +640,38 @@ pub fn convergence_experiment(
 ) -> Result<ConvergenceReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
     let msb = ctx.systolic.accumulator_format().msb();
-    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF16_8);
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF168);
     let fault_map =
         FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
 
     ctx.restore_baseline()?;
-    let fapit = mitigator.run(
-        &mut ctx.network,
-        &fault_map,
-        &ctx.train,
-        &ctx.test,
-        MitigationStrategy::fapit(epochs),
-    )?;
-
-    ctx.restore_baseline()?;
-    let falvolt = mitigator.run(
-        &mut ctx.network,
-        &fault_map,
-        &ctx.train,
-        &ctx.test,
-        MitigationStrategy::falvolt(epochs),
-    )?;
+    // The two strategies are independent retraining runs: give each its own
+    // clone of the baseline and let them proceed side by side.
+    let baseline = &ctx.network;
+    let (train, test) = (&ctx.train, &ctx.test);
+    let (fapit, falvolt) = rayon::join(
+        || {
+            let mut network = baseline.clone();
+            mitigator.run(
+                &mut network,
+                &fault_map,
+                train,
+                test,
+                MitigationStrategy::fapit(epochs),
+            )
+        },
+        || {
+            let mut network = baseline.clone();
+            mitigator.run(
+                &mut network,
+                &fault_map,
+                train,
+                test,
+                MitigationStrategy::falvolt(epochs),
+            )
+        },
+    );
+    let (fapit, falvolt) = (fapit?, falvolt?);
     ctx.restore_baseline()?;
 
     Ok(ConvergenceReport {

@@ -374,7 +374,13 @@ mod tests {
 
         // FaP as the degradation reference.
         let fap = mitigator
-            .run(&mut network, &fault_map, &train, &test, MitigationStrategy::FaP)
+            .run(
+                &mut network,
+                &fault_map,
+                &train,
+                &test,
+                MitigationStrategy::FaP,
+            )
             .unwrap();
 
         network.import_parameters(&baseline_state).unwrap();
@@ -394,7 +400,11 @@ mod tests {
             falvolt.final_accuracy,
             fap.final_accuracy
         );
-        assert!(falvolt.final_accuracy >= 0.70, "FalVolt accuracy {}", falvolt.final_accuracy);
+        assert!(
+            falvolt.final_accuracy >= 0.70,
+            "FalVolt accuracy {}",
+            falvolt.final_accuracy
+        );
         // History recorded per epoch plus the post-pruning point.
         assert_eq!(falvolt.history.len(), 13);
         assert_eq!(falvolt.epochs_run, 12);
@@ -424,12 +434,24 @@ mod tests {
         let fault_map = FaultMap::new(systolic);
         let mitigator = Mitigator::new(classes, RetrainConfig::quick());
         assert!(mitigator
-            .run(&mut network, &fault_map, &[], &train, MitigationStrategy::FaP)
+            .run(
+                &mut network,
+                &fault_map,
+                &[],
+                &train,
+                MitigationStrategy::FaP
+            )
             .is_err());
         assert!(mitigator
-            .run(&mut network, &fault_map, &train, &[], MitigationStrategy::FaP)
+            .run(
+                &mut network,
+                &fault_map,
+                &train,
+                &[],
+                MitigationStrategy::FaP
+            )
             .is_err());
-        assert_eq!(mitigator.retrain_config().track_history, true);
+        assert!(mitigator.retrain_config().track_history);
     }
 
     #[test]
@@ -451,10 +473,13 @@ mod tests {
                 MitigationStrategy::fapit(4),
             )
             .unwrap();
-        assert!(fapit
-            .thresholds
-            .iter()
-            .all(|(_, v)| (*v - 1.0).abs() < 1e-6), "FaPIT must not move thresholds");
+        assert!(
+            fapit
+                .thresholds
+                .iter()
+                .all(|(_, v)| (*v - 1.0).abs() < 1e-6),
+            "FaPIT must not move thresholds"
+        );
 
         network.import_parameters(&baseline_state).unwrap();
         let falvolt = mitigator
@@ -466,9 +491,12 @@ mod tests {
                 MitigationStrategy::falvolt(4),
             )
             .unwrap();
-        assert!(falvolt
-            .thresholds
-            .iter()
-            .any(|(_, v)| (*v - 1.0).abs() > 1e-4), "FalVolt should adapt thresholds");
+        assert!(
+            falvolt
+                .thresholds
+                .iter()
+                .any(|(_, v)| (*v - 1.0).abs() > 1e-4),
+            "FalVolt should adapt thresholds"
+        );
     }
 }

@@ -217,7 +217,10 @@ mod tests {
         for ((_, mask), (_, weight)) in masks.layers().iter().zip(net.prunable_weights_mut()) {
             for (m, w) in mask.data().iter().zip(weight.value().data()) {
                 if *m == 0.0 {
-                    assert_eq!(*w, 0.0, "pruned weights must stay zero after re-application");
+                    assert_eq!(
+                        *w, 0.0,
+                        "pruned weights must stay zero after re-application"
+                    );
                 }
             }
         }

@@ -170,7 +170,10 @@ mod tests {
         assert_eq!(c.samples_per_class, 7);
         assert_eq!(c.size, 12);
         assert_eq!(c.time_steps, 5);
-        assert_eq!(DatasetConfig::default(), DatasetConfig::default_experiment());
+        assert_eq!(
+            DatasetConfig::default(),
+            DatasetConfig::default_experiment()
+        );
     }
 
     #[test]

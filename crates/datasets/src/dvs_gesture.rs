@@ -237,7 +237,10 @@ mod tests {
             .zip(west.data())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 10.0, "opposite translations must differ, diff {diff}");
+        assert!(
+            diff > 10.0,
+            "opposite translations must differ, diff {diff}"
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl GlyphBank {
     /// Panics if `size < 4` (templates need room for strokes).
     pub fn new(classes: usize, size: usize) -> Self {
         assert!(size >= 4, "glyph templates need at least a 4x4 grid");
-        let templates = (0..classes).map(|c| Self::build_template(c, size)).collect();
+        let templates = (0..classes)
+            .map(|c| Self::build_template(c, size))
+            .collect();
         Self {
             classes,
             size,
@@ -180,7 +182,10 @@ mod tests {
                     .zip(a.template(c2).data())
                     .map(|(x, y)| (x - y).abs())
                     .sum();
-                assert!(diff >= 4.0, "classes {c1} and {c2} are too similar ({diff})");
+                assert!(
+                    diff >= 4.0,
+                    "classes {c1} and {c2} are too similar ({diff})"
+                );
             }
         }
         assert_eq!(a.classes(), 10);

@@ -153,9 +153,7 @@ mod tests {
         let data = SyntheticNMnist::generate(&config, 2);
         let (events, _) = data.sample(0);
         let size = config.size;
-        let on_count: f32 = (0..size * size)
-            .map(|i| events.data()[i])
-            .sum();
+        let on_count: f32 = (0..size * size).map(|i| events.data()[i]).sum();
         let off_count: f32 = (0..size * size)
             .map(|i| events.data()[size * size + i])
             .sum();

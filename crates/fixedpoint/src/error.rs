@@ -31,7 +31,10 @@ impl fmt::Display for FixedPointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FixedPointError::InvalidWordWidth { total_bits } => {
-                write!(f, "unsupported fixed-point word width {total_bits} (must be 2..=32)")
+                write!(
+                    f,
+                    "unsupported fixed-point word width {total_bits} (must be 2..=32)"
+                )
             }
             FixedPointError::InvalidFractionalBits {
                 total_bits,

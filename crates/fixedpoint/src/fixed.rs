@@ -99,7 +99,7 @@ impl Fixed {
             .check_bit(bit)
             .expect("bit index validated by the fault map");
         let low = self.low_bits() | (1u32 << bit);
-        self.from_low_bits(low)
+        self.with_low_bits(low)
     }
 
     /// Returns the value with bit `bit` forced to `0` (stuck-at-0 fault).
@@ -112,14 +112,14 @@ impl Fixed {
             .check_bit(bit)
             .expect("bit index validated by the fault map");
         let low = self.low_bits() & !(1u32 << bit);
-        self.from_low_bits(low)
+        self.with_low_bits(low)
     }
 
     /// Applies an AND mask followed by an OR mask to the word — the composed
     /// effect of a PE's set of stuck-at faults.
     pub fn with_masks(self, and_mask: u32, or_mask: u32) -> Self {
         let low = (self.low_bits() & and_mask) | or_mask;
-        self.from_low_bits(low)
+        self.with_low_bits(low)
     }
 
     /// Returns bit `bit` of the word.
@@ -143,7 +143,7 @@ impl Fixed {
         (self.raw as u32) & mask
     }
 
-    fn from_low_bits(self, low: u32) -> Self {
+    fn with_low_bits(self, low: u32) -> Self {
         Self {
             raw: self.format.wrap_raw(low as i64),
             format: self.format,
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn f32_roundtrip_within_resolution() {
         let q = q16();
-        for v in [-100.0f32, -1.25, 0.0, 0.5, 3.1415, 120.0] {
+        for v in [-100.0f32, -1.25, 0.0, 0.5, 3.175, 120.0] {
             let fx = Fixed::from_f32(v, q);
             assert!((fx.to_f32() - v).abs() <= q.resolution());
         }

@@ -31,6 +31,10 @@ pub trait MatmulBackend: fmt::Debug + Send + Sync {
 
 /// The default floating-point backend (exact `f32` accumulation).
 ///
+/// Products execute on the shared blocked-parallel kernel layer
+/// ([`falvolt_tensor::kernels`], via [`ops::matmul`]), the same layer the
+/// systolic executor uses for its clean folds.
+///
 /// # Example
 ///
 /// ```

@@ -181,7 +181,9 @@ impl ArchitectureConfig {
     /// input size is not divisible by the total pooling factor.
     pub fn validate(&self) -> Result<()> {
         if self.conv_blocks == 0 {
-            return Err(SnnError::invalid_config("at least one conv block is required"));
+            return Err(SnnError::invalid_config(
+                "at least one conv block is required",
+            ));
         }
         if self.pool_blocks > self.conv_blocks {
             return Err(SnnError::invalid_config(format!(
@@ -190,7 +192,7 @@ impl ArchitectureConfig {
             )));
         }
         let factor = 1usize << self.pool_blocks;
-        if self.input_size % factor != 0 || self.input_size / factor == 0 {
+        if !self.input_size.is_multiple_of(factor) || self.input_size / factor == 0 {
             return Err(SnnError::invalid_config(format!(
                 "input size {} is not divisible by the pooling factor {}",
                 self.input_size, factor
@@ -266,7 +268,12 @@ impl ArchitectureConfig {
         if self.dropout > 0.0 {
             network.push(Dropout::new("dropout2", self.dropout, next_seed())?);
         }
-        network.push(Linear::new("fc2", self.fc_hidden, self.classes, next_seed())?);
+        network.push(Linear::new(
+            "fc2",
+            self.fc_hidden,
+            self.classes,
+            next_seed(),
+        )?);
         network.push(SpikingLayer::new("fc2_sn", self.neuron));
 
         Ok(network)
@@ -275,9 +282,7 @@ impl ArchitectureConfig {
     /// Names of the hidden layers whose threshold voltages the paper reports
     /// in Figure 6 (the convolutional and fully connected spiking layers).
     pub fn hidden_layer_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = (1..=self.conv_blocks)
-            .map(|i| format!("Conv{i}"))
-            .collect();
+        let mut names: Vec<String> = (1..=self.conv_blocks).map(|i| format!("Conv{i}")).collect();
         names.push("FC1".to_string());
         names.push("FC2".to_string());
         names
@@ -327,7 +332,12 @@ mod tests {
     fn built_network_runs_forward_with_expected_shapes() {
         let config = ArchitectureConfig::tiny_test();
         let mut network = config.build(9).unwrap();
-        let input = Tensor::zeros(&[3, config.input_channels, config.input_size, config.input_size]);
+        let input = Tensor::zeros(&[
+            3,
+            config.input_channels,
+            config.input_size,
+            config.input_size,
+        ]);
         let rates = network.forward(&input, Mode::Eval).unwrap();
         assert_eq!(rates.shape(), &[3, config.classes]);
 
@@ -366,7 +376,10 @@ mod tests {
     #[test]
     fn final_spatial_size_accounts_for_pooling() {
         assert_eq!(ArchitectureConfig::mnist_like().final_spatial_size(), 4);
-        assert_eq!(ArchitectureConfig::dvs_gesture_like().final_spatial_size(), 4);
+        assert_eq!(
+            ArchitectureConfig::dvs_gesture_like().final_spatial_size(),
+            4
+        );
         assert_eq!(ArchitectureConfig::tiny_test().final_spatial_size(), 4);
     }
 

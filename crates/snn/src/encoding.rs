@@ -32,10 +32,14 @@ use rand::Rng;
 /// ```
 pub fn repeat_encode(input: &Tensor, time_steps: usize) -> Result<Tensor> {
     if time_steps == 0 {
-        return Err(SnnError::invalid_input("time_steps must be non-zero".to_string()));
+        return Err(SnnError::invalid_input(
+            "time_steps must be non-zero".to_string(),
+        ));
     }
     if input.ndim() == 0 {
-        return Err(SnnError::invalid_input("input needs a batch axis".to_string()));
+        return Err(SnnError::invalid_input(
+            "input needs a batch axis".to_string(),
+        ));
     }
     let n = input.shape()[0];
     let inner: usize = input.shape()[1..].iter().product();
@@ -47,8 +51,7 @@ pub fn repeat_encode(input: &Tensor, time_steps: usize) -> Result<Tensor> {
     for b in 0..n {
         for t in 0..time_steps {
             let dst_base = (b * time_steps + t) * inner;
-            dst[dst_base..dst_base + inner]
-                .copy_from_slice(&src[b * inner..(b + 1) * inner]);
+            dst[dst_base..dst_base + inner].copy_from_slice(&src[b * inner..(b + 1) * inner]);
         }
     }
     Ok(out)
@@ -62,10 +65,14 @@ pub fn repeat_encode(input: &Tensor, time_steps: usize) -> Result<Tensor> {
 /// Returns an error when `time_steps == 0` or the input has no batch axis.
 pub fn poisson_encode(input: &Tensor, time_steps: usize, rng: &mut impl Rng) -> Result<Tensor> {
     if time_steps == 0 {
-        return Err(SnnError::invalid_input("time_steps must be non-zero".to_string()));
+        return Err(SnnError::invalid_input(
+            "time_steps must be non-zero".to_string(),
+        ));
     }
     if input.ndim() == 0 {
-        return Err(SnnError::invalid_input("input needs a batch axis".to_string()));
+        return Err(SnnError::invalid_input(
+            "input needs a batch axis".to_string(),
+        ));
     }
     let n = input.shape()[0];
     let inner: usize = input.shape()[1..].iter().product();

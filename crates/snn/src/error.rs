@@ -48,7 +48,10 @@ impl fmt::Display for SnnError {
             SnnError::Tensor(e) => write!(f, "tensor error: {e}"),
             SnnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SnnError::MissingForwardState { layer } => {
-                write!(f, "backward called on layer '{layer}' without cached forward state")
+                write!(
+                    f,
+                    "backward called on layer '{layer}' without cached forward state"
+                )
             }
             SnnError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
         }
@@ -88,6 +91,8 @@ mod tests {
             layer: "conv1".into(),
         };
         assert!(e.to_string().contains("conv1"));
-        assert!(SnnError::invalid_input("bad rank").to_string().contains("bad rank"));
+        assert!(SnnError::invalid_input("bad rank")
+            .to_string()
+            .contains("bad rank"));
     }
 }

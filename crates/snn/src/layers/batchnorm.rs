@@ -34,7 +34,7 @@ struct StepCache {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     name: String,
     channels: usize,
@@ -58,14 +58,8 @@ impl BatchNorm2d {
         Self {
             gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
             beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
-            running_mean: Param::frozen(
-                format!("{name}.running_mean"),
-                Tensor::zeros(&[channels]),
-            ),
-            running_var: Param::frozen(
-                format!("{name}.running_var"),
-                Tensor::ones(&[channels]),
-            ),
+            running_mean: Param::frozen(format!("{name}.running_mean"), Tensor::zeros(&[channels])),
+            running_var: Param::frozen(format!("{name}.running_var"), Tensor::ones(&[channels])),
             momentum: 0.1,
             eps: 1e-5,
             caches: Vec::new(),
@@ -108,6 +102,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -141,8 +139,7 @@ impl Layer for BatchNorm2d {
                 var[ch] = sq / count;
                 running_mean[ch] =
                     (1.0 - self.momentum) * running_mean[ch] + self.momentum * mean[ch];
-                running_var[ch] =
-                    (1.0 - self.momentum) * running_var[ch] + self.momentum * var[ch];
+                running_var[ch] = (1.0 - self.momentum) * running_var[ch] + self.momentum * var[ch];
             }
             (mean, var)
         } else {
@@ -204,7 +201,12 @@ impl Layer for BatchNorm2d {
                 cache.shape
             )));
         }
-        let (n, c, h, w) = (cache.shape[0], cache.shape[1], cache.shape[2], cache.shape[3]);
+        let (n, c, h, w) = (
+            cache.shape[0],
+            cache.shape[1],
+            cache.shape[2],
+            cache.shape[3],
+        );
         let spatial = h * w;
         let count = (n * spatial) as f32;
         let go = grad_output.data();
@@ -225,10 +227,8 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        for ch in 0..c {
-            sum_go[ch] = grad_beta[ch];
-            sum_go_xhat[ch] = grad_gamma[ch];
-        }
+        sum_go[..c].copy_from_slice(&grad_beta[..c]);
+        sum_go_xhat[..c].copy_from_slice(&grad_gamma[..c]);
 
         let mut grad_input = Tensor::zeros(&cache.shape);
         {
@@ -342,8 +342,18 @@ mod tests {
             let mut bnm = BatchNorm2d::new("bn", 1);
             let yp = bnp.forward(&xp, &ctx).unwrap();
             let ym = bnm.forward(&xm, &ctx).unwrap();
-            let lp: f32 = yp.data().iter().zip(grad_out.data()).map(|(a, b)| a * b).sum();
-            let lm: f32 = ym.data().iter().zip(grad_out.data()).map(|(a, b)| a * b).sum();
+            let lp: f32 = yp
+                .data()
+                .iter()
+                .zip(grad_out.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = ym
+                .data()
+                .iter()
+                .zip(grad_out.data())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (numeric - grad_in.data()[i]).abs() < 1e-2,

@@ -36,7 +36,7 @@ struct StepCache {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     name: String,
     in_channels: usize,
@@ -69,7 +69,9 @@ impl Conv2d {
             return Err(SnnError::invalid_config("channel counts must be non-zero"));
         }
         if kernel == 0 || stride == 0 {
-            return Err(SnnError::invalid_config("kernel and stride must be non-zero"));
+            return Err(SnnError::invalid_config(
+                "kernel and stride must be non-zero",
+            ));
         }
         let name = name.into();
         let fan_in = in_channels * kernel * kernel;
@@ -137,6 +139,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -266,6 +272,7 @@ mod tests {
         let analytic = conv.weight.grad().data().to_vec();
 
         let eps = 1e-3;
+        #[allow(clippy::needless_range_loop)] // wi indexes three parallel buffers
         for wi in 0..conv.weight.value().len() {
             for (sign, store) in [(1.0f32, 0usize), (-1.0, 1)] {
                 let _ = store;

@@ -25,7 +25,7 @@ use rand::{Rng, SeedableRng};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     name: String,
     p: f32,
@@ -60,6 +60,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -22,7 +22,7 @@ use falvolt_tensor::Tensor;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Flatten {
     name: String,
     caches: Vec<Vec<usize>>,
@@ -39,6 +39,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -29,7 +29,7 @@ use rand::SeedableRng;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     name: String,
     in_features: usize,
@@ -88,6 +88,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -190,7 +194,10 @@ mod tests {
     fn backward_gradients_match_manual_computation() {
         let backend = FloatBackend::new();
         let mut fc = Linear::new("fc", 2, 1, 0).unwrap();
-        fc.weight.value_mut().data_mut().copy_from_slice(&[2.0, -1.0]);
+        fc.weight
+            .value_mut()
+            .data_mut()
+            .copy_from_slice(&[2.0, -1.0]);
         let ctx = train_ctx(&backend);
         let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         fc.forward(&x, &ctx).unwrap();

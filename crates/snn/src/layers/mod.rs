@@ -77,9 +77,16 @@ impl fmt::Debug for ForwardContext<'_> {
 /// stack-like: with `T` forward calls in training mode, the container must
 /// issue exactly `T` backward calls which consume the cached time steps in
 /// reverse order.
-pub trait Layer: fmt::Debug {
+/// `Send + Sync` lets whole networks be cloned into worker threads, which is
+/// how the experiment layer parallelises its scenario axis (one cloned
+/// network per fault map / mitigation cell).
+pub trait Layer: fmt::Debug + Send + Sync {
     /// A short human-readable layer name (used in diagnostics and reports).
     fn name(&self) -> &str;
+
+    /// Clones the layer behind a fresh box (layers are held as trait
+    /// objects, so `Clone` cannot be a supertrait directly).
+    fn clone_box(&self) -> Box<dyn Layer>;
 
     /// Processes one time step.
     ///
@@ -125,6 +132,12 @@ pub trait Layer: fmt::Debug {
     /// Enables or disables threshold-voltage learning (no-op for non-spiking
     /// layers).
     fn set_threshold_trainable(&mut self, _trainable: bool) {}
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

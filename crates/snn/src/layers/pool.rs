@@ -22,7 +22,7 @@ use falvolt_tensor::{ops, Tensor};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     name: String,
     kernel: usize,
@@ -46,6 +46,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -74,7 +78,7 @@ impl Layer for AvgPool2d {
 }
 
 /// Non-overlapping max pooling with a square window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     name: String,
     kernel: usize,
@@ -98,6 +102,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

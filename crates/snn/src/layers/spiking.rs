@@ -55,7 +55,7 @@ struct StepCache {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SpikingLayer {
     name: String,
     config: NeuronConfig,
@@ -116,6 +116,10 @@ impl SpikingLayer {
 }
 
 impl Layer for SpikingLayer {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -211,7 +215,8 @@ impl Layer for SpikingLayer {
                 // reset) membrane update v = (1 - s) h + s v_reset.
                 let dl_dh = go[i] * sg / v_threshold + gv[i] * (1.0 - s[i]);
                 // Threshold gradient, Eq. (4): dz/dV = -h / V^2.
-                grad_threshold_acc += (go[i] * sg) as f64 * (-(h[i]) / (v_threshold * v_threshold)) as f64;
+                grad_threshold_acc +=
+                    (go[i] * sg) as f64 * (-(h[i]) / (v_threshold * v_threshold)) as f64;
                 // Charge step: h = v_prev + alpha (x - (v_prev - v_reset)).
                 gi[i] = dl_dh * alpha;
                 gvp[i] = dl_dh * (1.0 - alpha);

@@ -126,7 +126,13 @@ impl Loss for CrossEntropyLoss {
             .data()
             .iter()
             .zip(targets.data())
-            .map(|(p, t)| if *t > 0.0 { -t * p.max(1e-12).ln() } else { 0.0 })
+            .map(|(p, t)| {
+                if *t > 0.0 {
+                    -t * p.max(1e-12).ln()
+                } else {
+                    0.0
+                }
+            })
             .sum();
         Ok(loss / n)
     }
@@ -230,6 +236,8 @@ mod tests {
         assert!(loss.backward(&a, &b).is_err());
         let ce = CrossEntropyLoss::new();
         assert!(ce.forward(&a, &b).is_err());
-        assert!(ce.backward(&Tensor::zeros(&[3]), &Tensor::zeros(&[3])).is_err());
+        assert!(ce
+            .backward(&Tensor::zeros(&[3]), &Tensor::zeros(&[3]))
+            .is_err());
     }
 }

@@ -37,7 +37,10 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+/// Cloning deep-copies every layer (weights, caches, temporal state) and
+/// shares the backend `Arc`; experiment code clones trained networks into
+/// worker threads to evaluate fault scenarios in parallel.
+#[derive(Debug, Clone)]
 pub struct SpikingNetwork {
     layers: Vec<Box<dyn Layer>>,
     time_steps: usize,
@@ -52,7 +55,10 @@ impl SpikingNetwork {
     ///
     /// Panics if `time_steps == 0`.
     pub fn new(time_steps: usize) -> Self {
-        assert!(time_steps > 0, "a spiking network needs at least one time step");
+        assert!(
+            time_steps > 0,
+            "a spiking network needs at least one time step"
+        );
         Self {
             layers: Vec::new(),
             time_steps,
@@ -376,7 +382,9 @@ mod tests {
         let wrong = Tensor::zeros(&[2, 3, 1, 2, 4]);
         assert!(network.forward(&wrong, Mode::Eval).is_err());
         // Unsupported rank is rejected.
-        assert!(network.forward(&Tensor::zeros(&[2, 1, 2]), Mode::Eval).is_err());
+        assert!(network
+            .forward(&Tensor::zeros(&[2, 1, 2]), Mode::Eval)
+            .is_err());
     }
 
     #[test]
@@ -400,7 +408,10 @@ mod tests {
             .params_mut()
             .iter()
             .any(|p| p.grad().data().iter().any(|&g| g != 0.0));
-        assert!(grads_nonzero, "at least one parameter should receive gradient");
+        assert!(
+            grads_nonzero,
+            "at least one parameter should receive gradient"
+        );
         network.zero_grads();
         assert!(network
             .params_mut()
@@ -414,7 +425,10 @@ mod tests {
         assert_eq!(network.thresholds().len(), 2);
         assert_eq!(network.threshold_params_mut().len(), 2);
         network.set_all_thresholds(0.55);
-        assert!(network.thresholds().iter().all(|(_, v)| (*v - 0.55).abs() < 1e-6));
+        assert!(network
+            .thresholds()
+            .iter()
+            .all(|(_, v)| (*v - 0.55).abs() < 1e-6));
         network.set_thresholds_trainable(true);
         assert!(network
             .threshold_params_mut()

@@ -181,9 +181,7 @@ mod tests {
     fn extreme_tau_is_clamped_to_finite_logit() {
         let model = NeuronModel::Plif { init_tau: 1.0 };
         assert!(model.initial_decay_logit().is_finite());
-        let model = NeuronModel::Plif {
-            init_tau: 1.0e9,
-        };
+        let model = NeuronModel::Plif { init_tau: 1.0e9 };
         assert!(model.initial_decay_logit().is_finite());
     }
 }

@@ -159,7 +159,10 @@ mod tests {
         assert!((s.grad(0.4) - s.grad(-0.4)).abs() < 1e-6);
         assert!(s.grad(0.0) > s.grad(1.0));
         assert!(s.grad(-1.0) > 0.05, "silent neurons still receive gradient");
-        assert!(s.grad(5.0) > 0.0, "saturated neurons still receive gradient");
+        assert!(
+            s.grad(5.0) > 0.0,
+            "saturated neurons still receive gradient"
+        );
     }
 
     #[test]

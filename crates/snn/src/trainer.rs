@@ -30,7 +30,11 @@ impl Batch {
         if input.ndim() == 0 || input.shape()[0] != labels.len() {
             return Err(SnnError::invalid_input(format!(
                 "batch of {} samples got {} labels",
-                if input.ndim() == 0 { 0 } else { input.shape()[0] },
+                if input.ndim() == 0 {
+                    0
+                } else {
+                    input.shape()[0]
+                },
                 labels.len()
             )));
         }
@@ -114,7 +118,11 @@ impl<O: Optimizer, L: Loss> Trainer<O, L> {
     /// # Errors
     ///
     /// Propagates forward/backward errors.
-    pub fn train_batch(&mut self, network: &mut SpikingNetwork, batch: &Batch) -> Result<(f32, f32)> {
+    pub fn train_batch(
+        &mut self,
+        network: &mut SpikingNetwork,
+        batch: &Batch,
+    ) -> Result<(f32, f32)> {
         let targets = reduce::one_hot(&batch.labels, self.classes)?;
         network.zero_grads();
         let rates = network.forward(&batch.input, Mode::Train)?;
@@ -138,7 +146,9 @@ impl<O: Optimizer, L: Loss> Trainer<O, L> {
         batches: &[Batch],
     ) -> Result<EpochReport> {
         if batches.is_empty() {
-            return Err(SnnError::invalid_input("no batches to train on".to_string()));
+            return Err(SnnError::invalid_input(
+                "no batches to train on".to_string(),
+            ));
         }
         let mut total_loss = 0.0f64;
         let mut total_correct = 0.0f64;
@@ -174,7 +184,9 @@ impl<O: Optimizer, L: Loss> Trainer<O, L> {
 /// forward-pass errors.
 pub fn evaluate(network: &mut SpikingNetwork, batches: &[Batch]) -> Result<f32> {
     if batches.is_empty() {
-        return Err(SnnError::invalid_input("no batches to evaluate".to_string()));
+        return Err(SnnError::invalid_input(
+            "no batches to evaluate".to_string(),
+        ));
     }
     let mut correct = 0usize;
     let mut total = 0usize;
@@ -208,7 +220,12 @@ mod tests {
         let half = config.input_size / 2;
         for _ in 0..n {
             let mut input = init::uniform(
-                &[2, config.input_channels, config.input_size, config.input_size],
+                &[
+                    2,
+                    config.input_channels,
+                    config.input_size,
+                    config.input_size,
+                ],
                 0.0,
                 0.1,
                 &mut rng,

@@ -185,10 +185,7 @@ mod tests {
         let sums = array.process_spikes(&[true, false, true, true]);
         // Column sums of rows {0, 2, 3}.
         for (c, &sum) in sums.iter().enumerate() {
-            let expected: f32 = [0usize, 2, 3]
-                .iter()
-                .map(|&r| tile.get(&[r, c]))
-                .sum();
+            let expected: f32 = [0usize, 2, 3].iter().map(|&r| tile.get(&[r, c])).sum();
             assert!((sum - expected).abs() < 1e-2, "column {c}");
         }
         assert_eq!(array.total_spike_count(), 3 * 4);
@@ -218,11 +215,11 @@ mod tests {
         )
         .unwrap();
         let fast = executor.matmul(&spike_row, &tile).unwrap();
-        for c in 0..4 {
+        for (c, &s) in structural.iter().enumerate() {
             assert!(
-                (structural[c] - fast.get(&[0, c])).abs() < 1e-4,
+                (s - fast.get(&[0, c])).abs() < 1e-4,
                 "column {c}: structural {} vs executor {}",
-                structural[c],
+                s,
                 fast.get(&[0, c])
             );
         }
@@ -244,12 +241,11 @@ mod tests {
         array.bypass_faulty_pes();
         let structural = array.process_spikes(&spikes);
 
-        let executor =
-            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let executor = SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
         let spike_row = Tensor::ones(&[1, 4]);
         let fast = executor.matmul(&spike_row, &tile).unwrap();
-        for c in 0..4 {
-            assert!((structural[c] - fast.get(&[0, c])).abs() < 1e-4);
+        for (c, &s) in structural.iter().enumerate() {
+            assert!((s - fast.get(&[0, c])).abs() < 1e-4);
         }
     }
 

@@ -47,7 +47,10 @@ impl fmt::Display for SystolicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SystolicError::InvalidGrid { rows, cols } => {
-                write!(f, "invalid systolic grid {rows}x{cols}: both dimensions must be non-zero")
+                write!(
+                    f,
+                    "invalid systolic grid {rows}x{cols}: both dimensions must be non-zero"
+                )
             }
             SystolicError::PeOutOfRange {
                 row,

@@ -5,12 +5,25 @@
 //! executor replays those products through the systolic array: every partial
 //! sum of an output element passes through the accumulator of the PE that
 //! stores the corresponding weight, where the PE's stuck-at faults corrupt it.
+//!
+//! Execution is structured around a [`FoldPlan`]: all per-`(k, column-fold)`
+//! fault state is resolved once per product, output columns whose PE column
+//! is fault-free fold to the clean blocked kernel
+//! ([`falvolt_tensor::kernels`]), and the remaining corruptible columns are
+//! evaluated with the quantized accumulator chain, parallelised over output
+//! rows (fault application is per-output-element, so rows are independent).
 
 use crate::fault_map::PeMasks;
 use crate::{FaultMap, PeCoord, Result, SystolicConfig, SystolicError, WeightMapping};
 use falvolt_fixedpoint::Fixed;
 use falvolt_tensor::{Tensor, TensorError};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Work threshold (in accumulation steps, `m * n * k`) below which the
+/// faulty path stays serial — tiny per-layer products are issued constantly
+/// during inference, often from already-parallel scenario workers.
+const PARALLEL_ELEMENT_THRESHOLD: usize = 1 << 15;
 
 /// How the executor treats faulty PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -126,42 +139,53 @@ impl SystolicExecutor {
                 right_rows: k2,
             }));
         }
-        let format = self.config.accumulator_format();
-        let rows = self.config.rows();
-        let cols = self.config.cols();
-
-        // Precompute per-(k, n-fold) PE state: quantized weight, masks, skip flag.
-        // The PE for (k, n) only depends on (k mod rows, n mod cols); weights
-        // themselves depend on (k, n), so cache masks per (k, n mod cols).
-        let fault_free = self.fault_map.is_empty();
         let a = activations.data();
         let w = weights.data();
-        let mut out = vec![0.0f32; m * n];
 
-        // Cache the fault masks for each (row, col-fold) of the grid to avoid
-        // a BTreeMap lookup in the innermost loop.
-        let mut mask_tile: Vec<Option<PeMasks>> = vec![None; rows * cols];
-        if !fault_free {
-            for r in 0..rows {
-                for c in 0..cols {
-                    mask_tile[r * cols + c] = self.fault_map.masks(PeCoord::new(r, c));
-                }
-            }
+        // Hoist all per-(k, col-fold) fault state out of the element loops.
+        let plan = FoldPlan::new(&self.config, &self.fault_map, k);
+
+        // Fast path: with no fault anywhere in the array the datapath cannot
+        // corrupt anything, so the product folds to the clean blocked kernel.
+        // (This also drops the hardware's fixed-point quantization — an
+        // ideal-hardware idealisation bounded by k * resolution; only faulty
+        // maps replay the quantized datapath below.)
+        if !plan.any_fault() {
+            let out = falvolt_tensor::kernels::matmul(a, w, m, k, n);
+            return Ok(Tensor::from_vec(vec![m, n], out)?);
+        }
+        if m == 0 || n == 0 {
+            return Ok(Tensor::from_vec(vec![m, n], Vec::new())?);
         }
 
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let col_fold = j % cols;
+        // Faulty path. Every column replays the hardware's quantized
+        // accumulator chain (so the executor agrees with the structural
+        // array simulation), but columns whose PE column is fault-free take
+        // a maskless fast loop with no per-step mask lookup or application.
+        let format = self.config.accumulator_format();
+        let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
+        let bypass = matches!(self.bypass, BypassPolicy::SkipFaulty);
+
+        let compute_row = |a_row: &[f32], out_row: &mut [f32]| {
+            for (j, out_elem) in out_row.iter_mut().enumerate() {
+                if plan.column_is_clean(j) {
+                    // Fault-free fold: same quantize-and-saturate chain on
+                    // raw words, no mask checks.
+                    let mut acc = 0i64;
+                    for (p, &a_ip) in a_row.iter().enumerate() {
+                        if a_ip != 0.0 {
+                            let q = i64::from(format.quantize(a_ip * w[p * n + j]));
+                            acc = (acc + q).clamp(min_raw, max_raw);
+                        }
+                    }
+                    *out_elem = format.dequantize(acc as i32);
+                    continue;
+                }
+                let fold = plan.fold_masks(j);
                 let mut acc = Fixed::zero(format);
                 for (p, &a_ip) in a_row.iter().enumerate() {
-                    let masks = if fault_free {
-                        None
-                    } else {
-                        mask_tile[(p % rows) * cols + col_fold]
-                    };
-                    let skip = matches!(self.bypass, BypassPolicy::SkipFaulty) && masks.is_some();
-                    if skip {
+                    let masks = fold[p];
+                    if bypass && masks.is_some() {
                         continue;
                     }
                     if a_ip != 0.0 {
@@ -172,8 +196,30 @@ impl SystolicExecutor {
                         acc = masks.apply(acc);
                     }
                 }
-                out[i * n + j] = acc.to_f32();
+                *out_elem = acc.to_f32();
             }
+        };
+
+        let mut out = vec![0.0f32; m * n];
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || m * n * k < PARALLEL_ELEMENT_THRESHOLD {
+            // Tiny per-layer products (and nested-parallel callers) skip the
+            // fan-out machinery, mirroring the kernel layer's cutoff.
+            for (i, out_row) in out.chunks_mut(n).enumerate() {
+                compute_row(&a[i * k..(i + 1) * k], out_row);
+            }
+        } else {
+            let rows_per_panel = m.div_ceil(threads * 2).max(1);
+            // Fault application is per-output-element: rows are
+            // embarrassingly parallel, so panels of rows go wide.
+            out.par_chunks_mut(rows_per_panel * n)
+                .enumerate()
+                .for_each(|(panel, out_panel)| {
+                    let row0 = panel * rows_per_panel;
+                    for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
+                        compute_row(&a[(row0 + r) * k..(row0 + r + 1) * k], out_row);
+                    }
+                });
         }
         Ok(Tensor::from_vec(vec![m, n], out)?)
     }
@@ -186,6 +232,93 @@ impl SystolicExecutor {
     /// Returns a tensor error for invalid matrix shapes.
     pub fn clean_matmul(&self, activations: &Tensor, weights: &Tensor) -> Result<Tensor> {
         Ok(falvolt_tensor::ops::matmul(activations, weights)?)
+    }
+}
+
+/// Precomputed fault state for one matrix product: which PE masks apply to
+/// every `(k, column-fold)` pair, hoisted out of the per-element loops.
+///
+/// Weight element `(p, j)` resides in PE `(p mod rows, j mod cols)`, so the
+/// mask chain of an output column depends only on `j mod cols`. The plan
+/// stores, for each of the `cols` folds, a `k`-long mask vector (resolving
+/// the `p mod rows` indirection once), plus a per-fold cleanliness flag used
+/// to fast-path unaffected columns onto the clean blocked kernel.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_systolic::executor::FoldPlan;
+/// use falvolt_systolic::{FaultMap, SystolicConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystolicConfig::new(4, 4)?;
+/// let plan = FoldPlan::new(&config, &FaultMap::new(config), 16);
+/// assert!(!plan.any_fault());
+/// assert!(plan.column_is_clean(7));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FoldPlan {
+    /// `cols * k` masks, laid out fold-major so one column's chain is
+    /// contiguous: entry `fold * k + p`.
+    masks: Vec<Option<PeMasks>>,
+    /// Per-fold flag: `true` when no PE of that grid column is faulty.
+    fold_clean: Vec<bool>,
+    k: usize,
+    cols: usize,
+    any_fault: bool,
+}
+
+impl FoldPlan {
+    /// Builds the plan for products with inner dimension `k` on `config`'s
+    /// grid under `fault_map`.
+    pub fn new(config: &SystolicConfig, fault_map: &FaultMap, k: usize) -> Self {
+        let rows = config.rows();
+        let cols = config.cols();
+        let any_fault = !fault_map.is_empty();
+        let mut masks = vec![None; cols * k];
+        let mut fold_clean = vec![true; cols];
+        if any_fault {
+            // Resolve the grid once (rows * cols lookups), then unfold to k.
+            let mut grid: Vec<Option<PeMasks>> = Vec::with_capacity(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    grid.push(fault_map.masks(PeCoord::new(r, c)));
+                }
+            }
+            for fold in 0..cols {
+                let chain = &mut masks[fold * k..(fold + 1) * k];
+                for (p, slot) in chain.iter_mut().enumerate() {
+                    *slot = grid[(p % rows) * cols + fold];
+                }
+                fold_clean[fold] = chain.iter().all(Option::is_none);
+            }
+        }
+        Self {
+            masks,
+            fold_clean,
+            k,
+            cols,
+            any_fault,
+        }
+    }
+
+    /// `true` when the fault map holds at least one fault.
+    pub fn any_fault(&self) -> bool {
+        self.any_fault
+    }
+
+    /// `true` when output column `j` cannot be corrupted (its PE column holds
+    /// no faulty PE).
+    pub fn column_is_clean(&self, j: usize) -> bool {
+        self.fold_clean[j % self.cols]
+    }
+
+    /// The `k`-long mask chain of output column `j`.
+    pub fn fold_masks(&self, j: usize) -> &[Option<PeMasks>] {
+        let fold = j % self.cols;
+        &self.masks[fold * self.k..(fold + 1) * self.k]
     }
 }
 
@@ -293,8 +426,7 @@ mod tests {
             vec![Fault::new(PeCoord::new(2, 1), 15, StuckAt::One)],
         )
         .unwrap();
-        let executor =
-            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let executor = SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
         let a = Tensor::ones(&[1, 4]);
         let b = Tensor::full(&[4, 4], 0.5);
         let out = executor.matmul(&a, &b).unwrap();
@@ -315,13 +447,29 @@ mod tests {
             vec![Fault::new(PeCoord::new(0, 0), 15, StuckAt::One)],
         )
         .unwrap();
-        let executor =
-            SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
+        let executor = SystolicExecutor::with_bypass(config, fault_map, BypassPolicy::SkipFaulty);
         let a = Tensor::ones(&[1, 8]);
         let b = Tensor::full(&[8, 4], 0.5);
         let out = executor.matmul(&a, &b).unwrap();
         // Column 0 loses k=0 and k=4 contributions: 4.0 - 1.0 = 3.0.
         assert!((out.get(&[0, 0]) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_width_products_are_empty_not_panics() {
+        let config = config();
+        let fault_map = FaultMap::from_faults(
+            config,
+            vec![Fault::new(PeCoord::new(0, 0), 15, StuckAt::One)],
+        )
+        .unwrap();
+        let executor = SystolicExecutor::new(config, fault_map);
+        let a = Tensor::zeros(&[3, 4]);
+        let b = Tensor::zeros(&[4, 0]);
+        let out = executor.matmul(&a, &b).unwrap();
+        assert_eq!(out.shape(), &[3, 0]);
+        let empty_rows = executor.matmul(&Tensor::zeros(&[0, 4]), &Tensor::zeros(&[4, 2]));
+        assert_eq!(empty_rows.unwrap().shape(), &[0, 2]);
     }
 
     #[test]

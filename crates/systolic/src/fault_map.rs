@@ -381,10 +381,7 @@ mod tests {
         let map = FaultMap::random_faulty_pes(&config, 5, 15, StuckAt::One, &mut rng).unwrap();
         assert_eq!(map.faulty_pe_count(), 5);
         assert!(map.faults().iter().all(|f| f.bit == 15));
-        assert!(map
-            .faulty_pes()
-            .iter()
-            .all(|pe| pe.row < 4 && pe.col < 4));
+        assert!(map.faulty_pes().iter().all(|pe| pe.row < 4 && pe.col < 4));
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod pe;
 pub use array::SystolicArray;
 pub use config::SystolicConfig;
 pub use error::SystolicError;
-pub use executor::SystolicExecutor;
+pub use executor::{FoldPlan, SystolicExecutor};
 pub use fault::{Fault, PeCoord, StuckAt};
 pub use fault_map::{FaultMap, PeMasks};
 pub use mapping::WeightMapping;

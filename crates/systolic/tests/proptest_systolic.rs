@@ -1,7 +1,9 @@
 //! Property-based tests for the systolic-array fault model.
 
 use falvolt_systolic::executor::BypassPolicy;
-use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig, SystolicExecutor, WeightMapping};
+use falvolt_systolic::{
+    FaultMap, FoldPlan, StuckAt, SystolicConfig, SystolicExecutor, WeightMapping,
+};
 use falvolt_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -52,6 +54,47 @@ proptest! {
         let tolerance = k as f32 / 256.0 + 1e-3;
         for (x, y) in sys.data().iter().zip(float.data()) {
             prop_assert!((x - y).abs() <= tolerance, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn fault_free_executor_folds_to_the_clean_kernel(config in small_grid(), seed in 0u64..1000) {
+        // With an empty fault map the executor takes the clean blocked-kernel
+        // fast path, so the result is *identical* to clean_matmul, not merely
+        // within quantization tolerance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = 2 * config.rows() + 1;
+        let n = config.cols() + 3;
+        let a = falvolt_tensor::init::uniform(&[4, k], 0.0, 1.0, &mut rng);
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.5, 0.5, &mut rng);
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let sys = executor.matmul(&a, &b).unwrap();
+        let float = executor.clean_matmul(&a, &b).unwrap();
+        prop_assert_eq!(sys.data(), float.data());
+    }
+
+    #[test]
+    fn foldplan_clean_columns_stay_within_quantization(config in small_grid(), seed in 0u64..500) {
+        // Columns the FoldPlan reports as clean still replay the quantized
+        // accumulator chain under a faulty map, so they sit within the
+        // k-step quantization envelope of the float product.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let map = FaultMap::random_faulty_pes(&config, 1, 15, StuckAt::One, &mut rng).unwrap();
+        let k = config.rows() + 2;
+        let n = config.cols() + 1;
+        let plan = FoldPlan::new(&config, &map, k);
+        prop_assert!(plan.any_fault());
+        let a = falvolt_tensor::init::uniform(&[3, k], 0.0, 1.0, &mut rng);
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.5, 0.5, &mut rng);
+        let executor = SystolicExecutor::new(config, map);
+        let sys = executor.matmul(&a, &b).unwrap();
+        let float = executor.clean_matmul(&a, &b).unwrap();
+        let tolerance = k as f32 / 256.0 + 1e-3;
+        for j in (0..n).filter(|&j| plan.column_is_clean(j)) {
+            for i in 0..3 {
+                let diff = (sys.get(&[i, j]) - float.get(&[i, j])).abs();
+                prop_assert!(diff <= tolerance, "clean column {} diff {}", j, diff);
+            }
         }
     }
 

@@ -72,8 +72,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = normal(&[10_000], 2.0, 0.5, &mut rng);
         let mean: f32 = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 0.25).abs() < 0.05, "var {var}");
     }

@@ -1,0 +1,380 @@
+//! Cache-blocked, row-parallel compute kernels.
+//!
+//! This module is the single execution layer behind every dense matrix
+//! product in the workspace: [`crate::ops::matmul`], the convolution lowering
+//! ([`crate::ops::im2col`] + matmul), the SNN `FloatBackend`, and the clean
+//! path of the systolic executor all route here.
+//!
+//! The matmul kernel combines three classic levers:
+//!
+//! * **row parallelism** — output rows are independent, so the matrix is cut
+//!   into row panels processed across threads (`rayon`),
+//! * **k-blocking** — the reduction dimension is walked in [`KC`]-sized
+//!   blocks so the active panel of `b` stays cache-resident,
+//! * **register tiling** — an [`MR`]x[`NR`] accumulator tile lives in
+//!   registers across the whole k-block, turning the inner loop from a
+//!   load/store-bound axpy into an FMA-bound tile update.
+//!
+//! Accumulation visits `k` in increasing order for every output element, so
+//! results differ from the naive triple loop only by floating-point
+//! re-association across k-block boundaries (bounded by ~`k * eps`).
+
+use rayon::prelude::*;
+
+/// Rows per register tile.
+pub const MR: usize = 4;
+/// Columns per register tile (kept SIMD-width friendly).
+pub const NR: usize = 8;
+/// Reduction-dimension block size: one `KC x NR` panel of `b` is about
+/// 8 KiB, comfortably L1-resident while a row panel streams through.
+pub const KC: usize = 256;
+
+/// Work threshold (in multiply-adds) below which the serial path is used;
+/// spawning threads for tiny products costs more than the product.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 16;
+
+/// Reference matrix product — the seed's straightforward `i-k-j` triple loop
+/// (contiguous over `b` and `out`, zero-skip on `a`). Kept as the baseline
+/// for benchmarks and property tests; use [`matmul`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    check_dims(a, b, m, k, n);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    out
+}
+
+/// Cache-blocked, row-parallel matrix product `a (m x k) @ b (k x n)`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a, b, &mut out, m, k, n);
+    out
+}
+
+/// Cache-blocked, row-parallel matrix product accumulating into `out`
+/// (`out` must be zero-initialised for a plain product).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, m, k, n);
+    assert_eq!(out.len(), m * n, "output buffer has the wrong length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || m * n * k < PARALLEL_FLOP_THRESHOLD {
+        matmul_panel(a, b, out, m, k, n);
+        return;
+    }
+    // Split output rows into per-thread panels; a few panels per thread keep
+    // the queue balanced when row costs vary (e.g. sparse spike rows).
+    let rows_per_panel = m.div_ceil(threads * 2).max(MR);
+    out.par_chunks_mut(rows_per_panel * n)
+        .enumerate()
+        .for_each(|(panel, out_panel)| {
+            let row0 = panel * rows_per_panel;
+            let rows = out_panel.len() / n;
+            matmul_panel(&a[row0 * k..(row0 + rows) * k], b, out_panel, rows, k, n);
+        });
+}
+
+/// Serial blocked product of one row panel: `a_panel` is `rows x k`,
+/// `out_panel` is `rows x n`.
+fn matmul_panel(
+    a_panel: &[f32],
+    b: &[f32],
+    out_panel: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < k {
+        let kb_end = (kb + KC).min(k);
+        let mut i = 0;
+        // Full MR-row tiles, register-tiled across NR-column strips.
+        while i + MR <= rows {
+            row_tile(a_panel, b, out_panel, i, kb, kb_end, k, n);
+            i += MR;
+        }
+        // Remaining rows: plain axpy walk of the same k-block.
+        while i < rows {
+            let a_row = &a_panel[i * k..(i + 1) * k];
+            let out_row = &mut out_panel[i * n..(i + 1) * n];
+            for p in kb..kb_end {
+                let a_ip = a_row[p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+            i += 1;
+        }
+        kb = kb_end;
+    }
+}
+
+/// Updates MR output rows for one k-block, walking NR-column strips with the
+/// accumulator tile held in registers across the whole block.
+#[allow(clippy::too_many_arguments)]
+fn row_tile(
+    a_panel: &[f32],
+    b: &[f32],
+    out_panel: &mut [f32],
+    i: usize,
+    kb: usize,
+    kb_end: usize,
+    k: usize,
+    n: usize,
+) {
+    let a0 = &a_panel[i * k..(i + 1) * k];
+    let a1 = &a_panel[(i + 1) * k..(i + 2) * k];
+    let a2 = &a_panel[(i + 2) * k..(i + 3) * k];
+    let a3 = &a_panel[(i + 3) * k..(i + 4) * k];
+
+    let mut jc = 0;
+    // NR-wide strips: fixed-size array views hoist every bounds check out of
+    // the p-loop and let the strip live in registers.
+    while jc + NR <= n {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in kb..kb_end {
+            let b_strip: &[f32; NR] = b[p * n + jc..p * n + jc + NR]
+                .try_into()
+                .expect("strip width is NR");
+            let av = [a0[p], a1[p], a2[p], a3[p]];
+            for (acc_row, &a_rp) in acc.iter_mut().zip(&av) {
+                for (s, &b_pj) in acc_row.iter_mut().zip(b_strip) {
+                    *s += a_rp * b_pj;
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let out_strip = &mut out_panel[(i + r) * n + jc..(i + r) * n + jc + NR];
+            for (o, &s) in out_strip.iter_mut().zip(acc_row) {
+                *o += s;
+            }
+        }
+        jc += NR;
+    }
+    // Column tail (n % NR): scalar accumulators per remaining column.
+    if jc < n {
+        for p in kb..kb_end {
+            let b_row = &b[p * n..(p + 1) * n];
+            let av = [a0[p], a1[p], a2[p], a3[p]];
+            for (r, &a_rp) in av.iter().enumerate() {
+                if a_rp == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out_panel[(i + r) * n..(i + r) * n + n];
+                for j in jc..n {
+                    out_row[j] += a_rp * b_row[j];
+                }
+            }
+        }
+    }
+}
+
+fn check_dims(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs has the wrong length");
+    assert_eq!(b.len(), k * n, "rhs has the wrong length");
+}
+
+// ---------------------------------------------------------------------------
+// im2col
+// ---------------------------------------------------------------------------
+
+/// Geometry subset needed by the raw `im2col` kernel (mirrors
+/// [`crate::ops::Conv2dDims`] without the tensor-level bookkeeping).
+#[derive(Debug, Clone, Copy)]
+pub struct Im2colGeom {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Im2colGeom {
+    /// Rows of the lowered matrix: `batch * out_h * out_w`.
+    pub fn rows(&self) -> usize {
+        self.batch * self.out_h * self.out_w
+    }
+
+    /// Columns of the lowered matrix: `channels * kernel^2`.
+    pub fn cols(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers an `[N, C, H, W]` input (flat, row-major) into the im2col matrix,
+/// parallelised over `(batch, out_y)` stripes.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths disagree with `geom`.
+pub fn im2col_into(input: &[f32], out: &mut [f32], geom: &Im2colGeom) {
+    assert_eq!(
+        input.len(),
+        geom.batch * geom.channels * geom.in_h * geom.in_w,
+        "input buffer has the wrong length"
+    );
+    assert_eq!(
+        out.len(),
+        geom.rows() * geom.cols(),
+        "output buffer has the wrong length"
+    );
+    let stripe = geom.out_w * geom.cols();
+    if stripe == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || out.len() < PARALLEL_FLOP_THRESHOLD {
+        for (stripe_idx, out_stripe) in out.chunks_mut(stripe).enumerate() {
+            im2col_stripe(input, out_stripe, geom, stripe_idx);
+        }
+    } else {
+        out.par_chunks_mut(stripe)
+            .enumerate()
+            .for_each(|(stripe_idx, out_stripe)| {
+                im2col_stripe(input, out_stripe, geom, stripe_idx);
+            });
+    }
+}
+
+/// Fills one `(batch, out_y)` stripe (`out_w` rows) of the im2col matrix.
+fn im2col_stripe(input: &[f32], out_stripe: &mut [f32], geom: &Im2colGeom, stripe_idx: usize) {
+    let (c, h, w, k) = (geom.channels, geom.in_h, geom.in_w, geom.kernel);
+    let b = stripe_idx / geom.out_h;
+    let oy = stripe_idx % geom.out_h;
+    let cols = geom.cols();
+    for ox in 0..geom.out_w {
+        let row = &mut out_stripe[ox * cols..(ox + 1) * cols];
+        for ch in 0..c {
+            for ky in 0..k {
+                let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                for kx in 0..k {
+                    let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                    let col = (ch * k + ky) * k + kx;
+                    row[col] = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                        input[((b * c + ch) * h + iy as usize) * w + ix as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    fn pseudo(i: usize, salt: usize) -> f32 {
+        // Deterministic, sign-mixing pattern without an RNG dependency.
+        (((i * 2654435761 + salt * 40503) % 2048) as f32 - 1024.0) / 512.0
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_awkward_shapes() {
+        // Shapes straddling every tile boundary: MR, NR and KC tails.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (16, 300, 33),
+            (37, 64, 40),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|i| pseudo(i, 1)).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 2)).collect();
+            let fast = matmul(&a, &b, m, k, n);
+            let slow = matmul_naive(&a, &b, m, k, n);
+            assert_close(&fast, &slow, 1e-5);
+        }
+    }
+
+    #[test]
+    fn blocked_handles_sparse_spike_rows() {
+        let (m, k, n) = (9, 70, 13);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 3) == 0) as u8 as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 3)).collect();
+        assert_close(
+            &matmul(&a, &b, m, k, n),
+            &matmul_naive(&a, &b, m, k, n),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let (m, k, n) = (2, 3, 2);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let mut out = vec![10.0; m * n];
+        matmul_into(&a, &b, &mut out, m, k, n);
+        assert_eq!(out, vec![13.0; m * n]);
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        assert!(matmul(&[], &[], 0, 0, 5).is_empty());
+        let out = matmul(&[], &[0.0; 6], 0, 2, 3);
+        assert!(out.is_empty());
+        let out = matmul(&[0.0; 4], &[], 2, 2, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn dimension_mismatch_panics() {
+        let _ = matmul(&[0.0; 5], &[0.0; 6], 2, 3, 2);
+    }
+}

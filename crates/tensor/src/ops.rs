@@ -79,9 +79,7 @@ impl Conv2dDims {
         let padded_w = in_w + 2 * padding;
         if kernel > padded_h || kernel > padded_w {
             return Err(TensorError::InvalidConvConfig {
-                reason: format!(
-                    "kernel {kernel} larger than padded input {padded_h}x{padded_w}"
-                ),
+                reason: format!("kernel {kernel} larger than padded input {padded_h}x{padded_w}"),
             });
         }
         let out_h = (padded_h - kernel) / stride + 1;
@@ -108,6 +106,21 @@ impl Conv2dDims {
     /// Number of columns of the `im2col` matrix: `C * k * k`.
     pub fn col_cols(&self) -> usize {
         self.in_channels * self.kernel * self.kernel
+    }
+
+    /// The raw geometry consumed by the `im2col` kernel layer.
+    pub fn geom(&self) -> crate::kernels::Im2colGeom {
+        crate::kernels::Im2colGeom {
+            batch: self.batch,
+            channels: self.in_channels,
+            in_h: self.in_h,
+            in_w: self.in_w,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            out_h: self.out_h,
+            out_w: self.out_w,
+        }
     }
 }
 
@@ -144,23 +157,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: k2,
         });
     }
-    let a_data = a.data();
-    let b_data = b.data();
-    let mut out = vec![0.0f32; m * n];
-    // i-k-j loop order keeps the inner loop contiguous over both `b` and `out`.
-    for i in 0..m {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
+    // All dense products run through the shared blocked-parallel kernel layer.
+    let out = crate::kernels::matmul(a.data(), b.data(), m, k, n);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -224,35 +222,9 @@ fn as_matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
 /// `dims`.
 pub fn im2col(input: &Tensor, dims: &Conv2dDims) -> Result<Tensor> {
     check_input_shape(input, dims)?;
-    let (n, c, h, w) = (dims.batch, dims.in_channels, dims.in_h, dims.in_w);
-    let k = dims.kernel;
+    let geom = dims.geom();
     let mut out = vec![0.0f32; dims.col_rows() * dims.col_cols()];
-    let cols = dims.col_cols();
-    let data = input.data();
-    for b in 0..n {
-        for oy in 0..dims.out_h {
-            for ox in 0..dims.out_w {
-                let row = (b * dims.out_h + oy) * dims.out_w + ox;
-                let base = row * cols;
-                for ch in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * dims.stride + ky) as isize - dims.padding as isize;
-                        for kx in 0..k {
-                            let ix = (ox * dims.stride + kx) as isize - dims.padding as isize;
-                            let col = (ch * k + ky) * k + kx;
-                            let value = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w
-                            {
-                                data[((b * c + ch) * h + iy as usize) * w + ix as usize]
-                            } else {
-                                0.0
-                            };
-                            out[base + col] = value;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    crate::kernels::im2col_into(input.data(), &mut out, &geom);
     Tensor::from_vec(vec![dims.col_rows(), dims.col_cols()], out)
 }
 
@@ -421,10 +393,10 @@ pub fn add_channel_bias(fm: &mut Tensor, bias: &Tensor) -> Result<()> {
     let bias_data = bias.data().to_vec();
     let data = fm.data_mut();
     for b in 0..n {
-        for ch in 0..o {
+        for (ch, &bias_ch) in bias_data.iter().enumerate() {
             let base = ((b * o) + ch) * h * w;
             for v in &mut data[base..base + h * w] {
-                *v += bias_data[ch];
+                *v += bias_ch;
             }
         }
     }
@@ -862,8 +834,7 @@ mod tests {
 
     #[test]
     fn avg_pool_forward_and_backward() {
-        let input =
-            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = avg_pool2d_forward(&input, 2).unwrap();
         approx_eq(out.data(), &[2.5]);
         let grad = avg_pool2d_backward(&Tensor::ones(&[1, 1, 1, 1]), &[1, 1, 2, 2], 2).unwrap();
@@ -873,8 +844,7 @@ mod tests {
 
     #[test]
     fn max_pool_forward_and_backward() {
-        let input =
-            Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 4.0]).unwrap();
+        let input = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 4.0]).unwrap();
         let (out, argmax) = max_pool2d_forward(&input, 2).unwrap();
         approx_eq(out.data(), &[5.0]);
         assert_eq!(argmax, vec![1]);

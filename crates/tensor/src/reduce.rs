@@ -50,8 +50,9 @@ pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
     let (n, m) = (t.shape()[0], t.shape()[1]);
     let mut out = vec![0.0f32; m];
     for i in 0..n {
-        for j in 0..m {
-            out[j] += t.data()[i * m + j];
+        let row = &t.data()[i * m..(i + 1) * m];
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
         }
     }
     Tensor::from_vec(vec![m], out)
@@ -187,8 +188,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let scores =
-            Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
+        let scores = Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]).unwrap();
         let acc = classification_accuracy(&scores, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-6);
         assert!(classification_accuracy(&scores, &[0, 1]).is_err());

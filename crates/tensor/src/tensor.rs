@@ -540,10 +540,7 @@ mod tests {
     fn arithmetic_rejects_shape_mismatch() {
         let a = Tensor::zeros(&[2, 2]);
         let b = Tensor::zeros(&[4]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use falvolt_tensor::{ops, reduce, Tensor};
+use falvolt_tensor::{kernels, ops, reduce, Tensor};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
@@ -83,5 +83,45 @@ proptest! {
         let t = Tensor::from_fn(&[n, c, 4, 4], |i| (i % 17) as f32 * 0.25);
         let pooled = ops::avg_pool2d_forward(&t, 2).unwrap();
         prop_assert!((reduce::mean(&t) - reduce::mean(&pooled)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blocked_parallel_matmul_matches_naive_reference(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Shapes deliberately straddle the MR/NR/KC tile boundaries; data is
+        // dense and sign-mixed so cancellation errors would surface.
+        let salt = seed.wrapping_mul(0x9E37_79B9);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32 / 250.0 - 2.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(2246822519).wrapping_add(salt) % 1000) as f32 / 250.0 - 2.0)
+            .collect();
+        let fast = kernels::matmul(&a, &b, m, k, n);
+        let slow = kernels::matmul_naive(&a, &b, m, k, n);
+        for (i, (x, y)) in fast.iter().zip(&slow).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!(
+                (x - y).abs() <= 1e-5 * scale,
+                "element {}: blocked {} vs naive {}", i, x, y
+            );
+        }
+    }
+
+    #[test]
+    fn ops_matmul_routes_through_the_same_kernel(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 7 % 23) as f32 - 11.0) * 0.125);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 5 % 19) as f32 - 9.0) * 0.25);
+        let via_ops = ops::matmul(&a, &b).unwrap();
+        let via_kernel = kernels::matmul(a.data(), b.data(), m, k, n);
+        prop_assert_eq!(via_ops.data(), &via_kernel[..]);
     }
 }

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = ctx.train_batches().to_vec();
 
     for &rate in &[0.10f64, 0.30] {
-        let fault_map =
-            FaultMap::random_with_rate(&systolic, rate, msb, StuckAt::One, &mut rng)?;
+        let fault_map = FaultMap::random_with_rate(&systolic, rate, msb, StuckAt::One, &mut rng)?;
 
         ctx.restore_baseline()?;
         let unmitigated =

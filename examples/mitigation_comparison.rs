@@ -7,8 +7,7 @@
 //! ```
 
 use falvolt::experiment::{
-    convergence_experiment, mitigation_comparison, DatasetKind, ExperimentContext,
-    ExperimentScale,
+    convergence_experiment, mitigation_comparison, DatasetKind, ExperimentContext, ExperimentScale,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,298 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no crates.io access, so data parallelism is
+//! provided by a small work-stealing-free scheduler on `std::thread::scope`:
+//! a locked work queue of items, one worker per available core, results
+//! written back by original index so ordering semantics match rayon's
+//! indexed parallel iterators.
+//!
+//! Supported surface (what the workspace's kernels and sweeps call):
+//!
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()` / `.for_each(f)`
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//! * [`current_num_threads`], [`join`]
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel execution.
+///
+/// Honours `RAYON_NUM_THREADS` (like the real rayon) and falls back to the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join worker panicked"))
+    })
+}
+
+/// Core executor: applies `f` to every `(index, item)` pair across worker
+/// threads and returns results in input order.
+fn run_indexed<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("rayon-shim: queue poisoned").next();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(i, item);
+                        *results[i].lock().expect("rayon-shim: slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon-shim: slot poisoned")
+                .expect("rayon-shim: missing result")
+        })
+        .collect()
+}
+
+/// An indexed parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pairs every item with its index, preserving order semantics.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        run_indexed(self.items, |_, x| f(x));
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`] or
+/// [`ParMap::for_each`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, F> ParMap<I, F>
+where
+    I: Send,
+{
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        run_indexed(self.items, |_, x| f(x)).into_iter().collect()
+    }
+
+    /// Executes the map in parallel, discarding results.
+    pub fn for_each<R, G>(self, g: G)
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        run_indexed(self.items, |_, x| g(f(x)));
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Converts `self` into an indexed parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel mutable chunking of slices (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into mutable chunks of at most `chunk_size` elements
+    /// that can be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be non-zero"
+        );
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable slice chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its chunk index.
+    pub fn enumerate(self) -> ParEnumeratedChunks<'a, T> {
+        ParEnumeratedChunks {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_indexed(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParEnumeratedChunks<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParEnumeratedChunks<'a, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        run_indexed(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+/// One-stop imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u64; 10_000];
+        data.par_chunks_mut(97).enumerate().for_each(|(ci, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 97 + j) as u64 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_for_each_runs_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        items.into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! they stay serialization-ready, but never serializes at runtime (there is
+//! no `serde_json` offline). The traits are therefore markers, and the derive
+//! macros (re-exported from the sibling `serde_derive` shim) expand to marker
+//! impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+///
+/// The lifetime parameter exists so `T: Deserialize<'de>` bounds written
+/// against real serde still compile.
+pub trait Deserialize<'de>: de::DeserializeOwned {}
+
+impl<'de, T: de::DeserializeOwned> Deserialize<'de> for T {}
+
+/// Deserialization marker traits, mirroring `serde::de`.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`; the derive macro
+    /// implements this, and the blanket impl in the crate root maps it onto
+    /// [`crate::Deserialize`] for every lifetime.
+    pub trait DeserializeOwned {}
+}

@@ -1,0 +1,73 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde stand-in.
+//!
+//! The workspace only ever *derives* the serde traits (to keep its public
+//! types serialization-ready for downstream users); nothing serializes at
+//! runtime. The real derive expansion is therefore replaced by a marker-trait
+//! implementation, which keeps `T: Serialize` bounds satisfiable without any
+//! code generation machinery (`syn`/`quote` are unavailable offline).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name and a raw generics fragment (e.g. `<'a, T>`) from a
+/// `struct`/`enum` definition token stream.
+fn type_header(input: TokenStream) -> Option<(String, String)> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`) and visibility/keywords until struct/enum.
+    for tok in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tok {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next()? {
+        TokenTree::Ident(ident) => ident.to_string(),
+        _ => return None,
+    };
+    // Collect a generics fragment if one follows: `< ... >` at depth 0.
+    let mut generics = String::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            let text = tok.to_string();
+            if text == "<" {
+                depth += 1;
+            } else if text == ">" {
+                depth -= 1;
+            }
+            generics.push_str(&text);
+            generics.push(' ');
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_header(input) {
+        // Generic types would need bounds plumbing; every serde-derived type
+        // in this workspace is non-generic, so only that case is emitted.
+        Some((name, generics)) if generics.is_empty() => {
+            format!("impl {trait_path} for {name} {{}}")
+                .parse()
+                .expect("marker impl must parse")
+        }
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::de::DeserializeOwned")
+}

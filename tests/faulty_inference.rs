@@ -165,7 +165,9 @@ fn temporal_event_input_runs_through_faulty_accelerator() {
     let mut rng = StdRng::seed_from_u64(31);
     let fault_map = FaultMap::random_faulty_pes(&systolic, 4, 15, StuckAt::One, &mut rng).unwrap();
     network.set_backend(SystolicBackend::shared(systolic, fault_map));
-    let events = Tensor::from_fn(&[2, config.time_steps, 1, 8, 8], |i| ((i % 5) == 0) as u8 as f32);
+    let events = Tensor::from_fn(&[2, config.time_steps, 1, 8, 8], |i| {
+        ((i % 5) == 0) as u8 as f32
+    });
     let labels = network.predict(&events).unwrap();
     assert_eq!(labels.len(), 2);
 }
