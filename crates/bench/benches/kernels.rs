@@ -6,13 +6,15 @@
 //!   — the design-choice ablation called out in `DESIGN.md` §5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use falvolt_snn::layers::{ForwardContext, Layer, Mode, SpikingLayer};
+use falvolt_snn::layers::{
+    AvgPool2d, Conv2d, Flatten, ForwardContext, Layer, Linear, Mode, SpikingLayer,
+};
 use falvolt_snn::neuron::NeuronConfig;
 use falvolt_snn::surrogate::Surrogate;
-use falvolt_snn::FloatBackend;
+use falvolt_snn::{FloatBackend, SpikingNetwork};
 use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig, SystolicExecutor};
 use falvolt_tensor::ops::Conv2dDims;
-use falvolt_tensor::{ops, Tensor};
+use falvolt_tensor::{ops, OperandProfile, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -203,9 +205,84 @@ fn kernel_comparison(c: &mut Criterion) {
     let seed_clean_s = best_of(3, || seed_executor_matmul(&config, &empty_map, &acts, &wts));
     let clean_s = best_of(3, || clean_executor.matmul(&acts, &wts).unwrap());
 
+    // --- sparse spike matmul: event-driven vs dense blocked kernel --------
+    // Binary lhs at paper-typical spike densities (<= 20%) plus the dense
+    // fallback region; the dispatcher switches kernels at the 25% cutoff, so
+    // a "speedup" field is only recorded where the event kernel engages.
+    let (sm, sk, sn) = (1024usize, 512usize, 64usize);
+    let sb: Vec<f32> = (0..sk * sn)
+        .map(|i| ((i * 2246822519 + 13) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    let mut sparse_entries = Vec::new();
+    for &density in &[0.0f32, 0.05, 0.10, 0.20, 0.50, 1.00] {
+        let sa: Vec<f32> = (0..sm * sk)
+            .map(|i| {
+                let r = ((i * 2654435761 + 29) % 100_000) as f32 / 100_000.0;
+                (r < density) as u8 as f32
+            })
+            .collect();
+        let measured = OperandProfile::measure(&sa).density;
+        let dense_s = best_of(5, || kernels::matmul(&sa, &sb, sm, sk, sn));
+        let event_s = best_of(5, || {
+            kernels::matmul_dispatch(&sa, &sb, sm, sk, sn, kernels::MatmulHint::Spikes)
+        });
+        let speedup_field = if measured <= kernels::SPARSE_DENSITY_CUTOFF {
+            format!(",\n      \"speedup\": {:.3}", dense_s / event_s)
+        } else {
+            // Dense fallback: the dispatcher picks the blocked kernel, the
+            // ratio is ~1.0 noise, not a speedup claim.
+            String::new()
+        };
+        sparse_entries.push(format!(
+            "    {{\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"event_ms\": {:.3}{}\n    }}",
+            density,
+            measured,
+            dense_s * 1e3,
+            event_s * 1e3,
+            speedup_field,
+        ));
+    }
+
+    // --- network forward: temporal prefix cache + spike kernels on vs off -
+    // Direct-encoding shape of every figure sweep: the stateless encoder
+    // prefix (5x5 conv + avg-pool, the expensive part) ahead of the first
+    // spiking layer, then a spiking classifier head, over T = 8 steps on a
+    // static input.
+    let time_steps = 8usize;
+    let net_input = Tensor::from_fn(&[8, 1, 32, 32], |i| {
+        ((i * 2654435761 + 17) % 1000) as f32 / 400.0
+    });
+    let build_network = || {
+        let mut network = SpikingNetwork::new(time_steps);
+        network.push(Conv2d::new("conv", 1, 16, 5, 1, 2, 21).unwrap());
+        network.push(AvgPool2d::new("pool", 2));
+        network.push(SpikingLayer::new("sn1", NeuronConfig::paper_default()));
+        network.push(Flatten::new("flatten"));
+        network.push(Linear::new("fc", 16 * 16 * 16, 10, 22).unwrap());
+        network.push(SpikingLayer::new("sn2", NeuronConfig::paper_default()));
+        network
+    };
+    // Measure the hidden spike density the linear layer actually consumes.
+    let spike_density = {
+        let float = FloatBackend::new();
+        let ctx = ForwardContext::new(Mode::Eval, &float);
+        let mut conv = Conv2d::new("conv", 1, 16, 5, 1, 2, 21).unwrap();
+        let mut pool = AvgPool2d::new("pool", 2);
+        let mut sn1 = SpikingLayer::new("sn1", NeuronConfig::paper_default());
+        let fm = conv.forward(&net_input, &ctx).unwrap();
+        let pooled = pool.forward(&fm, &ctx).unwrap();
+        let spikes = sn1.forward(&pooled, &ctx).unwrap();
+        OperandProfile::measure(spikes.data()).density
+    };
+    let mut engine_on = build_network();
+    let mut engine_off = build_network();
+    engine_off.set_event_driven(false);
+    let uncached_s = best_of(3, || engine_off.forward(&net_input, Mode::Eval).unwrap());
+    let cached_s = best_of(3, || engine_on.forward(&net_input, Mode::Eval).unwrap());
+
     let threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
         naive_s * 1e3,
         blocked_s * 1e3,
         matmul_speedup,
@@ -215,6 +292,11 @@ fn kernel_comparison(c: &mut Criterion) {
         seed_clean_s * 1e3,
         clean_s * 1e3,
         seed_clean_s / clean_s,
+        sparse_entries.join(",\n"),
+        spike_density,
+        uncached_s * 1e3,
+        cached_s * 1e3,
+        uncached_s / cached_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
@@ -242,6 +324,46 @@ fn kernel_comparison(c: &mut Criterion) {
     });
     group.bench_function("foldplan", |bch| {
         bch.iter(|| criterion::black_box(executor.matmul(&acts, &wts).unwrap()))
+    });
+    group.finish();
+
+    // Trend registrations for the event-driven engine comparisons.
+    let sa10: Vec<f32> = (0..sm * sk)
+        .map(|i| {
+            let r = ((i * 2654435761 + 29) % 100_000) as f32 / 100_000.0;
+            (r < 0.10) as u8 as f32
+        })
+        .collect();
+    let mut group = c.benchmark_group("kernels/sparse_matmul_density_0.10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("dense_blocked", |bch| {
+        bch.iter(|| criterion::black_box(kernels::matmul(&sa10, &sb, sm, sk, sn)))
+    });
+    group.bench_function("event_driven", |bch| {
+        bch.iter(|| {
+            criterion::black_box(kernels::matmul_dispatch(
+                &sa10,
+                &sb,
+                sm,
+                sk,
+                sn,
+                kernels::MatmulHint::Spikes,
+            ))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/network_forward_T8");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("dense_uncached", |bch| {
+        bch.iter(|| criterion::black_box(engine_off.forward(&net_input, Mode::Eval).unwrap()))
+    });
+    group.bench_function("event_engine", |bch| {
+        bch.iter(|| criterion::black_box(engine_on.forward(&net_input, Mode::Eval).unwrap()))
     });
     group.finish();
 }

@@ -1,0 +1,125 @@
+//! Bench-smoke regression gate.
+//!
+//! Parses `BENCH_kernels.json` (written by `cargo bench -p falvolt-bench
+//! --bench kernels`) and fails when any recorded `"speedup"` is below the
+//! threshold — i.e. when an optimised path has regressed behind the baseline
+//! it claims to beat. The workspace has no JSON-parsing dependency (offline
+//! shims only), so the scan is a small hand-rolled scanner over `"speedup":
+//! <number>` occurrences. A `"speedup"` key whose value cannot be parsed as
+//! a finite number (`inf`, `NaN`, garbage) fails the gate rather than being
+//! skipped — a broken measurement must not pass silently.
+//!
+//! The threshold defaults to 1.0 (an optimised path must not be slower than
+//! its baseline); `BENCH_GATE_MIN_SPEEDUP` overrides it for noisy shared
+//! runners.
+//!
+//! Exit status: 0 when every speedup parses and clears the threshold, 1
+//! otherwise (including a missing or speedup-free file, which would mean the
+//! bench stopped recording comparisons).
+
+use std::process::ExitCode;
+
+/// Extracts every `"speedup": <value>` occurrence from `text`, in order.
+/// Values that do not parse as a finite number are reported as `Err` with
+/// the offending token.
+fn extract_speedups(text: &str) -> Vec<Result<f64, String>> {
+    let needle = "\"speedup\":";
+    let mut values = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(needle) {
+        rest = &rest[pos + needle.len()..];
+        let token: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != ',' && *c != '}' && *c != ']')
+            .collect();
+        match token.parse::<f64>() {
+            Ok(v) if v.is_finite() => values.push(Ok(v)),
+            _ => values.push(Err(token)),
+        }
+    }
+    values
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").into());
+    let threshold = std::env::var("BENCH_GATE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench gate: cannot read {path}: {e}");
+            eprintln!("run `cargo bench -p falvolt-bench --bench kernels` first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let speedups = extract_speedups(&text);
+    if speedups.is_empty() {
+        eprintln!("bench gate: {path} records no \"speedup\" entries — bench output is broken");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for (i, entry) in speedups.iter().enumerate() {
+        match entry {
+            Ok(v) => {
+                let verdict = if *v >= threshold { "ok" } else { "REGRESSION" };
+                println!("speedup[{i}] = {v:.3} ({verdict})");
+                if *v < threshold {
+                    ok = false;
+                }
+            }
+            Err(token) => {
+                eprintln!("speedup[{i}] = {token:?} (UNPARSEABLE — broken measurement)");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!(
+            "bench gate: all {} recorded speedups >= {threshold}",
+            speedups.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench gate: at least one optimised path regressed or failed to measure");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract_speedups;
+
+    #[test]
+    fn extracts_all_speedup_values() {
+        let json = r#"{ "a": { "speedup": 1.417 }, "b": [ { "speedup": 0.93 }, { "x": 1 } ] }"#;
+        let values: Vec<f64> = extract_speedups(json)
+            .into_iter()
+            .map(|v| v.unwrap())
+            .collect();
+        assert_eq!(values, vec![1.417, 0.93]);
+    }
+
+    #[test]
+    fn handles_whitespace_and_exponents() {
+        let json = "\"speedup\":   2.5e1,";
+        assert_eq!(extract_speedups(json), vec![Ok(25.0)]);
+    }
+
+    #[test]
+    fn unparseable_values_are_reported_not_dropped() {
+        let json = "{ \"speedup\": inf, \"speedup\": NaN }";
+        let values = extract_speedups(json);
+        assert_eq!(values.len(), 2);
+        assert!(values.iter().all(|v| v.is_err()));
+    }
+
+    #[test]
+    fn empty_input_yields_no_values() {
+        assert!(extract_speedups("{}").is_empty());
+    }
+}

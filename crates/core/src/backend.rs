@@ -3,7 +3,7 @@
 use falvolt_snn::MatmulBackend;
 use falvolt_systolic::executor::BypassPolicy;
 use falvolt_systolic::{FaultMap, SystolicConfig, SystolicExecutor};
-use falvolt_tensor::{Tensor, TensorError};
+use falvolt_tensor::{MatmulHint, Tensor, TensorError};
 use std::sync::Arc;
 
 /// A [`MatmulBackend`] that executes every convolutional / fully connected
@@ -68,16 +68,34 @@ impl SystolicBackend {
 
 impl MatmulBackend for SystolicBackend {
     fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
-        self.executor.matmul(a, b).map_err(|e| match e {
-            falvolt_systolic::SystolicError::Tensor(t) => t,
-            other => TensorError::InvalidArgument {
-                reason: format!("systolic executor failed: {other}"),
-            },
-        })
+        self.executor.matmul(a, b).map_err(as_tensor_error)
+    }
+
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        // The hint only steers the executor's fault-free fast path onto the
+        // event-driven kernel; faulty products replay the quantized
+        // accumulator chain bit-identically regardless.
+        self.executor
+            .matmul_hinted(a, b, hint)
+            .map_err(as_tensor_error)
     }
 
     fn name(&self) -> &str {
         "systolic"
+    }
+}
+
+fn as_tensor_error(e: falvolt_systolic::SystolicError) -> TensorError {
+    match e {
+        falvolt_systolic::SystolicError::Tensor(t) => t,
+        other => TensorError::InvalidArgument {
+            reason: format!("systolic executor failed: {other}"),
+        },
     }
 }
 

@@ -7,7 +7,7 @@
 //! executor so that inference runs through the (possibly faulty) accelerator
 //! model without this crate depending on it.
 
-use falvolt_tensor::{ops, Tensor};
+use falvolt_tensor::{ops, MatmulHint, Tensor};
 use std::fmt;
 use std::sync::Arc;
 
@@ -22,6 +22,27 @@ pub trait MatmulBackend: fmt::Debug + Send + Sync {
     ///
     /// Returns a tensor error for rank or inner-dimension mismatches.
     fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor>;
+
+    /// Computes `a @ b` with an operand-structure hint for the left operand.
+    ///
+    /// Layers pass what they know about their activations (binary spikes,
+    /// forced-dense for the engine-off baseline) so backends can pick
+    /// specialised kernels. The default implementation ignores the hint and
+    /// delegates to [`MatmulBackend::matmul`], so the hint is purely an
+    /// optimisation channel — never a correctness requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for rank or inner-dimension mismatches.
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        let _ = hint;
+        self.matmul(a, b)
+    }
 
     /// Human-readable backend name for diagnostics.
     fn name(&self) -> &str {
@@ -70,6 +91,15 @@ impl MatmulBackend for FloatBackend {
         ops::matmul(a, b)
     }
 
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        ops::matmul_hinted(a, b, hint)
+    }
+
     fn name(&self) -> &str {
         "float"
     }
@@ -78,6 +108,15 @@ impl MatmulBackend for FloatBackend {
 impl<B: MatmulBackend + ?Sized> MatmulBackend for Arc<B> {
     fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
         (**self).matmul(a, b)
+    }
+
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        (**self).matmul_hinted(a, b, hint)
     }
 
     fn name(&self) -> &str {

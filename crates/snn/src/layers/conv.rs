@@ -4,7 +4,7 @@ use crate::layers::{ForwardContext, Layer};
 use crate::param::Param;
 use crate::{Result, SnnError};
 use falvolt_tensor::ops::{self, Conv2dDims};
-use falvolt_tensor::{init, Tensor};
+use falvolt_tensor::{init, MatmulHint, OperandProfile, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -149,9 +149,26 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
         let dims = self.dims_for(input)?;
-        let cols = ops::im2col(input, &dims)?;
+        // Probe the input once (O(len), negligible next to the product): a
+        // spike frame makes both the im2col lowering and the matmul
+        // event-driven. With hints disabled everything is pinned dense.
+        let profile = if ctx.spike_hints {
+            OperandProfile::measure(input.data())
+        } else {
+            OperandProfile::dense()
+        };
+        let cols = ops::im2col_with_profile(input, &dims, profile)?;
         let weight_t = ops::transpose2d(self.weight.value())?;
-        let rows = ctx.backend.matmul(&cols, &weight_t)?;
+        let hint = if !ctx.spike_hints {
+            MatmulHint::Dense
+        } else if profile.binary {
+            // im2col preserves binariness (it only copies pixels and pads
+            // with zeros), so the lowered matrix is a spike matrix too.
+            MatmulHint::Spikes
+        } else {
+            MatmulHint::Auto
+        };
+        let rows = ctx.backend.matmul_hinted(&cols, &weight_t, hint)?;
         let mut feature_map = ops::rows_to_feature_map(&rows, &dims)?;
         ops::add_channel_bias(&mut feature_map, self.bias.value())?;
         if ctx.mode.is_train() {

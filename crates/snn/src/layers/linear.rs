@@ -3,7 +3,7 @@
 use crate::layers::{ForwardContext, Layer};
 use crate::param::Param;
 use crate::{Result, SnnError};
-use falvolt_tensor::{init, ops, Tensor};
+use falvolt_tensor::{init, ops, MatmulHint, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -106,7 +106,15 @@ impl Layer for Linear {
             )));
         }
         let weight_t = ops::transpose2d(self.weight.value())?;
-        let mut output = ctx.backend.matmul(input, &weight_t)?;
+        // After a spiking layer (+ flatten) the input is a binary spike
+        // matrix; let the backend's dispatcher probe it and pick the
+        // event-driven kernel. Hints off pins the dense baseline.
+        let hint = if ctx.spike_hints {
+            MatmulHint::Auto
+        } else {
+            MatmulHint::Dense
+        };
+        let mut output = ctx.backend.matmul_hinted(input, &weight_t, hint)?;
         // Add the bias to every row.
         let bias = self.bias.value().data().to_vec();
         let out_features = self.out_features;

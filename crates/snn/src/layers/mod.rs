@@ -53,12 +53,26 @@ pub struct ForwardContext<'a> {
     pub mode: Mode,
     /// Backend executing matrix products (float or systolic-array model).
     pub backend: &'a dyn MatmulBackend,
+    /// Whether layers may probe their activations and pass operand-structure
+    /// hints to the backend (the spike-sparse kernel switch). Off pins every
+    /// product to the dense blocked kernel — the engine-off baseline.
+    pub spike_hints: bool,
 }
 
 impl<'a> ForwardContext<'a> {
-    /// Creates a context.
+    /// Creates a context with spike-structure hints enabled.
     pub fn new(mode: Mode, backend: &'a dyn MatmulBackend) -> Self {
-        Self { mode, backend }
+        Self {
+            mode,
+            backend,
+            spike_hints: true,
+        }
+    }
+
+    /// Builder-style override of the spike-hint switch.
+    pub fn with_spike_hints(mut self, enabled: bool) -> Self {
+        self.spike_hints = enabled;
+        self
     }
 }
 
@@ -107,6 +121,18 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// Clears all cached forward state and any temporal state (membrane
     /// potentials). Called by the network before every sample/batch.
     fn reset_state(&mut self);
+
+    /// Whether a forward call in `mode` depends on (or mutates) state carried
+    /// across time steps — membrane potentials, RNG draws, BPTT cache pushes,
+    /// running statistics. The network's temporal prefix cache computes the
+    /// maximal stateless prefix once per static input and reuses it for all
+    /// `T` steps, so a layer that returns `false` here must be a pure
+    /// function of its input in that mode.
+    fn is_stateful(&self, mode: Mode) -> bool {
+        // Conservative default: training-mode forwards push BPTT caches, so
+        // only evaluation is presumed stateless.
+        mode.is_train()
+    }
 
     /// The layer's trainable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param> {

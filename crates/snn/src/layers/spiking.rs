@@ -244,6 +244,11 @@ impl Layer for SpikingLayer {
         self.grad_membrane_carry = None;
     }
 
+    fn is_stateful(&self, _mode: crate::layers::Mode) -> bool {
+        // The membrane potential integrates across time steps in every mode.
+        true
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.threshold, &mut self.decay_logit]
     }

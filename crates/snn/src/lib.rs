@@ -62,11 +62,12 @@ pub mod trainer;
 pub use backend::{FloatBackend, MatmulBackend};
 pub use error::SnnError;
 pub use layers::{ForwardContext, Layer, Mode};
-pub use network::SpikingNetwork;
+pub use network::{EngineConfig, SpikingNetwork};
 pub use param::Param;
 
-// Re-export the tensor type: every public API in this crate speaks `Tensor`.
-pub use falvolt_tensor::Tensor;
+// Re-export the tensor type (every public API in this crate speaks `Tensor`)
+// and the operand-structure hint the backend trait takes.
+pub use falvolt_tensor::{MatmulHint, Tensor};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SnnError>;

@@ -5,7 +5,43 @@ use crate::layers::{ForwardContext, Layer, Mode};
 use crate::param::Param;
 use crate::{Result, SnnError};
 use falvolt_tensor::{reduce, Tensor};
+use std::borrow::Cow;
 use std::sync::Arc;
+
+/// Switches of the event-driven inference engine.
+///
+/// Both default to on; the off position reproduces the fully dense, uncached
+/// execution and exists for baselines, benchmarks and equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Temporal prefix cache: for static inputs in evaluation mode, the
+    /// stateless layer prefix ahead of the first spiking layer is computed
+    /// once and reused for all `T` time steps.
+    pub prefix_cache: bool,
+    /// Spike-sparsity kernels: layers probe their activations and pass
+    /// operand-structure hints to the backend so binary/sparse products take
+    /// the event-driven gather-accumulate kernel.
+    pub spike_kernels: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            prefix_cache: true,
+            spike_kernels: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Everything off: dense kernels, no caching (the seed's behaviour).
+    pub fn disabled() -> Self {
+        Self {
+            prefix_cache: false,
+            spike_kernels: false,
+        }
+    }
+}
 
 /// A feed-forward spiking neural network executed over `T` discrete time
 /// steps.
@@ -45,6 +81,7 @@ pub struct SpikingNetwork {
     layers: Vec<Box<dyn Layer>>,
     time_steps: usize,
     backend: Arc<dyn MatmulBackend>,
+    engine: EngineConfig,
 }
 
 impl SpikingNetwork {
@@ -63,6 +100,7 @@ impl SpikingNetwork {
             layers: Vec::new(),
             time_steps,
             backend: FloatBackend::shared(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -114,6 +152,26 @@ impl SpikingNetwork {
     /// Installs a different matmul backend (e.g. the systolic-array model).
     pub fn set_backend(&mut self, backend: Arc<dyn MatmulBackend>) {
         self.backend = backend;
+    }
+
+    /// The event-driven engine configuration.
+    pub fn engine(&self) -> EngineConfig {
+        self.engine
+    }
+
+    /// Replaces the event-driven engine configuration.
+    pub fn set_engine(&mut self, engine: EngineConfig) {
+        self.engine = engine;
+    }
+
+    /// Convenience switch: turns the whole event-driven engine (prefix cache
+    /// and spike-sparsity kernels) on or off.
+    pub fn set_event_driven(&mut self, enabled: bool) {
+        self.engine = if enabled {
+            EngineConfig::default()
+        } else {
+            EngineConfig::disabled()
+        };
     }
 
     /// Immutable access to the layers.
@@ -245,6 +303,14 @@ impl SpikingNetwork {
     /// Runs the network over all time steps and returns the firing-rate
     /// tensor `[N, classes]`.
     ///
+    /// For static (direct-encoded) inputs in evaluation mode, the temporal
+    /// prefix cache runs the stateless layer prefix ahead of the first
+    /// stateful (spiking) layer once and reuses its output for all `T` time
+    /// steps — the replicated input would flow through the identical
+    /// computation at every step. Temporal inputs and training passes are
+    /// never cached (each step sees a different frame / must push its own
+    /// BPTT caches), and the cached path produces bit-identical outputs.
+    ///
     /// # Errors
     ///
     /// Returns an error for inputs of unsupported rank or for layer shape
@@ -256,14 +322,44 @@ impl SpikingNetwork {
         self.reset_state();
         let time_steps = self.time_steps;
         let backend = Arc::clone(&self.backend);
-        let ctx = ForwardContext::new(mode, backend.as_ref());
+        let ctx =
+            ForwardContext::new(mode, backend.as_ref()).with_spike_hints(self.engine.spike_kernels);
 
+        let static_input = matches!(input.ndim(), 2 | 4);
+        let prefix_len = if self.engine.prefix_cache && static_input && !mode.is_train() {
+            self.layers
+                .iter()
+                .position(|l| l.is_stateful(mode))
+                .unwrap_or(self.layers.len())
+        } else {
+            0
+        };
+
+        let mut prefix_out: Option<Tensor> = None;
         let mut rate_sum: Option<Tensor> = None;
         for t in 0..time_steps {
-            let mut x = step_input(input, t, time_steps)?;
-            for layer in &mut self.layers {
-                x = layer.forward(&x, &ctx)?;
-            }
+            let x = if prefix_len == 0 {
+                let step = step_input(input, t, time_steps)?;
+                run_layers(&mut self.layers, step.as_ref(), &ctx)?
+            } else {
+                if prefix_out.is_none() {
+                    let step = step_input(input, t, time_steps)?;
+                    prefix_out = Some(run_layers(
+                        &mut self.layers[..prefix_len],
+                        step.as_ref(),
+                        &ctx,
+                    )?);
+                }
+                let cached = prefix_out.as_ref().expect("prefix computed above");
+                if prefix_len == self.layers.len() {
+                    // Entirely stateless network: every step yields the same
+                    // tensor; the rate average below still runs T times so
+                    // the result is bit-identical to the uncached loop.
+                    cached.clone()
+                } else {
+                    run_layers(&mut self.layers[prefix_len..], cached, &ctx)?
+                }
+            };
             if x.ndim() != 2 {
                 return Err(SnnError::invalid_config(format!(
                     "network output must be [N, classes], got shape {:?}",
@@ -288,11 +384,21 @@ impl SpikingNetwork {
     /// Returns [`SnnError::MissingForwardState`] when no training forward
     /// pass preceded this call.
     pub fn backward(&mut self, grad_rates: &Tensor) -> Result<()> {
+        // The per-step seed gradient is loop-invariant (the rate output is
+        // the mean over T steps, so every step receives grad_rates / T);
+        // compute it once and hand it to the last layer by reference instead
+        // of cloning it at the top of every iteration.
         let per_step = grad_rates.mul_scalar(1.0 / self.time_steps as f32);
+        // The T iterations themselves cannot be hoisted or deduplicated:
+        // each one pops a different cached forward step from every layer's
+        // BPTT stack, and the spiking layers carry the membrane-potential
+        // gradient across iterations, so identical seeds still produce
+        // different per-layer work each time.
         for _ in 0..self.time_steps {
-            let mut grad = per_step.clone();
+            let mut grad: Option<Tensor> = None;
             for layer in self.layers.iter_mut().rev() {
-                grad = layer.backward(&grad)?;
+                let next = layer.backward(grad.as_ref().unwrap_or(&per_step))?;
+                grad = Some(next);
             }
         }
         Ok(())
@@ -310,11 +416,28 @@ impl SpikingNetwork {
     }
 }
 
+/// Runs `input` through `layers` in order, borrowing the initial tensor (the
+/// first layer reads it in place; only layer outputs are allocated).
+fn run_layers(
+    layers: &mut [Box<dyn Layer>],
+    input: &Tensor,
+    ctx: &ForwardContext<'_>,
+) -> Result<Tensor> {
+    let mut x: Option<Tensor> = None;
+    for layer in layers {
+        let next = layer.forward(x.as_ref().unwrap_or(input), ctx)?;
+        x = Some(next);
+    }
+    Ok(x.unwrap_or_else(|| input.clone()))
+}
+
 /// Extracts the input for time step `t`: temporal inputs (`[N, T, ...]`) are
-/// sliced, static inputs are replicated.
-fn step_input(input: &Tensor, t: usize, time_steps: usize) -> Result<Tensor> {
+/// sliced into an owned frame, static inputs are replicated for free as a
+/// borrowed view (`Cow::Borrowed`) — the seed cloned the full tensor here on
+/// every step.
+fn step_input<'a>(input: &'a Tensor, t: usize, time_steps: usize) -> Result<Cow<'a, Tensor>> {
     match input.ndim() {
-        2 | 4 => Ok(input.clone()),
+        2 | 4 => Ok(Cow::Borrowed(input)),
         5 => {
             if input.shape()[1] != time_steps {
                 return Err(SnnError::invalid_input(format!(
@@ -339,7 +462,7 @@ fn step_input(input: &Tensor, t: usize, time_steps: usize) -> Result<Tensor> {
                 let dst_base = b * chw;
                 dst[dst_base..dst_base + chw].copy_from_slice(&src[src_base..src_base + chw]);
             }
-            Ok(frame)
+            Ok(Cow::Owned(frame))
         }
         other => Err(SnnError::invalid_input(format!(
             "unsupported input rank {other}: expected [N, F], [N, C, H, W] or [N, T, C, H, W]"
@@ -494,5 +617,86 @@ mod tests {
     fn forward_on_empty_network_errors() {
         let mut network = SpikingNetwork::new(2);
         assert!(network.forward(&Tensor::ones(&[1, 4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn engine_config_defaults_on_and_toggles() {
+        let mut network = tiny_network();
+        assert_eq!(network.engine(), EngineConfig::default());
+        assert!(network.engine().prefix_cache && network.engine().spike_kernels);
+        network.set_event_driven(false);
+        assert_eq!(network.engine(), EngineConfig::disabled());
+        network.set_engine(EngineConfig {
+            prefix_cache: true,
+            spike_kernels: false,
+        });
+        assert!(network.engine().prefix_cache);
+        assert!(!network.engine().spike_kernels);
+    }
+
+    #[test]
+    fn prefix_cached_forward_is_bit_identical_to_uncached() {
+        use crate::layers::Conv2d;
+        // Conv -> spiking -> flatten -> linear -> spiking: the conv is the
+        // stateless prefix that the engine computes once per forward.
+        let build = || {
+            let mut network = SpikingNetwork::new(6);
+            network.push(Conv2d::new("conv", 1, 3, 3, 1, 1, 5).unwrap());
+            network.push(SpikingLayer::new("sn1", NeuronConfig::paper_default()));
+            network.push(Flatten::new("flatten"));
+            network.push(Linear::new("fc", 3 * 6 * 6, 4, 6).unwrap());
+            network.push(SpikingLayer::new("sn2", NeuronConfig::paper_default()));
+            network
+        };
+        let input = Tensor::from_fn(&[3, 1, 6, 6], |i| ((i % 11) as f32 - 3.0) * 0.4);
+        let mut cached = build();
+        let mut uncached = build();
+        uncached.set_engine(EngineConfig {
+            prefix_cache: false,
+            ..EngineConfig::default()
+        });
+        let a = cached.forward(&input, Mode::Eval).unwrap();
+        let b = uncached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(a.data(), b.data(), "prefix cache must not change outputs");
+    }
+
+    #[test]
+    fn prefix_cache_covers_fully_stateless_networks() {
+        // No spiking layer at all: the whole network is the prefix.
+        let build = || {
+            let mut network = SpikingNetwork::new(4);
+            network.push(Flatten::new("flatten"));
+            network.push(Linear::new("fc", 8, 3, 2).unwrap());
+            network
+        };
+        let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 5) as f32 * 0.3);
+        let mut cached = build();
+        let mut uncached = build();
+        uncached.set_event_driven(false);
+        let a = cached.forward(&input, Mode::Eval).unwrap();
+        let b = uncached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn training_pass_is_unaffected_by_prefix_cache() {
+        // Train mode must never take the cached path: every step has to push
+        // its own BPTT caches. With the engine on, backward still works and
+        // gradients flow.
+        let mut network = tiny_network();
+        assert_eq!(network.engine(), EngineConfig::default());
+        let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 3) as f32);
+        network.forward(&input, Mode::Train).unwrap();
+        assert!(network.backward(&Tensor::ones(&[2, 3])).is_ok());
+    }
+
+    #[test]
+    fn stateful_layers_report_correctly() {
+        let spiking = SpikingLayer::new("sn", NeuronConfig::paper_default());
+        assert!(spiking.is_stateful(Mode::Eval));
+        assert!(spiking.is_stateful(Mode::Train));
+        let linear = Linear::new("fc", 2, 2, 0).unwrap();
+        assert!(!linear.is_stateful(Mode::Eval));
+        assert!(linear.is_stateful(Mode::Train), "BPTT caches are state");
     }
 }

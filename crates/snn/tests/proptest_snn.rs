@@ -115,4 +115,43 @@ proptest! {
             prop_assert!((a - b).abs() < 1e-5, "{} vs {}", a, b);
         }
     }
+
+    #[test]
+    fn prefix_cached_forward_equals_uncached_exactly(
+        seed in 0u64..100,
+        amplitude in 0.1f32..2.0,
+        time_steps in 1usize..7,
+    ) {
+        // The temporal prefix cache reuses the stateless conv prefix across
+        // time steps; the result must be bit-identical to running the full
+        // stack every step, for any input statistics and step count.
+        let config = ArchitectureConfig::tiny_test().with_time_steps(time_steps);
+        let mut cached = config.build(13).unwrap();
+        let mut uncached = config.build(13).unwrap();
+        let mut engine = cached.engine();
+        engine.prefix_cache = false;
+        uncached.set_engine(engine);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, amplitude, &mut rng);
+        let a = cached.forward(&input, Mode::Eval).unwrap();
+        let b = uncached.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn temporal_inputs_bypass_the_prefix_cache(seed in 0u64..50) {
+        // Rank-5 neuromorphic inputs change every step, so cached and
+        // uncached execution are the same code path — outputs must agree.
+        let config = ArchitectureConfig::tiny_test().with_time_steps(3);
+        let mut cached = config.build(17).unwrap();
+        let mut uncached = config.build(17).unwrap();
+        uncached.set_event_driven(false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = falvolt_tensor::init::uniform(&[2, 3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let a = cached.forward(&input, Mode::Eval).unwrap();
+        let b = uncached.forward(&input, Mode::Eval).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
 }

@@ -16,7 +16,7 @@
 use crate::fault_map::PeMasks;
 use crate::{FaultMap, PeCoord, Result, SystolicConfig, SystolicError, WeightMapping};
 use falvolt_fixedpoint::Fixed;
-use falvolt_tensor::{Tensor, TensorError};
+use falvolt_tensor::{MatmulHint, Tensor, TensorError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -119,6 +119,17 @@ impl SystolicExecutor {
         self.fault_map = fault_map;
     }
 
+    /// Computes `activations x weights` on the systolic array with
+    /// [`MatmulHint::Auto`]; see [`SystolicExecutor::matmul_hinted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for non-matrix inputs or mismatched inner
+    /// dimensions.
+    pub fn matmul(&self, activations: &Tensor, weights: &Tensor) -> Result<Tensor> {
+        self.matmul_hinted(activations, weights, MatmulHint::Auto)
+    }
+
     /// Computes `activations x weights` on the systolic array.
     ///
     /// `activations` has shape `[M, K]` (rows of spikes or activations) and
@@ -126,11 +137,23 @@ impl SystolicExecutor {
     /// `(k mod rows, n mod cols)`; the partial sum of output `(m, n)` passes
     /// through that PE's accumulator, where its stuck-at faults are applied.
     ///
+    /// `hint` steers the fault-free fast path onto the event-driven sparse
+    /// kernel for spike activations. The faulty path ignores it: fault
+    /// corruption replays the exact quantized accumulator chain regardless,
+    /// so fault-injection results are bit-identical whatever the hint — it
+    /// still skips zero activations via per-row nonzero lists resolved once
+    /// per row instead of once per `(row, column)` pair.
+    ///
     /// # Errors
     ///
     /// Returns a tensor error for non-matrix inputs or mismatched inner
     /// dimensions.
-    pub fn matmul(&self, activations: &Tensor, weights: &Tensor) -> Result<Tensor> {
+    pub fn matmul_hinted(
+        &self,
+        activations: &Tensor,
+        weights: &Tensor,
+        hint: MatmulHint,
+    ) -> Result<Tensor> {
         let (m, k) = matrix_dims(activations)?;
         let (k2, n) = matrix_dims(weights)?;
         if k != k2 {
@@ -146,12 +169,14 @@ impl SystolicExecutor {
         let plan = FoldPlan::new(&self.config, &self.fault_map, k);
 
         // Fast path: with no fault anywhere in the array the datapath cannot
-        // corrupt anything, so the product folds to the clean blocked kernel.
-        // (This also drops the hardware's fixed-point quantization — an
-        // ideal-hardware idealisation bounded by k * resolution; only faulty
-        // maps replay the quantized datapath below.)
+        // corrupt anything, so the product folds to the kernel layer's
+        // structure-aware dispatch (blocked dense, or gather-accumulate for
+        // sparse spike activations). (This also drops the hardware's
+        // fixed-point quantization — an ideal-hardware idealisation bounded
+        // by k * resolution; only faulty maps replay the quantized datapath
+        // below.)
         if !plan.any_fault() {
-            let out = falvolt_tensor::kernels::matmul(a, w, m, k, n);
+            let out = falvolt_tensor::kernels::matmul_dispatch(a, w, m, k, n, hint);
             return Ok(Tensor::from_vec(vec![m, n], out)?);
         }
         if m == 0 || n == 0 {
@@ -167,16 +192,25 @@ impl SystolicExecutor {
         let bypass = matches!(self.bypass, BypassPolicy::SkipFaulty);
 
         let compute_row = |a_row: &[f32], out_row: &mut [f32]| {
+            // Event skip-list: the nonzero activations of this row, resolved
+            // once and reused by every clean output column (the seed
+            // re-scanned all k activations for each of the n columns).
+            let nonzero: Vec<(usize, f32)> = a_row
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, v)| v != 0.0)
+                .collect();
             for (j, out_elem) in out_row.iter_mut().enumerate() {
                 if plan.column_is_clean(j) {
                     // Fault-free fold: same quantize-and-saturate chain on
-                    // raw words, no mask checks.
+                    // raw words, no mask checks, zero steps skipped exactly
+                    // as before (a zero contribution leaves the clamped
+                    // accumulator unchanged).
                     let mut acc = 0i64;
-                    for (p, &a_ip) in a_row.iter().enumerate() {
-                        if a_ip != 0.0 {
-                            let q = i64::from(format.quantize(a_ip * w[p * n + j]));
-                            acc = (acc + q).clamp(min_raw, max_raw);
-                        }
+                    for &(p, a_ip) in &nonzero {
+                        let q = i64::from(format.quantize(a_ip * w[p * n + j]));
+                        acc = (acc + q).clamp(min_raw, max_raw);
                     }
                     *out_elem = format.dequantize(acc as i32);
                     continue;
@@ -470,6 +504,48 @@ mod tests {
         assert_eq!(out.shape(), &[3, 0]);
         let empty_rows = executor.matmul(&Tensor::zeros(&[0, 4]), &Tensor::zeros(&[4, 2]));
         assert_eq!(empty_rows.unwrap().shape(), &[0, 2]);
+    }
+
+    #[test]
+    fn faulty_path_is_bit_identical_for_every_hint() {
+        // Fault corruption must not depend on the operand-structure hint:
+        // spike activations through a faulty array give the same bits whether
+        // the caller declared them Dense, Spikes or left it to Auto.
+        let config = config();
+        let mut rng = StdRng::seed_from_u64(9);
+        let fault_map =
+            FaultMap::random_faulty_pes(&config, 3, 15, StuckAt::One, &mut rng).unwrap();
+        let executor = SystolicExecutor::new(config, fault_map);
+        let a = Tensor::from_fn(&[6, 9], |i| ((i % 5) == 0) as u8 as f32);
+        let b = Tensor::from_fn(&[9, 7], |i| (i % 13) as f32 * 0.03 - 0.15);
+        let dense = executor
+            .matmul_hinted(&a, &b, falvolt_tensor::MatmulHint::Dense)
+            .unwrap();
+        for hint in [
+            falvolt_tensor::MatmulHint::Auto,
+            falvolt_tensor::MatmulHint::Spikes,
+        ] {
+            let out = executor.matmul_hinted(&a, &b, hint).unwrap();
+            assert_eq!(out.data(), dense.data(), "hint {hint:?} changed bits");
+        }
+    }
+
+    #[test]
+    fn fault_free_path_dispatches_sparse_spikes_consistently() {
+        let config = config();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        // 10% binary density: Auto and Spikes take the event kernel.
+        let a = Tensor::from_fn(&[8, 40], |i| ((i % 10) == 0) as u8 as f32);
+        let b = Tensor::from_fn(&[40, 6], |i| (i % 7) as f32 * 0.11 - 0.3);
+        let dense = executor
+            .matmul_hinted(&a, &b, falvolt_tensor::MatmulHint::Dense)
+            .unwrap();
+        let auto = executor
+            .matmul_hinted(&a, &b, falvolt_tensor::MatmulHint::Auto)
+            .unwrap();
+        for (x, y) in auto.data().iter().zip(dense.data()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -18,6 +18,20 @@
 //! Accumulation visits `k` in increasing order for every output element, so
 //! results differ from the naive triple loop only by floating-point
 //! re-association across k-block boundaries (bounded by ~`k * eps`).
+//!
+//! # Event-driven kernels
+//!
+//! Activations downstream of a spiking layer are binary `{0, 1}` tensors
+//! that are mostly zero, so multiplying them through the dense kernel wastes
+//! nearly all of its FLOPs. [`matmul_dispatch`] probes the left operand
+//! ([`OperandProfile`], optionally short-circuited by a caller-supplied
+//! [`MatmulHint`]) and routes products whose lhs density is at most
+//! [`SPARSE_DENSITY_CUTOFF`] to [`matmul_sparse`], a gather-accumulate kernel
+//! that walks only the nonzero activations and turns binary entries into
+//! plain row additions (no multiply at all). [`im2col_sparse_into`] is the
+//! matching lowering for convolutions: it scatters only the nonzero input
+//! pixels into the (pre-zeroed) im2col matrix instead of copying every
+//! window cell.
 
 use rayon::prelude::*;
 
@@ -204,6 +218,174 @@ fn check_dims(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
 }
 
 // ---------------------------------------------------------------------------
+// Event-driven (spike-sparse) kernels
+// ---------------------------------------------------------------------------
+
+/// Lhs density at or below which [`matmul_dispatch`] selects the
+/// gather-accumulate kernel. The row-walk kernel does `density * k` row
+/// updates where the blocked kernel always does `k`; with the blocked
+/// kernel's register tiling worth roughly a 1.5-2x constant factor, the
+/// crossover sits well above 25%, so this cutoff only ever picks the sparse
+/// kernel where it clearly wins. Paper-typical spike densities are <= 20%.
+pub const SPARSE_DENSITY_CUTOFF: f32 = 0.25;
+
+/// Measured structure of a matmul operand (one `O(len)` pass — negligible
+/// next to the `O(len * n)` product it steers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperandProfile {
+    /// Fraction of nonzero elements, in `[0, 1]` (1.0 for empty operands).
+    pub density: f32,
+    /// `true` when every element is exactly `0.0` or `1.0` — the shape of a
+    /// spike tensor, where accumulation needs no multiplications.
+    pub binary: bool,
+}
+
+impl OperandProfile {
+    /// The profile assumed when structure analysis is skipped: fully dense.
+    pub fn dense() -> Self {
+        Self {
+            density: 1.0,
+            binary: false,
+        }
+    }
+
+    /// Scans `data` once, counting nonzeros and checking binariness.
+    pub fn measure(data: &[f32]) -> Self {
+        if data.is_empty() {
+            return Self::dense();
+        }
+        let mut nonzero = 0usize;
+        let mut binary = true;
+        for &v in data {
+            if v != 0.0 {
+                nonzero += 1;
+                binary &= v == 1.0;
+            }
+        }
+        Self {
+            density: nonzero as f32 / data.len() as f32,
+            binary,
+        }
+    }
+
+    /// `true` when the operand is sparse enough for the event-driven kernel.
+    pub fn is_event_sparse(&self) -> bool {
+        self.density <= SPARSE_DENSITY_CUTOFF
+    }
+}
+
+/// Caller-supplied structure hint for the left operand of a matrix product.
+///
+/// Layers that know what they feed the backend (e.g. a convolution whose
+/// input is the output of a spiking layer) pass the hint down so the
+/// dispatcher can skip or shrink the probe; [`MatmulHint::Dense`] is also the
+/// "engine off" switch that pins execution to the blocked dense kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatmulHint {
+    /// No structural knowledge: probe the operand and dispatch on density.
+    #[default]
+    Auto,
+    /// Operand known (or required to be treated as) dense: use the blocked
+    /// kernel unconditionally, no probe.
+    Dense,
+    /// Operand known to be a binary spike tensor. Informational: dispatch
+    /// still measures the operand (the probe is one cheap pass), but
+    /// backends may use the claim to pick spike-specialised paths.
+    Spikes,
+}
+
+/// Structure-aware matrix product `a (m x k) @ b (k x n)`: probes `a` as
+/// directed by `hint` and routes to [`matmul_sparse`] or the blocked
+/// [`matmul`].
+///
+/// Both kernels visit `k` in increasing order per output element, so they
+/// agree to within floating-point re-association (~`k * eps`); for `k <=`
+/// [`KC`] they agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_dispatch(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    hint: MatmulHint,
+) -> Vec<f32> {
+    let profile = match hint {
+        MatmulHint::Dense => return matmul(a, b, m, k, n),
+        // A Spikes claim is informational (the sparse kernel handles
+        // non-binary nonzeros anyway); dispatch measures the operand either
+        // way so there is a single source of truth for the density logic.
+        MatmulHint::Auto | MatmulHint::Spikes => OperandProfile::measure(a),
+    };
+    if profile.is_event_sparse() {
+        matmul_sparse(a, b, m, k, n)
+    } else {
+        matmul(a, b, m, k, n)
+    }
+}
+
+/// Event-driven matrix product for a sparse left operand: each output row is
+/// the sum of the `b` rows selected by the nonzero entries of the matching
+/// `a` row. Binary entries (`1.0`) skip the multiplication entirely and
+/// reduce to a row addition; other nonzeros fall back to an axpy update.
+/// Zero rows of `a` cost nothing.
+///
+/// Accumulation visits the nonzero `k` indices in increasing order, matching
+/// the naive kernel's order exactly and the blocked kernel's within k-block
+/// re-association.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    check_dims(a, b, m, k, n);
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || m * n * k < PARALLEL_FLOP_THRESHOLD {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            sparse_row(&a[i * k..(i + 1) * k], b, out_row, n);
+        }
+        return out;
+    }
+    let rows_per_panel = m.div_ceil(threads * 2).max(1);
+    out.par_chunks_mut(rows_per_panel * n)
+        .enumerate()
+        .for_each(|(panel, out_panel)| {
+            let row0 = panel * rows_per_panel;
+            for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
+                sparse_row(&a[(row0 + r) * k..(row0 + r + 1) * k], b, out_row, n);
+            }
+        });
+    out
+}
+
+/// Gather-accumulate update of one output row from the nonzeros of `a_row`.
+fn sparse_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
+    for (p, &v) in a_row.iter().enumerate() {
+        if v == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        if v == 1.0 {
+            // Spike: pure row addition, no multiply in the inner loop.
+            for (o, &w) in out_row.iter_mut().zip(b_row) {
+                *o += w;
+            }
+        } else {
+            for (o, &w) in out_row.iter_mut().zip(b_row) {
+                *o += v * w;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // im2col
 // ---------------------------------------------------------------------------
 
@@ -303,6 +485,88 @@ fn im2col_stripe(input: &[f32], out_stripe: &mut [f32], geom: &Im2colGeom, strip
     }
 }
 
+/// Spike-aware im2col: assumes `out` is zero-filled and scatters only the
+/// nonzero input pixels into their window positions, costing
+/// `O(nnz * kernel^2)` instead of `O(rows * cols)`. Produces exactly the
+/// matrix [`im2col_into`] builds (distinct pixels land in distinct cells).
+///
+/// Parallelised over batches when the output is large enough.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths disagree with `geom`.
+pub fn im2col_sparse_into(input: &[f32], out: &mut [f32], geom: &Im2colGeom) {
+    assert_eq!(
+        input.len(),
+        geom.batch * geom.channels * geom.in_h * geom.in_w,
+        "input buffer has the wrong length"
+    );
+    assert_eq!(
+        out.len(),
+        geom.rows() * geom.cols(),
+        "output buffer has the wrong length"
+    );
+    let batch_stride = geom.out_h * geom.out_w * geom.cols();
+    if batch_stride == 0 {
+        return;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || out.len() < PARALLEL_FLOP_THRESHOLD {
+        for (b, out_batch) in out.chunks_mut(batch_stride).enumerate() {
+            im2col_scatter_batch(input, out_batch, geom, b);
+        }
+    } else {
+        out.par_chunks_mut(batch_stride)
+            .enumerate()
+            .for_each(|(b, out_batch)| {
+                im2col_scatter_batch(input, out_batch, geom, b);
+            });
+    }
+}
+
+/// Scatters the nonzero pixels of batch `b` into its slice of the im2col
+/// matrix. For pixel `(ch, iy, ix)` and kernel offset `(ky, kx)`, the output
+/// position `(oy, ox)` satisfies `iy = oy * stride + ky - padding`, so the
+/// pixel lands in row `(oy * out_w + ox)`, column `(ch * k + ky) * k + kx`.
+fn im2col_scatter_batch(input: &[f32], out_batch: &mut [f32], geom: &Im2colGeom, b: usize) {
+    let (c, h, w, k) = (geom.channels, geom.in_h, geom.in_w, geom.kernel);
+    let (stride, padding) = (geom.stride, geom.padding);
+    let cols = geom.cols();
+    for ch in 0..c {
+        for iy in 0..h {
+            let in_row = &input[((b * c + ch) * h + iy) * w..((b * c + ch) * h + iy + 1) * w];
+            for (ix, &v) in in_row.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                for ky in 0..k {
+                    let oy_num = iy + padding;
+                    if oy_num < ky || (oy_num - ky) % stride != 0 {
+                        continue;
+                    }
+                    let oy = (oy_num - ky) / stride;
+                    if oy >= geom.out_h {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ox_num = ix + padding;
+                        if ox_num < kx || (ox_num - kx) % stride != 0 {
+                            continue;
+                        }
+                        let ox = (ox_num - kx) / stride;
+                        if ox >= geom.out_w {
+                            continue;
+                        }
+                        let row = oy * geom.out_w + ox;
+                        let col = (ch * k + ky) * k + kx;
+                        out_batch[row * cols + col] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +640,100 @@ mod tests {
     #[should_panic(expected = "wrong length")]
     fn dimension_mismatch_panics() {
         let _ = matmul(&[0.0; 5], &[0.0; 6], 2, 3, 2);
+    }
+
+    fn spike_matrix(len: usize, density: f32, salt: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let r = ((i * 2654435761 + salt * 97) % 1000) as f32 / 1000.0;
+                (r < density) as u8 as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn operand_profile_measures_density_and_binariness() {
+        let spikes = spike_matrix(1000, 0.1, 1);
+        let profile = OperandProfile::measure(&spikes);
+        assert!(profile.binary);
+        assert!((profile.density - 0.1).abs() < 0.05);
+        assert!(profile.is_event_sparse());
+
+        let dense: Vec<f32> = (0..100).map(|i| pseudo(i, 4)).collect();
+        let profile = OperandProfile::measure(&dense);
+        assert!(!profile.binary);
+        assert!(profile.density > 0.9);
+        assert!(!profile.is_event_sparse());
+
+        assert_eq!(OperandProfile::measure(&[]), OperandProfile::dense());
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense_across_densities() {
+        let (m, k, n) = (13, 90, 17);
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 5)).collect();
+        for &density in &[0.0f32, 0.05, 0.5, 1.0] {
+            let a = spike_matrix(m * k, density, 9);
+            let sparse = matmul_sparse(&a, &b, m, k, n);
+            let dense = matmul(&a, &b, m, k, n);
+            assert_close(&sparse, &dense, 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_handles_nonbinary_values() {
+        let (m, k, n) = (5, 40, 7);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| if i % 6 == 0 { pseudo(i, 6) } else { 0.0 })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 7)).collect();
+        assert_close(
+            &matmul_sparse(&a, &b, m, k, n),
+            &matmul_naive(&a, &b, m, k, n),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn dispatch_honours_hints_and_density() {
+        let (m, k, n) = (9, 50, 11);
+        let sparse_a = spike_matrix(m * k, 0.08, 3);
+        let dense_a: Vec<f32> = (0..m * k).map(|i| pseudo(i, 8)).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 9)).collect();
+        for a in [&sparse_a, &dense_a] {
+            let reference = matmul(a, &b, m, k, n);
+            for hint in [MatmulHint::Auto, MatmulHint::Dense, MatmulHint::Spikes] {
+                assert_close(&matmul_dispatch(a, &b, m, k, n, hint), &reference, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_im2col_matches_dense_lowering() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let (batch, channels, in_h, in_w, kernel) = (2, 3, 6, 5, 3);
+            let out_h = (in_h + 2 * padding - kernel) / stride + 1;
+            let out_w = (in_w + 2 * padding - kernel) / stride + 1;
+            let geom = Im2colGeom {
+                batch,
+                channels,
+                in_h,
+                in_w,
+                kernel,
+                stride,
+                padding,
+                out_h,
+                out_w,
+            };
+            let input = spike_matrix(batch * channels * in_h * in_w, 0.2, 13);
+            let mut dense_out = vec![0.0f32; geom.rows() * geom.cols()];
+            im2col_into(&input, &mut dense_out, &geom);
+            let mut sparse_out = vec![0.0f32; geom.rows() * geom.cols()];
+            im2col_sparse_into(&input, &mut sparse_out, &geom);
+            assert_eq!(
+                dense_out, sparse_out,
+                "stride {stride} padding {padding} mismatch"
+            );
+        }
     }
 }

@@ -42,6 +42,7 @@ pub mod ops;
 pub mod reduce;
 
 pub use error::TensorError;
+pub use kernels::{MatmulHint, OperandProfile};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -149,6 +149,22 @@ impl Conv2dDims {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    // All dense products run through the shared blocked-parallel kernel
+    // layer ([`MatmulHint::Dense`] pins the dispatcher to it).
+    matmul_hinted(a, b, crate::kernels::MatmulHint::Dense)
+}
+
+/// Structure-aware matrix product: like [`matmul`], but routes through the
+/// kernel dispatcher so sparse/binary left operands (spike activations) take
+/// the event-driven gather-accumulate kernel. [`MatmulHint::Dense`]
+/// reproduces [`matmul`] exactly.
+///
+/// [`MatmulHint::Dense`]: crate::kernels::MatmulHint::Dense
+///
+/// # Errors
+///
+/// Returns the same errors as [`matmul`].
+pub fn matmul_hinted(a: &Tensor, b: &Tensor, hint: crate::kernels::MatmulHint) -> Result<Tensor> {
     let (m, k) = as_matrix_dims(a)?;
     let (k2, n) = as_matrix_dims(b)?;
     if k != k2 {
@@ -157,8 +173,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: k2,
         });
     }
-    // All dense products run through the shared blocked-parallel kernel layer.
-    let out = crate::kernels::matmul(a.data(), b.data(), m, k, n);
+    let out = crate::kernels::matmul_dispatch(a.data(), b.data(), m, k, n, hint);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -225,6 +240,31 @@ pub fn im2col(input: &Tensor, dims: &Conv2dDims) -> Result<Tensor> {
     let geom = dims.geom();
     let mut out = vec![0.0f32; dims.col_rows() * dims.col_cols()];
     crate::kernels::im2col_into(input.data(), &mut out, &geom);
+    Tensor::from_vec(vec![dims.col_rows(), dims.col_cols()], out)
+}
+
+/// Structure-aware im2col lowering: when `profile` reports an event-sparse
+/// input (spike frames), scatters only the nonzero pixels
+/// ([`crate::kernels::im2col_sparse_into`]); otherwise performs the dense
+/// copy. Both paths produce the identical matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the input shape disagrees with
+/// `dims`.
+pub fn im2col_with_profile(
+    input: &Tensor,
+    dims: &Conv2dDims,
+    profile: crate::kernels::OperandProfile,
+) -> Result<Tensor> {
+    check_input_shape(input, dims)?;
+    let geom = dims.geom();
+    let mut out = vec![0.0f32; dims.col_rows() * dims.col_cols()];
+    if profile.is_event_sparse() {
+        crate::kernels::im2col_sparse_into(input.data(), &mut out, &geom);
+    } else {
+        crate::kernels::im2col_into(input.data(), &mut out, &geom);
+    }
     Tensor::from_vec(vec![dims.col_rows(), dims.col_cols()], out)
 }
 

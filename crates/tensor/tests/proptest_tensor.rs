@@ -124,4 +124,75 @@ proptest! {
         let via_kernel = kernels::matmul(a.data(), b.data(), m, k, n);
         prop_assert_eq!(via_ops.data(), &via_kernel[..]);
     }
+
+    #[test]
+    fn sparse_spike_matmul_matches_dense_blocked_at_all_densities(
+        m in 1usize..24,
+        k in 1usize..80,
+        n in 1usize..24,
+        seed in 0u64..1000,
+        density_idx in 0usize..4,
+    ) {
+        // The event-driven gather-accumulate kernel must agree with the
+        // dense blocked kernel within 1e-5 at the paper-relevant spike
+        // densities: fully silent, sparse, half-on and fully dense.
+        let density = [0.0f32, 0.05, 0.5, 1.0][density_idx];
+        let salt = seed.wrapping_mul(0x9E37_79B9);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| {
+                let r = ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 1000) as f32
+                    / 1000.0;
+                (r < density) as u8 as f32
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(2246822519).wrapping_add(salt) % 1000) as f32 / 250.0 - 2.0)
+            .collect();
+        let sparse = kernels::matmul_sparse(&a, &b, m, k, n);
+        let dense = kernels::matmul(&a, &b, m, k, n);
+        for (i, (x, y)) in sparse.iter().zip(&dense).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!(
+                (x - y).abs() <= 1e-5 * scale,
+                "density {}, element {}: sparse {} vs dense {}", density, i, x, y
+            );
+        }
+        // The dispatcher must agree with the same tolerance whatever the
+        // caller claims about the operand.
+        for hint in [
+            kernels::MatmulHint::Auto,
+            kernels::MatmulHint::Dense,
+            kernels::MatmulHint::Spikes,
+        ] {
+            let dispatched = kernels::matmul_dispatch(&a, &b, m, k, n, hint);
+            for (x, y) in dispatched.iter().zip(&dense) {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                prop_assert!((x - y).abs() <= 1e-5 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_im2col_scatter_matches_dense_copy(
+        batch in 1usize..3,
+        channels in 1usize..4,
+        size in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        // kernel <= 3 and size >= 3, so the kernel always fits the input.
+        let dims = ops::Conv2dDims::new(batch, channels, 1, size, size, kernel, stride, padding)
+            .unwrap();
+        let salt = seed.wrapping_mul(0x517C_C1B7);
+        let input = Tensor::from_fn(&[batch, channels, size, size], |i| {
+            let r = ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 100) as f32 / 100.0;
+            (r < 0.15) as u8 as f32
+        });
+        let dense = ops::im2col(&input, &dims).unwrap();
+        let profile = kernels::OperandProfile::measure(input.data());
+        let sparse = ops::im2col_with_profile(&input, &dims, profile).unwrap();
+        prop_assert_eq!(dense.data(), sparse.data());
+    }
 }

@@ -97,4 +97,68 @@ proptest! {
         prop_assert_eq!(before, network.export_parameters());
         let _ = seed;
     }
+
+    #[test]
+    fn event_engine_is_bit_identical_under_fault_injection(
+        seed in 0u64..50,
+        faulty_pes in 1usize..8,
+        bit_choice in 0usize..2,
+    ) {
+        // The acceptance bar of the event-driven engine: with a non-empty
+        // FaultMap installed through the SystolicBackend, turning the engine
+        // (prefix cache + spike-sparsity kernels) on or off must not change a
+        // single bit of the fault-injection output — the faulty accumulator
+        // chain replays identically and the prefix cache reuses the identical
+        // computation.
+        use falvolt::SystolicBackend;
+        let systolic = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bit = [0u32, 15][bit_choice]; // LSB and MSB stuck-at faults
+        let fault_map = FaultMap::random_faulty_pes(
+            &systolic,
+            faulty_pes,
+            bit,
+            StuckAt::One,
+            &mut rng,
+        )
+        .unwrap();
+        prop_assert!(!fault_map.is_empty());
+
+        let mut engine_on = tiny_network(1.0);
+        let mut engine_off = tiny_network(1.0);
+        engine_on.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
+        engine_off.set_backend(SystolicBackend::shared(systolic, fault_map));
+        engine_off.set_event_driven(false);
+
+        let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.5, &mut rng);
+        let on = engine_on.forward(&input, Mode::Eval).unwrap();
+        let off = engine_off.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(on.data(), off.data());
+    }
+
+    #[test]
+    fn prefix_cache_is_exact_under_faulty_systolic_backend(seed in 0u64..50) {
+        // Same bar, isolating the prefix cache: only the caching switch
+        // differs, the kernels stay hinted on both sides.
+        use falvolt::SystolicBackend;
+        use falvolt_snn::EngineConfig;
+        let systolic = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000));
+        let fault_map =
+            FaultMap::random_faulty_pes(&systolic, 3, 15, StuckAt::One, &mut rng).unwrap();
+
+        let mut cached = tiny_network(1.0);
+        let mut uncached = tiny_network(1.0);
+        cached.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
+        uncached.set_backend(SystolicBackend::shared(systolic, fault_map));
+        uncached.set_engine(EngineConfig {
+            prefix_cache: false,
+            ..EngineConfig::default()
+        });
+
+        let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.2, &mut rng);
+        let a = cached.forward(&input, Mode::Eval).unwrap();
+        let b = uncached.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
 }
