@@ -6,17 +6,20 @@
 //!   — the design-choice ablation called out in `DESIGN.md` §5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falvolt::SystolicBackend;
+use falvolt_snn::config::ArchitectureConfig;
 use falvolt_snn::layers::{
     AvgPool2d, Conv2d, Flatten, ForwardContext, Layer, Linear, Mode, SpikingLayer,
 };
 use falvolt_snn::neuron::NeuronConfig;
 use falvolt_snn::surrogate::Surrogate;
-use falvolt_snn::{FloatBackend, SpikingNetwork};
-use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig, SystolicExecutor};
+use falvolt_snn::{EngineConfig, FloatBackend, MatmulBackend, SpikingNetwork, SweepCache};
+use falvolt_systolic::{FaultMap, ProductCache, StuckAt, SystolicConfig, SystolicExecutor};
 use falvolt_tensor::ops::Conv2dDims;
-use falvolt_tensor::{ops, OperandProfile, Tensor};
+use falvolt_tensor::{ops, MatmulHint, OperandProfile, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn matmul_backends(c: &mut Criterion) {
@@ -161,6 +164,120 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// A [`MatmulBackend`] that records, for every product, the measured lhs
+/// density and whether the dispatcher's 25% cutoff would route it to the
+/// event-driven kernel — the instrumentation behind the kernel-choice sweep.
+#[derive(Debug, Default)]
+struct RecordingBackend {
+    inner: FloatBackend,
+    calls: Mutex<Vec<(f32, bool)>>,
+}
+
+impl MatmulBackend for RecordingBackend {
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
+        self.matmul_hinted(a, b, MatmulHint::Auto)
+    }
+
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        let profile = OperandProfile::measure(a.data());
+        let event = !matches!(hint, MatmulHint::Dense) && profile.is_event_sparse();
+        self.calls
+            .lock()
+            .expect("recording backend poisoned")
+            .push((profile.density, event));
+        self.inner.matmul_hinted(a, b, hint)
+    }
+
+    fn name(&self) -> &str {
+        "recording"
+    }
+}
+
+/// Per-layer dispatch statistics: `(layer, calls, event_fraction,
+/// mean_lhs_density)`.
+type LayerChoiceRow = (String, usize, f64, f64);
+
+/// Runs each of the paper's three architectures (untrained weights, one
+/// synthetic input batch, temporal prefix cache off so every step's dispatch
+/// decision is visible) through a [`RecordingBackend`] and returns, per
+/// matmul-bearing layer, one [`LayerChoiceRow`].
+fn kernel_choice_sweep() -> Vec<(String, Vec<LayerChoiceRow>)> {
+    let mut report = Vec::new();
+    for config in [
+        ArchitectureConfig::mnist_like(),
+        ArchitectureConfig::nmnist_like(),
+        ArchitectureConfig::dvs_gesture_like(),
+    ] {
+        let mut network = config.build(33).expect("architecture builds");
+        network.set_engine(EngineConfig {
+            prefix_cache: false,
+            spike_kernels: true,
+        });
+        let recorder = Arc::new(RecordingBackend::default());
+        network.set_backend(Arc::clone(&recorder) as Arc<dyn MatmulBackend>);
+        let mut rng = StdRng::seed_from_u64(77);
+        let input = falvolt_tensor::init::uniform(
+            &[
+                8,
+                config.input_channels,
+                config.input_size,
+                config.input_size,
+            ],
+            0.0,
+            1.5,
+            &mut rng,
+        );
+        network
+            .forward(&input, Mode::Eval)
+            .expect("forward for kernel-choice sweep");
+
+        // With the prefix cache off, every time step issues the products of
+        // the matmul-bearing layers in network order, so call index modulo
+        // the layer count attributes each call.
+        let mut layer_names = vec!["encode_conv".to_string()];
+        for block in 1..=config.conv_blocks {
+            layer_names.push(format!("conv{block}"));
+        }
+        layer_names.push("fc1".to_string());
+        layer_names.push("fc2".to_string());
+        let calls = recorder
+            .calls
+            .lock()
+            .expect("recording backend poisoned")
+            .clone();
+        assert_eq!(
+            calls.len(),
+            layer_names.len() * config.time_steps,
+            "unexpected product count for {}",
+            config.name
+        );
+        let rows = layer_names
+            .iter()
+            .enumerate()
+            .map(|(l, name)| {
+                let per_layer: Vec<&(f32, bool)> =
+                    calls.iter().skip(l).step_by(layer_names.len()).collect();
+                let events = per_layer.iter().filter(|(_, e)| *e).count();
+                let mean_density = per_layer.iter().map(|(d, _)| f64::from(*d)).sum::<f64>()
+                    / per_layer.len() as f64;
+                (
+                    name.clone(),
+                    per_layer.len(),
+                    events as f64 / per_layer.len() as f64,
+                    mean_density,
+                )
+            })
+            .collect();
+        report.push((config.name.clone(), rows));
+    }
+    report
+}
+
 /// Times the seed's naive matmul against the blocked-parallel kernel at
 /// 512x512x512 and the seed executor against the FoldPlan executor, then
 /// writes the machine-readable comparison to `BENCH_kernels.json` at the
@@ -280,9 +397,93 @@ fn kernel_comparison(c: &mut Criterion) {
     let uncached_s = best_of(3, || engine_off.forward(&net_input, Mode::Eval).unwrap());
     let cached_s = best_of(3, || engine_on.forward(&net_input, Mode::Eval).unwrap());
 
+    // --- Fig-5-shaped scenario sweep: 32 fault maps x one input batch ------
+    // The sweep axis of every figure: many fault scenarios against the same
+    // trained network and input. Baseline = the PR 2 engine (one deep
+    // network clone per scenario, mask chains fully replayed, no sharing);
+    // engine = scenario views on Arc-shared weights, composed mask chains,
+    // the im2col/prefix sweep cache and the shared clean-product cache.
+    // Outputs are asserted bit-identical before anything is timed.
+    let sys16 = SystolicConfig::new(16, 16).unwrap();
+    let msb = sys16.accumulator_format().msb();
+    let scenario_maps: Vec<FaultMap> = (0..32)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0x5CEA ^ ((i as u64) << 8));
+            let faulty_pes = 2 + (i % 7);
+            FaultMap::random_faulty_pes(&sys16, faulty_pes, msb, StuckAt::One, &mut rng).unwrap()
+        })
+        .collect();
+    let scenario_net = build_network();
+    let run_per_clone_baseline = || -> Vec<Tensor> {
+        scenario_maps
+            .iter()
+            .map(|map| {
+                let mut worker = scenario_net.unshared_clone();
+                worker.set_backend(SystolicBackend::shared_with_options(
+                    sys16,
+                    map.clone(),
+                    None,
+                    false,
+                ));
+                worker.forward(&net_input, Mode::Eval).unwrap()
+            })
+            .collect()
+    };
+    let run_scenario_engine = || -> Vec<Tensor> {
+        // Fresh caches per run: the sweep owns them, and timing must include
+        // the misses that fill them.
+        let sweep_cache = Arc::new(SweepCache::new());
+        let product_cache = Arc::new(ProductCache::new());
+        scenario_maps
+            .iter()
+            .map(|map| {
+                let mut worker = scenario_net.scenario_view();
+                worker.set_sweep_cache(Some(Arc::clone(&sweep_cache)));
+                worker.set_backend(SystolicBackend::shared_with_cache(
+                    sys16,
+                    map.clone(),
+                    Arc::clone(&product_cache),
+                ));
+                worker.forward(&net_input, Mode::Eval).unwrap()
+            })
+            .collect()
+    };
+    let baseline_outputs = run_per_clone_baseline();
+    let engine_outputs = run_scenario_engine();
+    assert_eq!(baseline_outputs.len(), engine_outputs.len());
+    for (i, (a, b)) in baseline_outputs.iter().zip(&engine_outputs).enumerate() {
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "scenario {i} diverged from the per-clone baseline"
+        );
+    }
+    let scenario_baseline_s = best_of(2, run_per_clone_baseline);
+    let scenario_engine_s = best_of(2, run_scenario_engine);
+
+    // --- kernel-choice frequency across the paper's architectures ---------
+    let choice_report = kernel_choice_sweep();
+    let choice_sections: Vec<String> = choice_report
+        .iter()
+        .map(|(arch, rows)| {
+            let entries: Vec<String> = rows
+                .iter()
+                .map(|(layer, calls, event_frac, mean_density)| {
+                    format!(
+                        "    {{\n      \"layer\": \"{layer}\",\n      \"calls\": {calls},\n      \"event_kernel_frac\": {event_frac:.4},\n      \"mean_lhs_density\": {mean_density:.4}\n    }}"
+                    )
+                })
+                .collect();
+            format!(
+                "  \"kernel_choice_{arch}\": [\n{}\n  ]",
+                entries.join(",\n")
+            )
+        })
+        .collect();
+
     let threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
         naive_s * 1e3,
         blocked_s * 1e3,
         matmul_speedup,
@@ -297,6 +498,11 @@ fn kernel_comparison(c: &mut Criterion) {
         uncached_s * 1e3,
         cached_s * 1e3,
         uncached_s / cached_s,
+        scenario_maps.len(),
+        scenario_baseline_s * 1e3,
+        scenario_engine_s * 1e3,
+        scenario_baseline_s / scenario_engine_s,
+        choice_sections.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");

@@ -1,54 +1,158 @@
 //! Bench-smoke regression gate.
 //!
 //! Parses `BENCH_kernels.json` (written by `cargo bench -p falvolt-bench
-//! --bench kernels`) and fails when any recorded `"speedup"` is below the
-//! threshold — i.e. when an optimised path has regressed behind the baseline
-//! it claims to beat. The workspace has no JSON-parsing dependency (offline
-//! shims only), so the scan is a small hand-rolled scanner over `"speedup":
-//! <number>` occurrences. A `"speedup"` key whose value cannot be parsed as
-//! a finite number (`inf`, `NaN`, garbage) fails the gate rather than being
-//! skipped — a broken measurement must not pass silently.
+//! --bench kernels`) and fails when
 //!
-//! The threshold defaults to 1.0 (an optimised path must not be slower than
-//! its baseline); `BENCH_GATE_MIN_SPEEDUP` overrides it for noisy shared
-//! runners.
+//! * any recorded `"speedup"` is below the absolute threshold (default 1.0 —
+//!   an optimised path must not be slower than the baseline it claims to
+//!   beat), or
+//! * a **baseline file** is supplied (second argument or
+//!   `BENCH_GATE_BASELINE`) and any speedup shared between the two files has
+//!   regressed by more than `BENCH_GATE_MAX_REGRESSION` (default 0.10, i.e.
+//!   current < 90% of baseline), or a baseline-recorded comparison vanished
+//!   from the current file (a bench that stops measuring must not pass
+//!   silently).
 //!
-//! Exit status: 0 when every speedup parses and clears the threshold, 1
-//! otherwise (including a missing or speedup-free file, which would mean the
-//! bench stopped recording comparisons).
+//! The workspace has no JSON-parsing dependency (offline shims only), so the
+//! scan is a small key-path tracker over the machine-generated JSON: every
+//! `"speedup": <number>` is labelled with the `/`-joined path of enclosing
+//! object keys and array indices (e.g. `sparse_matmul_1024x512x64/[2]`),
+//! which is what lets current and baseline values be matched entry-by-entry
+//! even as new benches are added. A `"speedup"` whose value cannot be parsed
+//! as a finite number (`inf`, `NaN`, garbage) fails the gate rather than
+//! being skipped — a broken measurement must not pass silently.
+//!
+//! `BENCH_GATE_MIN_SPEEDUP` overrides the absolute threshold for noisy
+//! shared runners.
+//!
+//! Array elements are labelled positionally (`[0]`, `[1]`, …), so the
+//! baseline must come from the same bench structure as the current file —
+//! which CI guarantees by snapshotting the committed `BENCH_kernels.json`
+//! of the same revision it benches. Comparing files across revisions that
+//! reordered or inserted sweep entries would silently match different
+//! entries.
+//!
+//! Exit status: 0 when every check clears, 1 otherwise (including a missing
+//! or speedup-free current file).
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Extracts every `"speedup": <value>` occurrence from `text`, in order.
-/// Values that do not parse as a finite number are reported as `Err` with
-/// the offending token.
-fn extract_speedups(text: &str) -> Vec<Result<f64, String>> {
-    let needle = "\"speedup\":";
-    let mut values = Vec::new();
-    let mut rest = text;
-    while let Some(pos) = rest.find(needle) {
-        rest = &rest[pos + needle.len()..];
-        let token: String = rest
-            .trim_start()
-            .chars()
-            .take_while(|c| !c.is_whitespace() && *c != ',' && *c != '}' && *c != ']')
-            .collect();
-        match token.parse::<f64>() {
-            Ok(v) if v.is_finite() => values.push(Ok(v)),
-            _ => values.push(Err(token)),
+/// One `"speedup"` occurrence: its key path and parsed value (or the
+/// offending token).
+type LabeledSpeedup = (String, Result<f64, String>);
+
+/// Scans `text` for every `"speedup": <value>` occurrence, labelling each
+/// with the path of enclosing object keys / array indices. The scanner
+/// understands exactly the JSON shape the bench emits (string keys, nested
+/// objects and arrays, scalar values without embedded braces).
+fn extract_labeled_speedups(text: &str) -> Vec<LabeledSpeedup> {
+    #[derive(Debug)]
+    enum Frame {
+        Object,
+        Array(usize),
+    }
+    let mut results = Vec::new();
+    let mut stack: Vec<(String, Frame)> = Vec::new();
+    let mut pending_key: Option<String> = None;
+    let mut chars = text.chars().peekable();
+
+    let path_of = |stack: &[(String, Frame)], key: &str| -> String {
+        let mut parts: Vec<String> = stack.iter().map(|(name, _)| name.clone()).collect();
+        parts.push(key.to_string());
+        parts.retain(|p| !p.is_empty());
+        parts.join("/")
+    };
+
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let mut s = String::new();
+                for sc in chars.by_ref() {
+                    if sc == '"' {
+                        break;
+                    }
+                    s.push(sc);
+                }
+                // A string followed by ':' is a key; otherwise it is a value
+                // (which consumes any pending key so it cannot leak onto the
+                // next container).
+                while matches!(chars.peek(), Some(w) if w.is_whitespace()) {
+                    chars.next();
+                }
+                if matches!(chars.peek(), Some(':')) {
+                    chars.next();
+                    pending_key = Some(s);
+                } else {
+                    pending_key = None;
+                }
+            }
+            '{' => {
+                let name = pending_key.take().unwrap_or_else(|| {
+                    // Array element object: label with the element index.
+                    match stack.last() {
+                        Some((_, Frame::Array(i))) => format!("[{i}]"),
+                        _ => String::new(),
+                    }
+                });
+                stack.push((name, Frame::Object));
+            }
+            '[' => {
+                let name = pending_key.take().unwrap_or_default();
+                stack.push((name, Frame::Array(0)));
+            }
+            '}' | ']' => {
+                stack.pop();
+            }
+            ',' => {
+                if let Some((_, Frame::Array(i))) = stack.last_mut() {
+                    *i += 1;
+                }
+            }
+            _ if !c.is_whitespace() => {
+                // A scalar value token (number, true, false, null).
+                let mut token = String::from(c);
+                while let Some(&w) = chars.peek() {
+                    if w.is_whitespace() || w == ',' || w == '}' || w == ']' {
+                        break;
+                    }
+                    token.push(w);
+                    chars.next();
+                }
+                if let Some(key) = pending_key.take() {
+                    if key == "speedup" {
+                        let label = path_of(&stack, &key);
+                        let value = match token.parse::<f64>() {
+                            Ok(v) if v.is_finite() => Ok(v),
+                            _ => Err(token.clone()),
+                        };
+                        results.push((label, value));
+                    }
+                }
+            }
+            _ => {}
         }
     }
-    values
+    results
 }
 
 fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").into());
+    let baseline_path = args
+        .next()
+        .or_else(|| std::env::var("BENCH_GATE_BASELINE").ok());
     let threshold = std::env::var("BENCH_GATE_MIN_SPEEDUP")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.0);
+    let max_regression = std::env::var("BENCH_GATE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
@@ -57,31 +161,72 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let speedups = extract_speedups(&text);
+    let speedups = extract_labeled_speedups(&text);
     if speedups.is_empty() {
         eprintln!("bench gate: {path} records no \"speedup\" entries — bench output is broken");
         return ExitCode::FAILURE;
     }
+
     let mut ok = true;
-    for (i, entry) in speedups.iter().enumerate() {
+    let mut current = BTreeMap::new();
+    for (label, entry) in &speedups {
         match entry {
             Ok(v) => {
                 let verdict = if *v >= threshold { "ok" } else { "REGRESSION" };
-                println!("speedup[{i}] = {v:.3} ({verdict})");
+                println!("{label} = {v:.3} ({verdict})");
                 if *v < threshold {
                     ok = false;
                 }
+                current.insert(label.clone(), *v);
             }
             Err(token) => {
-                eprintln!("speedup[{i}] = {token:?} (UNPARSEABLE — broken measurement)");
+                eprintln!("{label} = {token:?} (UNPARSEABLE — broken measurement)");
                 ok = false;
             }
         }
     }
+
+    if let Some(baseline_path) = baseline_path {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(baseline_text) => {
+                let floor = 1.0 - max_regression;
+                for (label, entry) in extract_labeled_speedups(&baseline_text) {
+                    let Ok(base) = entry else { continue };
+                    match current.get(&label) {
+                        Some(&now) if now >= base * floor => {
+                            println!(
+                                "{label}: {now:.3} vs baseline {base:.3} (ok, floor {:.3})",
+                                base * floor
+                            );
+                        }
+                        Some(&now) => {
+                            eprintln!(
+                                "{label}: {now:.3} regressed more than {:.0}% below baseline {base:.3}",
+                                max_regression * 100.0
+                            );
+                            ok = false;
+                        }
+                        None => {
+                            eprintln!(
+                                "{label}: recorded in baseline ({base:.3}) but missing from {path}"
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("bench gate: cannot read baseline {baseline_path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
     if ok {
         println!(
-            "bench gate: all {} recorded speedups >= {threshold}",
-            speedups.len()
+            "bench gate: all {} recorded speedups >= {threshold} (and within {:.0}% of baseline where one was given)",
+            speedups.len(),
+            max_regression * 100.0
         );
         ExitCode::SUCCESS
     } else {
@@ -92,34 +237,62 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::extract_speedups;
+    use super::extract_labeled_speedups;
 
     #[test]
-    fn extracts_all_speedup_values() {
+    fn extracts_and_labels_all_speedup_values() {
         let json = r#"{ "a": { "speedup": 1.417 }, "b": [ { "speedup": 0.93 }, { "x": 1 } ] }"#;
-        let values: Vec<f64> = extract_speedups(json)
+        let values = extract_labeled_speedups(json);
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0], ("a/speedup".to_string(), Ok(1.417)));
+        assert_eq!(values[1], ("b/[0]/speedup".to_string(), Ok(0.93)));
+    }
+
+    #[test]
+    fn array_indices_advance_per_element() {
+        let json = r#"{ "s": [ { "speedup": 1.0 }, { "speedup": 2.0 }, { "speedup": 3.0 } ] }"#;
+        let labels: Vec<String> = extract_labeled_speedups(json)
             .into_iter()
-            .map(|v| v.unwrap())
+            .map(|(l, _)| l)
             .collect();
-        assert_eq!(values, vec![1.417, 0.93]);
+        assert_eq!(
+            labels,
+            vec!["s/[0]/speedup", "s/[1]/speedup", "s/[2]/speedup"]
+        );
     }
 
     #[test]
     fn handles_whitespace_and_exponents() {
-        let json = "\"speedup\":   2.5e1,";
-        assert_eq!(extract_speedups(json), vec![Ok(25.0)]);
+        let json = "{ \"x\": { \"speedup\":   2.5e1 } }";
+        let values = extract_labeled_speedups(json);
+        assert_eq!(values[0].1, Ok(25.0));
     }
 
     #[test]
     fn unparseable_values_are_reported_not_dropped() {
-        let json = "{ \"speedup\": inf, \"speedup\": NaN }";
-        let values = extract_speedups(json);
+        let json = "{ \"a\": { \"speedup\": inf }, \"b\": { \"speedup\": NaN } }";
+        let values = extract_labeled_speedups(json);
         assert_eq!(values.len(), 2);
-        assert!(values.iter().all(|v| v.is_err()));
+        assert!(values.iter().all(|(_, v)| v.is_err()));
     }
 
     #[test]
     fn empty_input_yields_no_values() {
-        assert!(extract_speedups("{}").is_empty());
+        assert!(extract_labeled_speedups("{}").is_empty());
+    }
+
+    #[test]
+    fn string_values_with_spaces_do_not_confuse_the_scanner() {
+        let json = r#"{ "command": "cargo bench -p x --bench y", "k": { "speedup": 1.2 } }"#;
+        let values = extract_labeled_speedups(json);
+        assert_eq!(values, vec![("k/speedup".to_string(), Ok(1.2))]);
+    }
+
+    #[test]
+    fn string_valued_members_do_not_leak_their_key_onto_the_next_element() {
+        // A stale "note" key must not relabel the next array element.
+        let json = r#"{ "arr": [ { "note": "x" }, { "speedup": 1.2 } ] }"#;
+        let values = extract_labeled_speedups(json);
+        assert_eq!(values, vec![("arr/[1]/speedup".to_string(), Ok(1.2))]);
     }
 }

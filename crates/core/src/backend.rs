@@ -2,8 +2,8 @@
 
 use falvolt_snn::MatmulBackend;
 use falvolt_systolic::executor::BypassPolicy;
-use falvolt_systolic::{FaultMap, SystolicConfig, SystolicExecutor};
-use falvolt_tensor::{MatmulHint, Tensor, TensorError};
+use falvolt_systolic::{FaultMap, ProductCache, SystolicConfig, SystolicExecutor};
+use falvolt_tensor::{Fingerprint, MatmulHint, Tensor, TensorError};
 use std::sync::Arc;
 
 /// A [`MatmulBackend`] that executes every convolutional / fully connected
@@ -60,6 +60,37 @@ impl SystolicBackend {
         Arc::new(Self::new(config, fault_map))
     }
 
+    /// [`SystolicBackend::shared`] with a sweep-shared clean-product cache
+    /// installed: scenario workers holding the same cache `Arc` compute each
+    /// distinct activation matrix's fault-free (clean-column) product once
+    /// and share it — fault-free columns cannot depend on the fault map, so
+    /// sweep results stay bit-identical.
+    pub fn shared_with_cache(
+        config: SystolicConfig,
+        fault_map: FaultMap,
+        cache: Arc<ProductCache>,
+    ) -> Arc<dyn MatmulBackend> {
+        let mut backend = Self::new(config, fault_map);
+        backend.executor.set_product_cache(Some(cache));
+        Arc::new(backend)
+    }
+
+    /// Fully explicit constructor for benchmarks and equivalence tests:
+    /// chooses the mask-chain mode (composed vs full replay) and optionally
+    /// installs a product cache. `composed_chains = false` with no cache is
+    /// the PR 2 engine.
+    pub fn shared_with_options(
+        config: SystolicConfig,
+        fault_map: FaultMap,
+        cache: Option<Arc<ProductCache>>,
+        composed_chains: bool,
+    ) -> Arc<dyn MatmulBackend> {
+        let mut backend = Self::new(config, fault_map);
+        backend.executor.set_product_cache(cache);
+        backend.executor.set_composed_mask_chains(composed_chains);
+        Arc::new(backend)
+    }
+
     /// The underlying executor.
     pub fn executor(&self) -> &SystolicExecutor {
         &self.executor
@@ -87,6 +118,22 @@ impl MatmulBackend for SystolicBackend {
 
     fn name(&self) -> &str {
         "systolic"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Everything that changes this backend's products: the array
+        // geometry and accumulator format, the fault map's composed masks
+        // and the bypass policy. (Mask-chain mode and product cache are
+        // execution strategies, not result state — the executor guarantees
+        // bit-identity across them.)
+        let mut fp = Fingerprint::new();
+        fp.write_str("systolic");
+        fp.write_u64(self.executor.fault_map().fingerprint());
+        fp.write_u64(match self.executor.bypass_policy() {
+            BypassPolicy::None => 0,
+            BypassPolicy::SkipFaulty => 1,
+        });
+        fp.finish() as u64
     }
 }
 

@@ -275,15 +275,21 @@ impl ExperimentContext {
         &mut self.network
     }
 
-    /// Builds a fresh copy of the baseline network (architecture rebuilt,
-    /// trained parameters imported).
+    /// Hands out a copy of the baseline network. The layer structure is a
+    /// scenario view of the context's network (parameters shared
+    /// copy-on-write, not rebuilt from scratch) with the trained baseline
+    /// state imported and thresholds frozen, so callers get the exact
+    /// pre-mitigation network without an O(weights) allocation unless they
+    /// go on to mutate it.
     ///
     /// # Errors
     ///
-    /// Propagates construction and import errors.
+    /// Propagates parameter-import errors.
     pub fn network_clone(&self) -> Result<SpikingNetwork> {
-        let mut network = self.architecture.build(self.seed)?;
+        let mut network = self.network.scenario_view();
         network.import_parameters(&self.baseline_state)?;
+        network.set_thresholds_trainable(false);
+        network.set_backend(falvolt_snn::FloatBackend::shared());
         Ok(network)
     }
 }
@@ -360,28 +366,46 @@ pub fn threshold_sweep(
 ) -> Result<ThresholdSweepReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
     let msb = ctx.systolic.accumulator_format().msb();
-    // Draw fault maps sequentially (deterministic per-rate seeds), then run
-    // every (fault rate, threshold) retraining cell in parallel on its own
-    // clone of the trained baseline.
-    let mut cells = Vec::new();
+    // Draw one fault map per rate into a pool (deterministic per-rate
+    // seeds), then run every (fault rate, threshold) retraining cell in
+    // parallel on a scenario view of the trained baseline. Cells *borrow*
+    // their fault map from the pool — the map is drawn once per rate, not
+    // cloned per cell.
+    let mut pool = Vec::with_capacity(fault_rates.len());
     for &fault_rate in fault_rates {
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ (fault_rate.to_bits()));
-        let fault_map =
-            FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
-        for &threshold in thresholds {
-            cells.push((fault_rate, fault_map.clone(), threshold));
-        }
+        pool.push(FaultMap::random_with_rate(
+            &ctx.systolic,
+            fault_rate,
+            msb,
+            StuckAt::One,
+            &mut rng,
+        )?);
     }
+    let cells: Vec<(f64, &FaultMap, f32)> = fault_rates
+        .iter()
+        .zip(&pool)
+        .flat_map(|(&fault_rate, fault_map)| {
+            thresholds
+                .iter()
+                .map(move |&threshold| (fault_rate, fault_map, threshold))
+        })
+        .collect();
     ctx.restore_baseline()?;
     let baseline = &ctx.network;
     let (train, test) = (&ctx.train, &ctx.test);
+    // Cells evaluating the same pruned network (same fault map, epoch-0
+    // accuracy) share prefix outputs through the sweep cache; once
+    // retraining diverges their prefix fingerprints diverge with it.
+    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
     let results: Vec<Result<ThresholdSweepRow>> = cells
         .into_par_iter()
         .map(|(fault_rate, fault_map, threshold)| {
-            let mut network = baseline.clone();
+            let mut network = baseline.scenario_view();
+            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
             let outcome = mitigator.run(
                 &mut network,
-                &fault_map,
+                fault_map,
                 train,
                 test,
                 MitigationStrategy::FaPIT { epochs, threshold },
@@ -555,25 +579,41 @@ pub fn mitigation_comparison(
         MitigationStrategy::falvolt(epochs),
     ];
     // One retraining cell per (fault rate, strategy), all cells in parallel
-    // on clones of the trained baseline; fault maps drawn sequentially from
-    // deterministic per-rate seeds so worker count never changes results.
-    let mut cells = Vec::new();
+    // on scenario views of the trained baseline; fault maps drawn
+    // sequentially into a pool from deterministic per-rate seeds (cells
+    // borrow, no per-cell clone) so worker count never changes results.
+    let mut pool = Vec::with_capacity(fault_rates.len());
     for &fault_rate in fault_rates {
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ fault_rate.to_bits().rotate_left(13));
-        let fault_map =
-            FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
-        for strategy in strategies {
-            cells.push((fault_rate, fault_map.clone(), strategy));
-        }
+        pool.push(FaultMap::random_with_rate(
+            &ctx.systolic,
+            fault_rate,
+            msb,
+            StuckAt::One,
+            &mut rng,
+        )?);
     }
+    let cells: Vec<(f64, &FaultMap, MitigationStrategy)> = fault_rates
+        .iter()
+        .zip(&pool)
+        .flat_map(|(&fault_rate, fault_map)| {
+            strategies
+                .into_iter()
+                .map(move |strategy| (fault_rate, fault_map, strategy))
+        })
+        .collect();
     ctx.restore_baseline()?;
     let baseline = &ctx.network;
     let (train, test) = (&ctx.train, &ctx.test);
+    // The three strategies of one fault rate prune to the same weights, so
+    // their epoch-0 evaluations share prefix outputs through the cache.
+    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
     let results: Vec<Result<MitigationRow>> = cells
         .into_par_iter()
         .map(|(fault_rate, fault_map, strategy)| {
-            let mut network = baseline.clone();
-            let outcome = mitigator.run(&mut network, &fault_map, train, test, strategy)?;
+            let mut network = baseline.scenario_view();
+            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
+            let outcome = mitigator.run(&mut network, fault_map, train, test, strategy)?;
             Ok(MitigationRow {
                 fault_rate,
                 strategy: outcome.strategy.clone(),
@@ -646,12 +686,16 @@ pub fn convergence_experiment(
 
     ctx.restore_baseline()?;
     // The two strategies are independent retraining runs: give each its own
-    // clone of the baseline and let them proceed side by side.
+    // scenario view of the baseline (weights shared until their first
+    // optimizer step diverges them) and let them proceed side by side,
+    // sharing epoch-0 prefix work through one sweep cache.
     let baseline = &ctx.network;
     let (train, test) = (&ctx.train, &ctx.test);
+    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
     let (fapit, falvolt) = rayon::join(
         || {
-            let mut network = baseline.clone();
+            let mut network = baseline.scenario_view();
+            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
             mitigator.run(
                 &mut network,
                 &fault_map,
@@ -661,7 +705,8 @@ pub fn convergence_experiment(
             )
         },
         || {
-            let mut network = baseline.clone();
+            let mut network = baseline.scenario_view();
+            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
             mitigator.run(
                 &mut network,
                 &fault_map,

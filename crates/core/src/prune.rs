@@ -77,8 +77,10 @@ impl PruneMasks {
                     "prune mask for layer '{name}' does not match network layer '{layer_name}'"
                 )));
             }
+            // `assign_value` swaps in the masked tensor without a
+            // copy-on-write round trip on the (possibly shared) old buffer.
             let masked = weight.value().mul(mask)?;
-            *weight.value_mut() = masked;
+            weight.assign_value(masked);
         }
         Ok(())
     }

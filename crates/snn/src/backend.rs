@@ -7,7 +7,7 @@
 //! executor so that inference runs through the (possibly faulty) accelerator
 //! model without this crate depending on it.
 
-use falvolt_tensor::{ops, MatmulHint, Tensor};
+use falvolt_tensor::{ops, Fingerprint, MatmulHint, Tensor};
 use std::fmt;
 use std::sync::Arc;
 
@@ -47,6 +47,18 @@ pub trait MatmulBackend: fmt::Debug + Send + Sync {
     /// Human-readable backend name for diagnostics.
     fn name(&self) -> &str {
         "backend"
+    }
+
+    /// Content fingerprint of everything that makes this backend's products
+    /// differ from another backend's — the cross-call prefix cache keys
+    /// cached outputs on it. The default hashes the backend name, which is
+    /// correct for stateless backends like [`FloatBackend`]; backends with
+    /// result-changing configuration (the systolic model's array geometry,
+    /// fault map and bypass policy) must fold that state in too.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(self.name());
+        fp.finish() as u64
     }
 }
 
@@ -121,6 +133,10 @@ impl<B: MatmulBackend + ?Sized> MatmulBackend for Arc<B> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 

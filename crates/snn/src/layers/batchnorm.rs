@@ -266,6 +266,28 @@ impl Layer for BatchNorm2d {
             &mut self.running_var,
         ]
     }
+
+    fn params(&self) -> Vec<&Param> {
+        // Running statistics ride along: they determine the evaluation-mode
+        // output, so the prefix-cache fingerprint must see them.
+        vec![
+            &self.gamma,
+            &self.beta,
+            &self.running_mean,
+            &self.running_var,
+        ]
+    }
+
+    fn cache_fingerprint(&self, fp: &mut falvolt_tensor::Fingerprint) {
+        fp.write_str(self.name());
+        // Epsilon changes the normalisation denominator independently of the
+        // parameters and running statistics.
+        fp.write_u64(u64::from(self.eps.to_bits()));
+        for param in self.params() {
+            fp.write_dims(param.value().shape());
+            fp.write_f32s(param.value().data());
+        }
+    }
 }
 
 #[cfg(test)]

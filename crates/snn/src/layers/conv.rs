@@ -4,9 +4,10 @@ use crate::layers::{ForwardContext, Layer};
 use crate::param::Param;
 use crate::{Result, SnnError};
 use falvolt_tensor::ops::{self, Conv2dDims};
-use falvolt_tensor::{init, MatmulHint, OperandProfile, Tensor};
+use falvolt_tensor::{init, Fingerprint, MatmulHint, OperandProfile, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct StepCache {
@@ -47,6 +48,10 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     caches: Vec<StepCache>,
+    // Transposed weight keyed by the weight's edit version (see `Linear`).
+    // Arc-shared so scenario views inherit it instead of deep-copying a
+    // weight-sized buffer per worker.
+    weight_t: Option<(u64, Arc<Tensor>)>,
 }
 
 impl Conv2d {
@@ -91,6 +96,7 @@ impl Conv2d {
             weight,
             bias,
             caches: Vec::new(),
+            weight_t: None,
         })
     }
 
@@ -157,8 +163,65 @@ impl Layer for Conv2d {
         } else {
             OperandProfile::dense()
         };
-        let cols = ops::im2col_with_profile(input, &dims, profile)?;
-        let weight_t = ops::transpose2d(self.weight.value())?;
+        // The im2col lowering is a pure function of the input and the conv
+        // geometry — in particular it is *backend-independent*, so scenario
+        // sweeps evaluating many fault maps on the same input batch lower it
+        // once and share it through the sweep cache (training passes own
+        // their cols tensor and never cache).
+        let mut local_cols: Option<Tensor> = None;
+        let mut shared_cols: Option<Arc<Tensor>> = None;
+        match ctx.cache {
+            Some(cache) if !ctx.mode.is_train() => {
+                let geom = dims.geom();
+                let mut fp = Fingerprint::new();
+                fp.write_str("im2col");
+                fp.write_dims(&[
+                    geom.batch,
+                    geom.channels,
+                    geom.in_h,
+                    geom.in_w,
+                    geom.kernel,
+                    geom.stride,
+                    geom.padding,
+                ]);
+                fp.write_f32s(input.data());
+                let key = fp.finish();
+                match cache.lookup_lowered(key) {
+                    crate::sweep_cache::SweepDecision::Hit(hit) => shared_cols = Some(hit),
+                    decision => {
+                        let promoted =
+                            matches!(decision, crate::sweep_cache::SweepDecision::Compute);
+                        let computed = match ops::im2col_with_profile(input, &dims, profile) {
+                            Ok(cols) => Arc::new(cols),
+                            Err(e) => {
+                                // Release the in-flight slot so the key is
+                                // not dead for the rest of the sweep.
+                                if promoted {
+                                    cache.abandon_lowered(key);
+                                }
+                                return Err(e.into());
+                            }
+                        };
+                        if promoted {
+                            cache.fulfill_lowered(key, Arc::clone(&computed));
+                        }
+                        shared_cols = Some(computed);
+                    }
+                }
+            }
+            _ => local_cols = Some(ops::im2col_with_profile(input, &dims, profile)?),
+        }
+        let cols: &Tensor = shared_cols
+            .as_deref()
+            .or(local_cols.as_ref())
+            .expect("one lowering path taken above");
+        if self.weight_t.as_ref().map(|(v, _)| *v) != Some(self.weight.version()) {
+            self.weight_t = Some((
+                self.weight.version(),
+                Arc::new(ops::transpose2d(self.weight.value())?),
+            ));
+        }
+        let weight_t: &Tensor = &self.weight_t.as_ref().expect("transposed above").1;
         let hint = if !ctx.spike_hints {
             MatmulHint::Dense
         } else if profile.binary {
@@ -168,10 +231,11 @@ impl Layer for Conv2d {
         } else {
             MatmulHint::Auto
         };
-        let rows = ctx.backend.matmul_hinted(&cols, &weight_t, hint)?;
+        let rows = ctx.backend.matmul_hinted(cols, weight_t, hint)?;
         let mut feature_map = ops::rows_to_feature_map(&rows, &dims)?;
         ops::add_channel_bias(&mut feature_map, self.bias.value())?;
         if ctx.mode.is_train() {
+            let cols = local_cols.expect("training lowers locally");
             self.caches.push(StepCache { cols, dims });
         }
         Ok(feature_map)
@@ -197,6 +261,28 @@ impl Layer for Conv2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn cache_fingerprint(&self, fp: &mut falvolt_tensor::Fingerprint) {
+        fp.write_str(self.name());
+        // The convolution geometry changes the output independently of the
+        // weight contents (the weight shape fixes channels and kernel, but
+        // not stride or padding).
+        fp.write_dims(&[
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+        ]);
+        for param in [&self.weight, &self.bias] {
+            fp.write_dims(param.value().shape());
+            fp.write_f32s(param.value().data());
+        }
     }
 
     fn weight_mut(&mut self) -> Option<&mut Param> {

@@ -6,6 +6,7 @@ use crate::{Result, SnnError};
 use falvolt_tensor::{init, ops, MatmulHint, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A fully connected layer `y = x Wᵀ + b` over `[N, in_features]` inputs.
 ///
@@ -37,6 +38,12 @@ pub struct Linear {
     weight: Param,
     bias: Param,
     caches: Vec<Tensor>,
+    // Transposed weight, keyed by the weight's edit version: recomputed only
+    // when the weight actually changes instead of on every forward call (the
+    // scenario axis evaluates the same frozen weights thousands of times).
+    // Arc-shared so scenario views inherit it instead of deep-copying a
+    // weight-sized buffer per worker.
+    weight_t: Option<(u64, Arc<Tensor>)>,
 }
 
 impl Linear {
@@ -68,6 +75,7 @@ impl Linear {
             weight,
             bias,
             caches: Vec::new(),
+            weight_t: None,
         })
     }
 
@@ -105,7 +113,13 @@ impl Layer for Linear {
                 input.shape()
             )));
         }
-        let weight_t = ops::transpose2d(self.weight.value())?;
+        if self.weight_t.as_ref().map(|(v, _)| *v) != Some(self.weight.version()) {
+            self.weight_t = Some((
+                self.weight.version(),
+                Arc::new(ops::transpose2d(self.weight.value())?),
+            ));
+        }
+        let weight_t: &Tensor = &self.weight_t.as_ref().expect("transposed above").1;
         // After a spiking layer (+ flatten) the input is a binary spike
         // matrix; let the backend's dispatcher probe it and pick the
         // event-driven kernel. Hints off pins the dense baseline.
@@ -114,7 +128,7 @@ impl Layer for Linear {
         } else {
             MatmulHint::Dense
         };
-        let mut output = ctx.backend.matmul_hinted(input, &weight_t, hint)?;
+        let mut output = ctx.backend.matmul_hinted(input, weight_t, hint)?;
         // Add the bias to every row.
         let bias = self.bias.value().data().to_vec();
         let out_features = self.out_features;
@@ -153,6 +167,10 @@ impl Layer for Linear {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 
     fn weight_mut(&mut self) -> Option<&mut Param> {

@@ -9,8 +9,9 @@
 
 use crate::backend::MatmulBackend;
 use crate::param::Param;
+use crate::sweep_cache::SweepCache;
 use crate::Result;
-use falvolt_tensor::Tensor;
+use falvolt_tensor::{Fingerprint, Tensor};
 use std::fmt;
 
 pub mod batchnorm;
@@ -57,21 +58,35 @@ pub struct ForwardContext<'a> {
     /// hints to the backend (the spike-sparse kernel switch). Off pins every
     /// product to the dense blocked kernel — the engine-off baseline.
     pub spike_hints: bool,
+    /// Sweep-driver-owned cross-call cache, when the network is evaluating
+    /// inside a scenario sweep. Layers may use it to share backend-independent
+    /// intermediates (e.g. im2col lowerings) across scenario workers; `None`
+    /// outside sweeps and always `None` in training mode.
+    pub cache: Option<&'a SweepCache>,
 }
 
 impl<'a> ForwardContext<'a> {
-    /// Creates a context with spike-structure hints enabled.
+    /// Creates a context with spike-structure hints enabled and no sweep
+    /// cache.
     pub fn new(mode: Mode, backend: &'a dyn MatmulBackend) -> Self {
         Self {
             mode,
             backend,
             spike_hints: true,
+            cache: None,
         }
     }
 
     /// Builder-style override of the spike-hint switch.
     pub fn with_spike_hints(mut self, enabled: bool) -> Self {
         self.spike_hints = enabled;
+        self
+    }
+
+    /// Builder-style attachment of a sweep cache (ignored in training mode —
+    /// training forwards mutate per-layer state and are never shared).
+    pub fn with_cache(mut self, cache: Option<&'a SweepCache>) -> Self {
+        self.cache = if self.mode.is_train() { None } else { cache };
         self
     }
 }
@@ -137,6 +152,34 @@ pub trait Layer: fmt::Debug + Send + Sync {
     /// The layer's trainable parameters.
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    /// The layer's parameters, read-only. Must yield the same parameters (in
+    /// the same order) as [`Layer::params_mut`]; used for content
+    /// fingerprinting by the cross-call prefix cache.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Absorbs everything that determines this layer's *evaluation-mode*
+    /// output for a given input into `fp` — the layer name, every parameter
+    /// by content, and (via overrides) any non-`Param` hyperparameter that
+    /// changes the output: convolution geometry, pooling windows, batch-norm
+    /// epsilon. The cross-call prefix cache keys stateless prefixes on this,
+    /// so an override that forgets result-changing configuration would let
+    /// two differently configured layers share a prefix output. Layers whose
+    /// eval output is a pure function of input and `params()` alone
+    /// (`Linear` — its geometry is the weight shape — `Flatten`, `Dropout`
+    /// in eval) use this default.
+    fn cache_fingerprint(&self, fp: &mut Fingerprint) {
+        fp.write_str(self.name());
+        let params = self.params();
+        fp.write_usize(params.len());
+        for param in params {
+            fp.write_str(param.name());
+            fp.write_dims(param.value().shape());
+            fp.write_f32s(param.value().data());
+        }
     }
 
     /// The layer's prunable weight matrix (`[out, in]` layout), if it has

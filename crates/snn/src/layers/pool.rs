@@ -75,6 +75,12 @@ impl Layer for AvgPool2d {
     fn reset_state(&mut self) {
         self.caches.clear();
     }
+
+    fn cache_fingerprint(&self, fp: &mut falvolt_tensor::Fingerprint) {
+        // The window size is the layer's only result-changing configuration.
+        fp.write_str(self.name());
+        fp.write_usize(self.kernel);
+    }
 }
 
 /// Non-overlapping max pooling with a square window.
@@ -130,6 +136,12 @@ impl Layer for MaxPool2d {
 
     fn reset_state(&mut self) {
         self.caches.clear();
+    }
+
+    fn cache_fingerprint(&self, fp: &mut falvolt_tensor::Fingerprint) {
+        // The window size is the layer's only result-changing configuration.
+        fp.write_str(self.name());
+        fp.write_usize(self.kernel);
     }
 }
 

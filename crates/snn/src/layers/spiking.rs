@@ -253,6 +253,10 @@ impl Layer for SpikingLayer {
         vec![&mut self.threshold, &mut self.decay_logit]
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.threshold, &self.decay_logit]
+    }
+
     fn threshold_mut(&mut self) -> Option<&mut Param> {
         Some(&mut self.threshold)
     }

@@ -57,6 +57,7 @@ pub mod neuron;
 pub mod optim;
 pub mod param;
 pub mod surrogate;
+pub mod sweep_cache;
 pub mod trainer;
 
 pub use backend::{FloatBackend, MatmulBackend};
@@ -64,6 +65,7 @@ pub use error::SnnError;
 pub use layers::{ForwardContext, Layer, Mode};
 pub use network::{EngineConfig, SpikingNetwork};
 pub use param::Param;
+pub use sweep_cache::{SweepCache, SweepDecision};
 
 // Re-export the tensor type (every public API in this crate speaks `Tensor`)
 // and the operand-structure hint the backend trait takes.

@@ -3,8 +3,9 @@
 use crate::backend::{FloatBackend, MatmulBackend};
 use crate::layers::{ForwardContext, Layer, Mode};
 use crate::param::Param;
+use crate::sweep_cache::SweepCache;
 use crate::{Result, SnnError};
-use falvolt_tensor::{reduce, Tensor};
+use falvolt_tensor::{reduce, Fingerprint, Tensor};
 use std::borrow::Cow;
 use std::sync::Arc;
 
@@ -73,15 +74,19 @@ impl EngineConfig {
 /// # Ok(())
 /// # }
 /// ```
-/// Cloning deep-copies every layer (weights, caches, temporal state) and
-/// shares the backend `Arc`; experiment code clones trained networks into
-/// worker threads to evaluate fault scenarios in parallel.
+/// Cloning copies the layer structure but *shares* every parameter tensor
+/// copy-on-write (see [`Param`]): experiment code carves scenario views off a
+/// trained network ([`SpikingNetwork::scenario_view`]) into worker threads,
+/// and the weight axis stays O(weights) in memory no matter how many workers
+/// evaluate fault scenarios in parallel. The backend `Arc` and any installed
+/// [`SweepCache`] are shared too.
 #[derive(Debug, Clone)]
 pub struct SpikingNetwork {
     layers: Vec<Box<dyn Layer>>,
     time_steps: usize,
     backend: Arc<dyn MatmulBackend>,
     engine: EngineConfig,
+    sweep_cache: Option<Arc<SweepCache>>,
 }
 
 impl SpikingNetwork {
@@ -101,6 +106,7 @@ impl SpikingNetwork {
             time_steps,
             backend: FloatBackend::shared(),
             engine: EngineConfig::default(),
+            sweep_cache: None,
         }
     }
 
@@ -174,6 +180,46 @@ impl SpikingNetwork {
         };
     }
 
+    /// Installs (or removes) a sweep-driver-owned cross-call cache. While
+    /// installed, evaluation-mode forward passes share stateless-prefix
+    /// outputs across calls — and, through the scenario views holding the
+    /// same `Arc`, across sweep workers — keyed by input content, prefix
+    /// parameters and backend fingerprint, so a hit is bit-identical to a
+    /// recompute. Training passes never touch the cache.
+    pub fn set_sweep_cache(&mut self, cache: Option<Arc<SweepCache>>) {
+        self.sweep_cache = cache;
+    }
+
+    /// The installed sweep cache, if any.
+    pub fn sweep_cache(&self) -> Option<&Arc<SweepCache>> {
+        self.sweep_cache.as_ref()
+    }
+
+    /// Carves a scenario view off this network: a clone whose parameter
+    /// tensors are shared copy-on-write with the original (O(layer structs)
+    /// memory, not O(weights)) and whose temporal state is reset. This is
+    /// what the sweep drivers hand to each scenario worker in place of the
+    /// former whole-network deep clone; a worker that only evaluates never
+    /// materialises its own weights, while a worker that retrains detaches
+    /// private copies on its first optimizer step.
+    pub fn scenario_view(&self) -> SpikingNetwork {
+        let mut view = self.clone();
+        view.reset_state();
+        view
+    }
+
+    /// Clones the network with every parameter buffer deep-copied up front —
+    /// the pre-copy-on-write clone semantics. Benchmarks and equivalence
+    /// tests use this as the "per-clone baseline"; sweep code should use
+    /// [`SpikingNetwork::scenario_view`] instead.
+    pub fn unshared_clone(&self) -> SpikingNetwork {
+        let mut clone = self.clone();
+        for param in clone.params_mut() {
+            param.unshare();
+        }
+        clone
+    }
+
     /// Immutable access to the layers.
     pub fn layers(&self) -> &[Box<dyn Layer>] {
         &self.layers
@@ -234,7 +280,7 @@ impl SpikingNetwork {
                     value.shape()
                 )));
             }
-            *param.value_mut() = value.clone();
+            param.assign_value(value.clone());
             param.zero_grad();
             param.reset_optimizer_state();
         }
@@ -307,9 +353,13 @@ impl SpikingNetwork {
     /// prefix cache runs the stateless layer prefix ahead of the first
     /// stateful (spiking) layer once and reuses its output for all `T` time
     /// steps — the replicated input would flow through the identical
-    /// computation at every step. Temporal inputs and training passes are
-    /// never cached (each step sees a different frame / must push its own
-    /// BPTT caches), and the cached path produces bit-identical outputs.
+    /// computation at every step. With a [`SweepCache`] installed
+    /// ([`SpikingNetwork::set_sweep_cache`]) the prefix output is additionally
+    /// shared *across* forward calls and scenario workers, keyed on input
+    /// content, prefix parameters and backend fingerprint. Temporal inputs
+    /// and training passes are never cached (each step sees a different frame
+    /// / must push its own BPTT caches), and every cached path produces
+    /// bit-identical outputs.
     ///
     /// # Errors
     ///
@@ -322,8 +372,16 @@ impl SpikingNetwork {
         self.reset_state();
         let time_steps = self.time_steps;
         let backend = Arc::clone(&self.backend);
+        let sweep_cache = self.sweep_cache.clone();
         let ctx =
             ForwardContext::new(mode, backend.as_ref()).with_spike_hints(self.engine.spike_kernels);
+        // Only the stateless prefix sees the sweep cache: its input is the
+        // scenario-invariant batch, so its lowerings are shareable. Suffix
+        // activations diverge per scenario and per step — caching them would
+        // fill the store with never-reused entries.
+        let prefix_ctx = ForwardContext::new(mode, backend.as_ref())
+            .with_spike_hints(self.engine.spike_kernels)
+            .with_cache(sweep_cache.as_deref());
 
         let static_input = matches!(input.ndim(), 2 | 4);
         let prefix_len = if self.engine.prefix_cache && static_input && !mode.is_train() {
@@ -334,23 +392,75 @@ impl SpikingNetwork {
         } else {
             0
         };
+        // Cross-call key of the prefix output: what goes in (the input
+        // batch), what transforms it (every prefix layer's parameters) and
+        // what executes it (the backend, including any fault map). Anything
+        // else — thresholds of downstream spiking layers, suffix weights —
+        // cannot change the prefix output, so sweeps sharing a cache get
+        // hits exactly when a recompute would be bit-identical.
+        let prefix_key = match (&sweep_cache, prefix_len) {
+            (Some(_), n) if n > 0 => {
+                let mut fp = Fingerprint::new();
+                fp.write_str("prefix");
+                fp.write_usize(n);
+                // The spike-kernel switch is part of the key: sparse and
+                // dense kernels agree only to within re-association, so an
+                // engine-off network must never be served an engine-on
+                // prefix (or vice versa).
+                fp.write_u64(u64::from(self.engine.spike_kernels));
+                fp.write_u64(backend.fingerprint());
+                for layer in &self.layers[..n] {
+                    layer.cache_fingerprint(&mut fp);
+                }
+                fp.write_dims(input.shape());
+                fp.write_f32s(input.data());
+                Some(fp.finish())
+            }
+            _ => None,
+        };
 
-        let mut prefix_out: Option<Tensor> = None;
+        let mut prefix_out: Option<Arc<Tensor>> = None;
         let mut rate_sum: Option<Tensor> = None;
         for t in 0..time_steps {
             let x = if prefix_len == 0 {
                 let step = step_input(input, t, time_steps)?;
                 run_layers(&mut self.layers, step.as_ref(), &ctx)?
             } else {
+                let mut fulfill = false;
+                if prefix_out.is_none() {
+                    if let (Some(cache), Some(key)) = (&sweep_cache, prefix_key) {
+                        match cache.lookup_prefix(key) {
+                            crate::sweep_cache::SweepDecision::Hit(hit) => prefix_out = Some(hit),
+                            crate::sweep_cache::SweepDecision::Compute => fulfill = true,
+                            crate::sweep_cache::SweepDecision::Skip => {}
+                        }
+                    }
+                }
                 if prefix_out.is_none() {
                     let step = step_input(input, t, time_steps)?;
-                    prefix_out = Some(run_layers(
-                        &mut self.layers[..prefix_len],
-                        step.as_ref(),
-                        &ctx,
-                    )?);
+                    let computed =
+                        run_layers(&mut self.layers[..prefix_len], step.as_ref(), &prefix_ctx);
+                    let computed = match computed {
+                        Ok(out) => Arc::new(out),
+                        Err(e) => {
+                            // Release the in-flight slot so the key is not
+                            // dead for the rest of the sweep.
+                            if fulfill {
+                                if let (Some(cache), Some(key)) = (&sweep_cache, prefix_key) {
+                                    cache.abandon_prefix(key);
+                                }
+                            }
+                            return Err(e);
+                        }
+                    };
+                    if fulfill {
+                        if let (Some(cache), Some(key)) = (&sweep_cache, prefix_key) {
+                            cache.fulfill_prefix(key, Arc::clone(&computed));
+                        }
+                    }
+                    prefix_out = Some(computed);
                 }
-                let cached = prefix_out.as_ref().expect("prefix computed above");
+                let cached = prefix_out.as_deref().expect("prefix computed above");
                 if prefix_len == self.layers.len() {
                     // Entirely stateless network: every step yields the same
                     // tensor; the rate average below still runs T times so
@@ -688,6 +798,81 @@ mod tests {
         let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 3) as f32);
         network.forward(&input, Mode::Train).unwrap();
         assert!(network.backward(&Tensor::ones(&[2, 3])).is_ok());
+    }
+
+    #[test]
+    fn scenario_views_share_weights_copy_on_write() {
+        let mut base = tiny_network();
+        let mut view = base.scenario_view();
+        // Every parameter buffer is shared, not copied.
+        assert!(view.params_mut().iter().all(|p| p.value_is_shared()));
+        // Evaluation does not detach anything.
+        let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 5) as f32 * 0.3);
+        let a = view.forward(&input, Mode::Eval).unwrap();
+        let b = base.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(a.data(), b.data(), "a view computes what the base does");
+        assert!(view.params_mut().iter().all(|p| p.value_is_shared()));
+        // Mutating the view's weights leaves the base untouched.
+        view.params_mut()[0].value_mut().fill(9.0);
+        assert!(!view.params_mut()[0].value_is_shared());
+        assert!(base.params_mut()[0]
+            .value()
+            .data()
+            .iter()
+            .all(|&v| v != 9.0));
+
+        // An unshared clone starts detached.
+        let mut deep = base.unshared_clone();
+        assert!(deep.params_mut().iter().all(|p| !p.value_is_shared()));
+    }
+
+    #[test]
+    fn sweep_cache_hits_across_calls_and_stays_bit_identical() {
+        use crate::layers::Conv2d;
+        use crate::sweep_cache::SweepCache;
+        let build = || {
+            let mut network = SpikingNetwork::new(3);
+            network.push(Conv2d::new("conv", 1, 2, 3, 1, 1, 4).unwrap());
+            network.push(SpikingLayer::new("sn", NeuronConfig::paper_default()));
+            network.push(Flatten::new("flatten"));
+            network.push(Linear::new("fc", 2 * 4 * 4, 3, 5).unwrap());
+            network.push(SpikingLayer::new("sn2", NeuronConfig::paper_default()));
+            network
+        };
+        let input = Tensor::from_fn(&[2, 1, 4, 4], |i| ((i % 7) as f32 - 2.0) * 0.5);
+        let mut plain = build();
+        let reference = plain.forward(&input, Mode::Eval).unwrap();
+
+        let cache = Arc::new(SweepCache::new());
+        let mut cached = build();
+        cached.set_sweep_cache(Some(Arc::clone(&cache)));
+        assert!(cached.sweep_cache().is_some());
+        // Promote-on-second-request: the first call records interest
+        // (nothing stored), the second fulfils the shared entry, the third
+        // — and any scenario view sharing the cache Arc — hits it.
+        let first = cached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(first.data(), reference.data());
+        assert_eq!(cache.prefix_stats().misses, 1);
+        let second = cached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(second.data(), reference.data());
+        assert_eq!(cache.prefix_stats().promotions, 1);
+        let third = cached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(third.data(), reference.data());
+        assert!(cache.prefix_stats().hits >= 1);
+        let mut view = cached.scenario_view();
+        let viewed = view.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(viewed.data(), reference.data());
+        assert!(cache.prefix_stats().hits >= 2);
+
+        // Changing a prefix parameter changes the key: the cache misses
+        // (no stale hit) and the output equals a cache-free recompute.
+        let misses_before = cache.prefix_stats().misses;
+        cached.params_mut()[0].value_mut().map_inplace(|v| v + 0.1);
+        let perturbed = cached.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(cache.prefix_stats().misses, misses_before + 1);
+        plain.params_mut()[0].value_mut().map_inplace(|v| v + 0.1);
+        let recomputed = plain.forward(&input, Mode::Eval).unwrap();
+        assert_eq!(perturbed.data(), recomputed.data());
     }
 
     #[test]

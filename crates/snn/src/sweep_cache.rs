@@ -1,0 +1,316 @@
+//! Sweep-driver-owned caches shared across scenario workers.
+//!
+//! The figure sweeps (Fig 2 threshold cells, Fig 5 fault-rate sweeps, Fig 6/7
+//! mitigation cells, Fig 8 strategy pairs) evaluate *many fault scenarios
+//! against the same trained network and the same input batches*. Two
+//! intermediates on that axis are recomputed identically by every worker:
+//!
+//! * the **stateless-prefix output** of a forward pass (the encoder
+//!   convolution ahead of the first spiking layer) — identical across any two
+//!   forward calls that agree on the input, the prefix parameters *and* the
+//!   backend (a faulty systolic backend corrupts the prefix, so the fault map
+//!   is part of the key via [`crate::MatmulBackend::fingerprint`]);
+//! * the **im2col lowering** of a convolution input — a pure function of the
+//!   input and the convolution geometry, shared by every fault scenario
+//!   regardless of its fault map.
+//!
+//! A [`SweepCache`] is created by the sweep driver, installed on every
+//! scenario view ([`crate::SpikingNetwork::set_sweep_cache`]) and dropped
+//! when the sweep ends. Keys are 128-bit content fingerprints
+//! ([`falvolt_tensor::Fingerprint`]); entries are `Arc`-shared tensors, so a
+//! hit costs one clone of an `Arc`.
+//!
+//! Both stores **promote on second request**: the first sighting of a key
+//! only records interest ([`SweepDecision::Skip`] — compute inline, store
+//! nothing), and a second sighting proves the key is shared, so that caller
+//! computes and fulfils the entry ([`SweepDecision::Compute`]). Retraining
+//! cells generate an endless stream of one-shot keys (weights change every
+//! epoch); without the policy those would flood the bounded stores with
+//! batch-sized tensors that can never hit and lock out the genuinely shared
+//! entries. Only one caller per key is told to compute; racers fall back to
+//! inline computation. Tracked keys are bounded; once full, new keys are
+//! never promoted (retention cannot change results, only hit rates).
+
+use falvolt_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on tracked keys per store (pending and fulfilled).
+const DEFAULT_CAPACITY: usize = 256;
+
+/// What a store lookup tells the caller to do.
+#[derive(Debug, Clone)]
+pub enum SweepDecision {
+    /// The value is cached — use it.
+    Hit(Arc<Tensor>),
+    /// Second sighting of a shared key: compute the value and hand it back
+    /// via the matching `fulfill_*` call.
+    Compute,
+    /// First sighting (or the key is being computed / cannot be tracked):
+    /// compute inline, store nothing.
+    Skip,
+}
+
+/// Counters of one cache store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a fulfilled entry.
+    pub hits: usize,
+    /// Lookups that found no usable entry (first sightings, in-flight keys,
+    /// capacity overflow).
+    pub misses: usize,
+    /// Lookups that asked the caller to compute-and-fulfill.
+    pub promotions: usize,
+}
+
+enum Slot {
+    /// Seen once; not yet worth materialising.
+    Pending,
+    /// A worker is computing the shared value.
+    Computing,
+    /// Computed and shared.
+    Ready(Arc<Tensor>),
+}
+
+#[derive(Default)]
+struct StoreInner {
+    slots: HashMap<u128, Slot>,
+    /// Keys promoted to `Computing`/`Ready` — the value-bearing entries the
+    /// capacity bounds. Pending markers are 16-byte bookkeeping and get a
+    /// separate, much larger bound, so a flood of one-shot keys (every
+    /// retraining epoch mints new prefix keys) cannot lock genuinely shared
+    /// keys out of promotion.
+    promoted: usize,
+}
+
+#[derive(Default)]
+struct Store {
+    inner: Mutex<StoreInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    promotions: AtomicUsize,
+}
+
+/// Tracked-key bound as a multiple of the value capacity (Pending markers
+/// are tiny; this only stops the map itself from growing without limit).
+const TRACKED_PER_CAPACITY: usize = 16;
+
+impl Store {
+    fn lookup(&self, key: u128, capacity: usize) -> SweepDecision {
+        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        match inner.slots.get(&key) {
+            Some(Slot::Ready(value)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                SweepDecision::Hit(Arc::clone(value))
+            }
+            Some(Slot::Pending) => {
+                if inner.promoted < capacity {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                    inner.promoted += 1;
+                    inner.slots.insert(key, Slot::Computing);
+                    SweepDecision::Compute
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    SweepDecision::Skip
+                }
+            }
+            Some(Slot::Computing) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                SweepDecision::Skip
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if inner.slots.len() < capacity * TRACKED_PER_CAPACITY {
+                    inner.slots.insert(key, Slot::Pending);
+                }
+                SweepDecision::Skip
+            }
+        }
+    }
+
+    fn fulfill(&self, key: u128, value: Arc<Tensor>) {
+        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        inner.slots.insert(key, Slot::Ready(value));
+    }
+
+    fn abandon(&self, key: u128) {
+        // The promoted computation failed: release the in-flight slot so a
+        // later caller can promote the key again instead of skipping
+        // forever.
+        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        if matches!(inner.slots.get(&key), Some(Slot::Computing)) {
+            inner.promoted -= 1;
+            inner.slots.insert(key, Slot::Pending);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("sweep cache poisoned").slots.len()
+    }
+}
+
+/// Keyed cross-call caches owned by a sweep driver (see the module docs).
+pub struct SweepCache {
+    prefix: Store,
+    lowered: Store,
+    capacity: usize,
+}
+
+impl SweepCache {
+    /// Creates an empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache tracking at most `capacity` keys per store.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            prefix: Store::default(),
+            lowered: Store::default(),
+            capacity,
+        }
+    }
+
+    /// Looks up a stateless-prefix output.
+    pub fn lookup_prefix(&self, key: u128) -> SweepDecision {
+        self.prefix.lookup(key, self.capacity)
+    }
+
+    /// Stores a prefix output previously answered with
+    /// [`SweepDecision::Compute`].
+    pub fn fulfill_prefix(&self, key: u128, value: Arc<Tensor>) {
+        self.prefix.fulfill(key, value);
+    }
+
+    /// Releases a prefix promotion whose computation failed (see
+    /// [`SweepDecision::Compute`]); a later caller may promote the key
+    /// again.
+    pub fn abandon_prefix(&self, key: u128) {
+        self.prefix.abandon(key);
+    }
+
+    /// Looks up an im2col lowering.
+    pub fn lookup_lowered(&self, key: u128) -> SweepDecision {
+        self.lowered.lookup(key, self.capacity)
+    }
+
+    /// Stores an im2col lowering previously answered with
+    /// [`SweepDecision::Compute`].
+    pub fn fulfill_lowered(&self, key: u128, value: Arc<Tensor>) {
+        self.lowered.fulfill(key, value);
+    }
+
+    /// Releases a lowering promotion whose computation failed.
+    pub fn abandon_lowered(&self, key: u128) {
+        self.lowered.abandon(key);
+    }
+
+    /// Counters of the prefix store.
+    pub fn prefix_stats(&self) -> CacheStats {
+        self.prefix.stats()
+    }
+
+    /// Counters of the im2col store.
+    pub fn lowered_stats(&self) -> CacheStats {
+        self.lowered.stats()
+    }
+
+    /// Total keys currently tracked (both stores, pending and fulfilled).
+    pub fn len(&self) -> usize {
+        self.prefix.len() + self.lowered.len()
+    }
+
+    /// Returns `true` when no key is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SweepCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for SweepCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepCache")
+            .field("prefix_keys", &self.prefix.len())
+            .field("prefix_stats", &self.prefix.stats())
+            .field("lowered_keys", &self.lowered.len())
+            .field("lowered_stats", &self.lowered.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotes_on_second_request_then_hits() {
+        let cache = SweepCache::new();
+        assert!(cache.is_empty());
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Skip));
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Compute));
+        // While the promoted caller computes, racers skip.
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Skip));
+        cache.fulfill_prefix(1, Arc::new(Tensor::ones(&[2])));
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Hit(_)));
+        // The lowered store does not see prefix keys.
+        assert!(matches!(cache.lookup_lowered(1), SweepDecision::Skip));
+        let stats = cache.prefix_stats();
+        assert_eq!((stats.hits, stats.misses, stats.promotions), (1, 2, 1));
+    }
+
+    #[test]
+    fn value_capacity_bounds_promotions_not_pending_markers() {
+        let cache = SweepCache::with_capacity(1);
+        // Key 1 takes the single value slot.
+        assert!(matches!(cache.lookup_lowered(1), SweepDecision::Skip));
+        assert!(matches!(cache.lookup_lowered(1), SweepDecision::Compute));
+        cache.fulfill_lowered(1, Arc::new(Tensor::zeros(&[1])));
+        // Key 2 is tracked (cheap Pending marker) but can never promote
+        // while the value capacity is used up — and key 1 still hits.
+        assert!(matches!(cache.lookup_lowered(2), SweepDecision::Skip));
+        assert!(matches!(cache.lookup_lowered(2), SweepDecision::Skip));
+        assert!(matches!(cache.lookup_lowered(1), SweepDecision::Hit(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn abandon_releases_an_in_flight_promotion() {
+        let cache = SweepCache::with_capacity(1);
+        let _ = cache.lookup_prefix(5);
+        assert!(matches!(cache.lookup_prefix(5), SweepDecision::Compute));
+        // The promoted computation failed: the key returns to Pending and a
+        // later caller promotes it again.
+        cache.abandon_prefix(5);
+        assert!(matches!(cache.lookup_prefix(5), SweepDecision::Compute));
+        cache.fulfill_prefix(5, Arc::new(Tensor::zeros(&[1])));
+        assert!(matches!(cache.lookup_prefix(5), SweepDecision::Hit(_)));
+    }
+
+    #[test]
+    fn entries_are_arc_shared() {
+        let cache = SweepCache::new();
+        let tensor = Arc::new(Tensor::full(&[3], 2.5));
+        let _ = cache.lookup_prefix(9);
+        let _ = cache.lookup_prefix(9);
+        cache.fulfill_prefix(9, Arc::clone(&tensor));
+        match cache.lookup_prefix(9) {
+            SweepDecision::Hit(hit) => assert!(Arc::ptr_eq(&tensor, &hit)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+}

@@ -12,13 +12,29 @@
 //! ([`falvolt_tensor::kernels`]), and the remaining corruptible columns are
 //! evaluated with the quantized accumulator chain, parallelised over output
 //! rows (fault application is per-output-element, so rows are independent).
+//!
+//! Two scenario-throughput layers sit on top of the plan:
+//!
+//! * **Composed mask chains** — stuck-at masks compose associatively
+//!   ([`PeMasks::then`]), so the run of masks between two nonzero activations
+//!   collapses into a single (AND, OR) pair. Faulty columns walk only the
+//!   nonzero activations and the (sparse, per-fold) masked positions instead
+//!   of all `k` steps — bit-identical by construction, since the same adds
+//!   and the same composed masks are applied in the same order.
+//! * **Shared clean products** — with a [`crate::ProductCache`] installed,
+//!   the maskless quantized chain of a product's fault-free columns is
+//!   computed once per distinct activation matrix and shared across every
+//!   fault scenario in a sweep (clean columns do not depend on the fault
+//!   map). See the cache docs for the promote-on-second-request policy.
 
 use crate::fault_map::PeMasks;
-use crate::{FaultMap, PeCoord, Result, SystolicConfig, SystolicError, WeightMapping};
-use falvolt_fixedpoint::Fixed;
-use falvolt_tensor::{MatmulHint, Tensor, TensorError};
+use crate::product_cache::{CacheDecision, ProductCache};
+use crate::{FaultMap, Result, SystolicConfig, SystolicError, WeightMapping};
+use falvolt_fixedpoint::{Fixed, QFormat};
+use falvolt_tensor::{Fingerprint, MatmulHint, Tensor, TensorError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Work threshold (in accumulation steps, `m * n * k`) below which the
 /// faulty path stays serial — tiny per-layer products are issued constantly
@@ -60,17 +76,32 @@ pub enum BypassPolicy {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystolicExecutor {
     config: SystolicConfig,
     fault_map: FaultMap,
     mapping: WeightMapping,
     bypass: BypassPolicy,
+    composed_chains: bool,
+    cache: Option<Arc<ProductCache>>,
+}
+
+impl PartialEq for SystolicExecutor {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is a perf-sharing handle, not executor state: two
+        // executors that compute identical products compare equal.
+        self.config == other.config
+            && self.fault_map == other.fault_map
+            && self.mapping == other.mapping
+            && self.bypass == other.bypass
+            && self.composed_chains == other.composed_chains
+    }
 }
 
 impl SystolicExecutor {
     /// Creates an executor for a configuration and fault map, with faults
-    /// active in the datapath ([`BypassPolicy::None`]).
+    /// active in the datapath ([`BypassPolicy::None`]) and composed mask
+    /// chains enabled.
     pub fn new(config: SystolicConfig, fault_map: FaultMap) -> Self {
         let mapping = WeightMapping::new(&config);
         Self {
@@ -78,6 +109,8 @@ impl SystolicExecutor {
             fault_map,
             mapping,
             bypass: BypassPolicy::None,
+            composed_chains: true,
+            cache: None,
         }
     }
 
@@ -119,6 +152,29 @@ impl SystolicExecutor {
         self.fault_map = fault_map;
     }
 
+    /// Enables or disables mask-chain composition on the faulty path.
+    /// Disabled replays every one of the `k` accumulation steps per faulty
+    /// column (the pre-composition engine) — kept as the baseline for
+    /// benchmarks and bit-identity property tests.
+    pub fn set_composed_mask_chains(&mut self, enabled: bool) {
+        self.composed_chains = enabled;
+    }
+
+    /// `true` when the faulty path uses composed mask chains.
+    pub fn composed_mask_chains(&self) -> bool {
+        self.composed_chains
+    }
+
+    /// Installs (or removes) a sweep-shared clean-product cache.
+    pub fn set_product_cache(&mut self, cache: Option<Arc<ProductCache>>) {
+        self.cache = cache;
+    }
+
+    /// The installed product cache, if any.
+    pub fn product_cache(&self) -> Option<&Arc<ProductCache>> {
+        self.cache.as_ref()
+    }
+
     /// Computes `activations x weights` on the systolic array with
     /// [`MatmulHint::Auto`]; see [`SystolicExecutor::matmul_hinted`].
     ///
@@ -140,9 +196,10 @@ impl SystolicExecutor {
     /// `hint` steers the fault-free fast path onto the event-driven sparse
     /// kernel for spike activations. The faulty path ignores it: fault
     /// corruption replays the exact quantized accumulator chain regardless,
-    /// so fault-injection results are bit-identical whatever the hint — it
-    /// still skips zero activations via per-row nonzero lists resolved once
-    /// per row instead of once per `(row, column)` pair.
+    /// so fault-injection results are bit-identical whatever the hint — and
+    /// bit-identical whether mask chains are composed or replayed, and
+    /// whether clean columns come from the shared product cache or are
+    /// recomputed.
     ///
     /// # Errors
     ///
@@ -165,8 +222,23 @@ impl SystolicExecutor {
         let a = activations.data();
         let w = weights.data();
 
-        // Hoist all per-(k, col-fold) fault state out of the element loops.
-        let plan = FoldPlan::new(&self.config, &self.fault_map, k);
+        // Consulting the product cache costs a content hash of both operands
+        // (O(mk + kn)); the shareable win scales with the output (O(mn) per
+        // reusing scenario, times the chain length). Only consult when the
+        // hash amortises against the output — this admits the batch-sized
+        // encoder lowering (huge m, tiny k·n) and rejects the per-scenario
+        // fully connected products (huge k, tiny m·n) whose activations
+        // diverge across scenarios and would never hit anyway.
+        let cache = self.cache.as_ref().filter(|_| m * k + k * n <= 4 * m * n);
+
+        // Hoist all per-(k, col-fold) fault state out of the element loops;
+        // the dense replay chains are only materialised when the replay
+        // engine will actually walk them.
+        let plan = if self.composed_chains {
+            FoldPlan::without_replay_chains(&self.config, &self.fault_map, k)
+        } else {
+            FoldPlan::new(&self.config, &self.fault_map, k)
+        };
 
         // Fast path: with no fault anywhere in the array the datapath cannot
         // corrupt anything, so the product folds to the kernel layer's
@@ -176,6 +248,22 @@ impl SystolicExecutor {
         // by k * resolution; only faulty maps replay the quantized datapath
         // below.)
         if !plan.any_fault() {
+            if let Some(cache) = cache {
+                let key = product_key("float", a, w, m, k, n, hint_tag(hint));
+                match cache.lookup(key) {
+                    CacheDecision::Hit(shared) => {
+                        return Ok(Tensor::from_vec(vec![m, n], shared.as_ref().clone())?);
+                    }
+                    CacheDecision::Compute => {
+                        let out = Arc::new(falvolt_tensor::kernels::matmul_dispatch(
+                            a, w, m, k, n, hint,
+                        ));
+                        cache.fulfill(key, Arc::clone(&out));
+                        return Ok(Tensor::from_vec(vec![m, n], out.as_ref().clone())?);
+                    }
+                    CacheDecision::Skip => {}
+                }
+            }
             let out = falvolt_tensor::kernels::matmul_dispatch(a, w, m, k, n, hint);
             return Ok(Tensor::from_vec(vec![m, n], out)?);
         }
@@ -185,76 +273,78 @@ impl SystolicExecutor {
 
         // Faulty path. Every column replays the hardware's quantized
         // accumulator chain (so the executor agrees with the structural
-        // array simulation), but columns whose PE column is fault-free take
-        // a maskless fast loop with no per-step mask lookup or application.
+        // array simulation). Columns whose PE column is fault-free take a
+        // maskless fast loop — served from the sweep-shared clean product
+        // when available (fault-free columns cannot depend on the fault
+        // map). Corruptible columns walk the merged event stream of nonzero
+        // activations and masked positions, composing mask runs.
         let format = self.config.accumulator_format();
-        let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
         let bypass = matches!(self.bypass, BypassPolicy::SkipFaulty);
 
-        let compute_row = |a_row: &[f32], out_row: &mut [f32]| {
-            // Event skip-list: the nonzero activations of this row, resolved
-            // once and reused by every clean output column (the seed
-            // re-scanned all k activations for each of the n columns).
-            let nonzero: Vec<(usize, f32)> = a_row
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|&(_, v)| v != 0.0)
-                .collect();
-            for (j, out_elem) in out_row.iter_mut().enumerate() {
-                if plan.column_is_clean(j) {
-                    // Fault-free fold: same quantize-and-saturate chain on
-                    // raw words, no mask checks, zero steps skipped exactly
-                    // as before (a zero contribution leaves the clamped
-                    // accumulator unchanged).
-                    let mut acc = 0i64;
-                    for &(p, a_ip) in &nonzero {
-                        let q = i64::from(format.quantize(a_ip * w[p * n + j]));
-                        acc = (acc + q).clamp(min_raw, max_raw);
+        let clean_shared: Option<Arc<Vec<f32>>> = match cache {
+            Some(cache) => {
+                let key = product_key(
+                    "quantized-clean",
+                    a,
+                    w,
+                    m,
+                    k,
+                    n,
+                    u64::from(format.total_bits()) << 8 | u64::from(format.frac_bits()),
+                );
+                match cache.lookup(key) {
+                    CacheDecision::Hit(shared) => Some(shared),
+                    CacheDecision::Compute => {
+                        let full = Arc::new(quantized_clean_product(a, w, m, k, n, format));
+                        cache.fulfill(key, Arc::clone(&full));
+                        Some(full)
                     }
-                    *out_elem = format.dequantize(acc as i32);
-                    continue;
+                    CacheDecision::Skip => None,
                 }
-                let fold = plan.fold_masks(j);
-                let mut acc = Fixed::zero(format);
-                for (p, &a_ip) in a_row.iter().enumerate() {
-                    let masks = fold[p];
-                    if bypass && masks.is_some() {
-                        continue;
-                    }
-                    if a_ip != 0.0 {
-                        let contribution = Fixed::from_f32(a_ip * w[p * n + j], format);
-                        acc = acc.saturating_add(contribution);
-                    }
-                    if let Some(masks) = masks {
-                        acc = masks.apply(acc);
-                    }
-                }
-                *out_elem = acc.to_f32();
             }
+            None => None,
         };
 
-        let mut out = vec![0.0f32; m * n];
-        let threads = rayon::current_num_threads();
-        if threads <= 1 || m * n * k < PARALLEL_ELEMENT_THRESHOLD {
-            // Tiny per-layer products (and nested-parallel callers) skip the
-            // fan-out machinery, mirroring the kernel layer's cutoff.
-            for (i, out_row) in out.chunks_mut(n).enumerate() {
-                compute_row(&a[i * k..(i + 1) * k], out_row);
-            }
-        } else {
-            let rows_per_panel = m.div_ceil(threads * 2).max(1);
-            // Fault application is per-output-element: rows are
-            // embarrassingly parallel, so panels of rows go wide.
-            out.par_chunks_mut(rows_per_panel * n)
-                .enumerate()
-                .for_each(|(panel, out_panel)| {
-                    let row0 = panel * rows_per_panel;
-                    for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
-                        compute_row(&a[(row0 + r) * k..(row0 + r + 1) * k], out_row);
+        let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
+        let compute_row =
+            |i: usize, a_row: &[f32], out_row: &mut [f32], nz: &mut Vec<(usize, f32)>| {
+                let clean_row = clean_shared.as_ref().map(|v| &v[i * n..(i + 1) * n]);
+                // Event skip-list: the nonzero activations of this row, resolved
+                // once and reused by every output column (the seed re-scanned
+                // all k activations for each of the n columns). The buffer is
+                // caller-owned scratch, reused across the rows of a panel.
+                nz.clear();
+                nz.extend(a_row.iter().copied().enumerate().filter(|&(_, v)| v != 0.0));
+                for (j, out_elem) in out_row.iter_mut().enumerate() {
+                    if plan.column_is_clean(j) {
+                        if let Some(clean) = clean_row {
+                            // Sweep-shared value of the identical maskless chain.
+                            *out_elem = clean[j];
+                            continue;
+                        }
+                        *out_elem = quantized_clean_element(nz, w, n, j, format, min_raw, max_raw);
+                        continue;
                     }
-                });
-        }
+                    *out_elem = if self.composed_chains {
+                        faulty_column_composed(
+                            plan.fold_masked(j),
+                            nz,
+                            w,
+                            n,
+                            j,
+                            format,
+                            min_raw,
+                            max_raw,
+                            bypass,
+                        )
+                    } else {
+                        faulty_column_replay(&plan, j, a_row, w, n, format, bypass)
+                    };
+                }
+            };
+
+        let mut out = vec![0.0f32; m * n];
+        for_each_row_panel(a, &mut out, m, k, n, compute_row);
         Ok(Tensor::from_vec(vec![m, n], out)?)
     }
 
@@ -269,14 +359,218 @@ impl SystolicExecutor {
     }
 }
 
+/// Runs `row_fn` over every output row of an `m x n` product — serially
+/// below the parallel work threshold (tiny per-layer products, and
+/// nested-parallel scenario workers, skip the fan-out machinery), otherwise
+/// in row panels across threads (rows are embarrassingly parallel: fault
+/// application is per-output-element). Each call receives the row index, the
+/// row's activation slice and a per-panel scratch buffer for nonzero lists.
+fn for_each_row_panel<F>(a: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, row_fn: F)
+where
+    F: Fn(usize, &[f32], &mut [f32], &mut Vec<(usize, f32)>) + Sync,
+{
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || m * n * k < PARALLEL_ELEMENT_THRESHOLD {
+        let mut scratch = Vec::new();
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            row_fn(i, &a[i * k..(i + 1) * k], out_row, &mut scratch);
+        }
+        return;
+    }
+    let rows_per_panel = m.div_ceil(threads * 2).max(1);
+    out.par_chunks_mut(rows_per_panel * n)
+        .enumerate()
+        .for_each(|(panel, out_panel)| {
+            let row0 = panel * rows_per_panel;
+            let mut scratch = Vec::new();
+            for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
+                row_fn(
+                    row0 + r,
+                    &a[(row0 + r) * k..(row0 + r + 1) * k],
+                    out_row,
+                    &mut scratch,
+                );
+            }
+        });
+}
+
+/// Stable tag of a hint for cache keying (the dispatch decision is a pure
+/// function of the operand and the hint, so the hint is part of the key).
+fn hint_tag(hint: MatmulHint) -> u64 {
+    match hint {
+        MatmulHint::Auto => 0,
+        MatmulHint::Dense => 1,
+        MatmulHint::Spikes => 2,
+    }
+}
+
+/// Content key of one product under one execution regime (`tag`).
+fn product_key(tag: &str, a: &[f32], w: &[f32], m: usize, k: usize, n: usize, extra: u64) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.write_str(tag);
+    fp.write_dims(&[m, k, n]);
+    fp.write_u64(extra);
+    fp.write_f32s(a);
+    fp.write_f32s(w);
+    fp.finish()
+}
+
+/// One element of the maskless quantized accumulator chain: identical to the
+/// fault-free fold of the faulty path (quantize-and-saturate on raw words,
+/// zero contributions skipped — a zero leaves the clamped accumulator
+/// unchanged).
+#[allow(clippy::too_many_arguments)]
+fn quantized_clean_element(
+    nonzero: &[(usize, f32)],
+    w: &[f32],
+    n: usize,
+    j: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+) -> f32 {
+    let mut acc = 0i64;
+    for &(p, a_ip) in nonzero {
+        let q = i64::from(format.quantize(a_ip * w[p * n + j]));
+        acc = (acc + q).clamp(min_raw, max_raw);
+    }
+    format.dequantize(acc as i32)
+}
+
+/// The full maskless quantized product (every column treated as clean) — the
+/// sweep-shared value that any scenario's fault-free columns can be copied
+/// from. Row-parallel like the faulty path.
+fn quantized_clean_product(
+    a: &[f32],
+    w: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    format: QFormat,
+) -> Vec<f32> {
+    let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
+    let mut out = vec![0.0f32; m * n];
+    for_each_row_panel(a, &mut out, m, k, n, |_, a_row, out_row, nz| {
+        nz.clear();
+        nz.extend(a_row.iter().copied().enumerate().filter(|&(_, v)| v != 0.0));
+        for (j, out_elem) in out_row.iter_mut().enumerate() {
+            *out_elem = quantized_clean_element(nz, w, n, j, format, min_raw, max_raw);
+        }
+    });
+    out
+}
+
+/// Applies a composed mask pair to a raw accumulator word — exactly
+/// [`PeMasks::apply`] on a [`Fixed`] carrying that raw (the accumulator is
+/// kept clamped into the format's range, so `from_raw`'s clamp is a no-op).
+fn apply_masks_raw(acc: i64, masks: PeMasks, format: QFormat) -> i64 {
+    i64::from(masks.apply(Fixed::from_raw(acc as i32, format)).raw())
+}
+
+/// Faulty column via the composed event walk: merge the row's nonzero
+/// activations with the fold's masked positions in `p` order (add before
+/// mask at equal positions, exactly the original loop's order) and collapse
+/// every run of masks between two adds into one composed pair. The
+/// accumulator lives as a raw word with the same quantize-and-saturate chain
+/// the [`Fixed`] arithmetic performs (format bounds hoisted by the caller).
+#[allow(clippy::too_many_arguments)]
+fn faulty_column_composed(
+    masked: &[(u32, PeMasks)],
+    nonzero: &[(usize, f32)],
+    w: &[f32],
+    n: usize,
+    j: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+) -> f32 {
+    let mut acc = 0i64;
+    let mut mi = 0usize;
+    if bypass {
+        // Bypassed PEs contribute nothing and corrupt nothing: the product
+        // reduces to the nonzero activations whose position is unmasked.
+        for &(p, a_ip) in nonzero {
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                mi += 1;
+            }
+            if mi < masked.len() && masked[mi].0 as usize == p {
+                continue;
+            }
+            let q = i64::from(format.quantize(a_ip * w[p * n + j]));
+            acc = (acc + q).clamp(min_raw, max_raw);
+        }
+        return format.dequantize(acc as i32);
+    }
+    for &(p, a_ip) in nonzero {
+        // Compose and apply every mask strictly before this add. Masks ahead
+        // of the first nonzero act on the zero accumulator, exactly as the
+        // replayed chain does.
+        if mi < masked.len() && (masked[mi].0 as usize) < p {
+            let mut composed = masked[mi].1;
+            mi += 1;
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                composed = composed.then(masked[mi].1);
+                mi += 1;
+            }
+            acc = apply_masks_raw(acc, composed, format);
+        }
+        let q = i64::from(format.quantize(a_ip * w[p * n + j]));
+        acc = (acc + q).clamp(min_raw, max_raw);
+    }
+    // Tail: masks at and after the last add (an add at position p is masked
+    // by position p's own PE after the accumulation step).
+    if mi < masked.len() {
+        let mut composed = masked[mi].1;
+        mi += 1;
+        while mi < masked.len() {
+            composed = composed.then(masked[mi].1);
+            mi += 1;
+        }
+        acc = apply_masks_raw(acc, composed, format);
+    }
+    format.dequantize(acc as i32)
+}
+
+/// Faulty column via the full `k`-step replay (the pre-composition engine):
+/// every accumulation step looks up and applies its mask, zero activations
+/// included. Kept as the reference for bit-identity tests and benchmarks.
+fn faulty_column_replay(
+    plan: &FoldPlan,
+    j: usize,
+    a_row: &[f32],
+    w: &[f32],
+    n: usize,
+    format: QFormat,
+    bypass: bool,
+) -> f32 {
+    let fold = plan.fold_masks(j);
+    let mut acc = Fixed::zero(format);
+    for (p, &a_ip) in a_row.iter().enumerate() {
+        let masks = fold[p];
+        if bypass && masks.is_some() {
+            continue;
+        }
+        if a_ip != 0.0 {
+            let contribution = Fixed::from_f32(a_ip * w[p * n + j], format);
+            acc = acc.saturating_add(contribution);
+        }
+        if let Some(masks) = masks {
+            acc = masks.apply(acc);
+        }
+    }
+    acc.to_f32()
+}
+
 /// Precomputed fault state for one matrix product: which PE masks apply to
 /// every `(k, column-fold)` pair, hoisted out of the per-element loops.
 ///
 /// Weight element `(p, j)` resides in PE `(p mod rows, j mod cols)`, so the
 /// mask chain of an output column depends only on `j mod cols`. The plan
 /// stores, for each of the `cols` folds, a `k`-long mask vector (resolving
-/// the `p mod rows` indirection once), plus a per-fold cleanliness flag used
-/// to fast-path unaffected columns onto the clean blocked kernel.
+/// the `p mod rows` indirection once), a per-fold cleanliness flag used to
+/// fast-path unaffected columns, and the *sparse* list of masked positions
+/// that the composed event walk merges with each row's nonzero activations.
 ///
 /// # Example
 ///
@@ -295,46 +589,97 @@ impl SystolicExecutor {
 #[derive(Debug, Clone)]
 pub struct FoldPlan {
     /// `cols * k` masks, laid out fold-major so one column's chain is
-    /// contiguous: entry `fold * k + p`.
+    /// contiguous: entry `fold * k + p`. Only materialised when the replay
+    /// path needs it ([`FoldPlan::new`]); the composed walk builds plans
+    /// with [`FoldPlan::without_replay_chains`], whose construction cost is
+    /// O(faults * k / rows) instead of O(cols * k) — the dense chain was the
+    /// dominant per-product setup cost for deep fully connected layers.
     masks: Vec<Option<PeMasks>>,
-    /// Per-fold flag: `true` when no PE of that grid column is faulty.
+    /// Per-fold sparse view of the chain: the `(p, masks)` pairs where a
+    /// mask exists, in increasing `p`. `(#faulty rows of the fold) *
+    /// ceil(k / rows)` entries — what makes the composed walk O(nnz +
+    /// masked) instead of O(k).
+    masked: Vec<Vec<(u32, PeMasks)>>,
+    /// Per-fold flag: `true` when no PE of that grid column masks any of the
+    /// `k` chain positions.
     fold_clean: Vec<bool>,
     k: usize,
     cols: usize,
     any_fault: bool,
+    has_replay_chains: bool,
 }
 
 impl FoldPlan {
-    /// Builds the plan for products with inner dimension `k` on `config`'s
-    /// grid under `fault_map`.
+    /// Builds the full plan (sparse masked lists *and* the dense replay
+    /// chains) for products with inner dimension `k` on `config`'s grid
+    /// under `fault_map`.
     pub fn new(config: &SystolicConfig, fault_map: &FaultMap, k: usize) -> Self {
+        Self::build(config, fault_map, k, true)
+    }
+
+    /// Builds the plan without the dense replay chains — all the composed
+    /// event walk and the clean-column fast paths need.
+    /// [`FoldPlan::fold_masks`] panics on such a plan.
+    pub fn without_replay_chains(config: &SystolicConfig, fault_map: &FaultMap, k: usize) -> Self {
+        Self::build(config, fault_map, k, false)
+    }
+
+    fn build(
+        config: &SystolicConfig,
+        fault_map: &FaultMap,
+        k: usize,
+        with_replay_chains: bool,
+    ) -> Self {
         let rows = config.rows();
         let cols = config.cols();
         let any_fault = !fault_map.is_empty();
-        let mut masks = vec![None; cols * k];
+        let mut masked = vec![Vec::new(); cols];
         let mut fold_clean = vec![true; cols];
         if any_fault {
-            // Resolve the grid once (rows * cols lookups), then unfold to k.
-            let mut grid: Vec<Option<PeMasks>> = Vec::with_capacity(rows * cols);
-            for r in 0..rows {
-                for c in 0..cols {
-                    grid.push(fault_map.masks(PeCoord::new(r, c)));
+            // Unfold each faulty PE to its chain positions: weight row p maps
+            // to PE row `p mod rows`, so PE (r, c) masks positions r, r +
+            // rows, ... of fold c. Distinct PEs of one column never collide
+            // on a position, so a sort yields the increasing-p walk order.
+            for pe in fault_map.faulty_pes() {
+                let masks = fault_map
+                    .masks(pe)
+                    .expect("faulty_pes() only yields masked PEs");
+                let mut p = pe.row;
+                while p < k {
+                    masked[pe.col].push((p as u32, masks));
+                    p += rows;
                 }
             }
-            for fold in 0..cols {
-                let chain = &mut masks[fold * k..(fold + 1) * k];
-                for (p, slot) in chain.iter_mut().enumerate() {
-                    *slot = grid[(p % rows) * cols + fold];
-                }
-                fold_clean[fold] = chain.iter().all(Option::is_none);
+            for (fold, list) in masked.iter_mut().enumerate() {
+                list.sort_unstable_by_key(|&(p, _)| p);
+                // A faulty PE whose row exceeds k masks nothing: the fold
+                // stays clean for this product, exactly as the dense chain
+                // (all-None) reports.
+                fold_clean[fold] = list.is_empty();
             }
         }
+        let masks = if with_replay_chains && any_fault {
+            let mut dense = vec![None; cols * k];
+            for (fold, list) in masked.iter().enumerate() {
+                let chain = &mut dense[fold * k..(fold + 1) * k];
+                for &(p, pe_masks) in list {
+                    chain[p as usize] = Some(pe_masks);
+                }
+            }
+            dense
+        } else if with_replay_chains {
+            vec![None; cols * k]
+        } else {
+            Vec::new()
+        };
         Self {
             masks,
+            masked,
             fold_clean,
             k,
             cols,
             any_fault,
+            has_replay_chains: with_replay_chains,
         }
     }
 
@@ -344,15 +689,29 @@ impl FoldPlan {
     }
 
     /// `true` when output column `j` cannot be corrupted (its PE column holds
-    /// no faulty PE).
+    /// no faulty PE masking a chain position).
     pub fn column_is_clean(&self, j: usize) -> bool {
         self.fold_clean[j % self.cols]
     }
 
     /// The `k`-long mask chain of output column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan was built with
+    /// [`FoldPlan::without_replay_chains`].
     pub fn fold_masks(&self, j: usize) -> &[Option<PeMasks>] {
+        assert!(
+            self.has_replay_chains,
+            "replay chains were not built; construct the plan with FoldPlan::new"
+        );
         let fold = j % self.cols;
         &self.masks[fold * self.k..(fold + 1) * self.k]
+    }
+
+    /// The sparse masked positions of output column `j`, in increasing `p`.
+    pub fn fold_masked(&self, j: usize) -> &[(u32, PeMasks)] {
+        &self.masked[j % self.cols]
     }
 }
 
@@ -369,7 +728,7 @@ fn matrix_dims(t: &Tensor) -> Result<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Fault, StuckAt};
+    use crate::{Fault, PeCoord, StuckAt};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -580,5 +939,95 @@ mod tests {
         assert_eq!(executor.bypass_policy(), BypassPolicy::SkipFaulty);
         let bypassed = executor.matmul(&a, &b).unwrap();
         assert!(max_abs_diff(&clean, &bypassed) <= 0.5 + 1e-3);
+    }
+
+    /// Random executors under every (composed, cached) regime must agree
+    /// bit-for-bit with the replayed, uncached engine — including bypass.
+    #[test]
+    fn composed_and_cached_paths_are_bit_identical_to_replay() {
+        let config = SystolicConfig::new(4, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for faulty_pes in [1usize, 3, 8] {
+            for bypass in [BypassPolicy::None, BypassPolicy::SkipFaulty] {
+                let fault_map = FaultMap::random_msb_faults(&config, faulty_pes, &mut rng).unwrap();
+                // Mixed spike/real activations with zero rows and a k that
+                // wraps the 4-row grid several times; m is large enough for
+                // the executor to consult the product cache (hash gate).
+                let a = Tensor::from_fn(&[40, 19], |i| match i % 6 {
+                    0 => 1.0,
+                    1 => -0.75,
+                    _ => 0.0,
+                });
+                let b = Tensor::from_fn(&[19, 9], |i| (i % 17) as f32 * 0.06 - 0.4);
+
+                let mut replay = SystolicExecutor::with_bypass(config, fault_map.clone(), bypass);
+                replay.set_composed_mask_chains(false);
+                let reference = replay.matmul(&a, &b).unwrap();
+
+                let composed = SystolicExecutor::with_bypass(config, fault_map.clone(), bypass);
+                assert_eq!(
+                    composed.matmul(&a, &b).unwrap().data(),
+                    reference.data(),
+                    "composed chains changed bits ({faulty_pes} PEs, {bypass:?})"
+                );
+
+                let shared = Arc::new(ProductCache::new());
+                let mut cached = SystolicExecutor::with_bypass(config, fault_map, bypass);
+                cached.set_product_cache(Some(Arc::clone(&shared)));
+                // Three calls: skip, promote-and-fulfill, hit — all equal.
+                for call in 0..3 {
+                    assert_eq!(
+                        cached.matmul(&a, &b).unwrap().data(),
+                        reference.data(),
+                        "cached call {call} changed bits ({faulty_pes} PEs, {bypass:?})"
+                    );
+                }
+                assert!(
+                    shared.hits() >= 1,
+                    "the cached path was never exercised ({faulty_pes} PEs, {bypass:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_plan_masked_lists_match_dense_chain() {
+        let config = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let fault_map =
+            FaultMap::random_faulty_pes(&config, 5, 15, StuckAt::One, &mut rng).unwrap();
+        let plan = FoldPlan::new(&config, &fault_map, 22);
+        for j in 0..8 {
+            let dense = plan.fold_masks(j);
+            let sparse = plan.fold_masked(j);
+            let from_dense: Vec<(u32, PeMasks)> = dense
+                .iter()
+                .enumerate()
+                .filter_map(|(p, m)| m.map(|m| (p as u32, m)))
+                .collect();
+            assert_eq!(sparse, from_dense.as_slice(), "fold of column {j}");
+            assert_eq!(plan.column_is_clean(j), sparse.is_empty());
+        }
+    }
+
+    #[test]
+    fn mask_composition_is_exact_and_idempotent() {
+        let q = QFormat::accumulator_default();
+        let m1 = PeMasks {
+            and_mask: !(1u32 << 3),
+            or_mask: 1 << 15,
+        };
+        let m2 = PeMasks {
+            and_mask: !(1u32 << 15),
+            or_mask: 0b101,
+        };
+        for raw in [-30000i32, -1, 0, 1, 517, 32767] {
+            let x = Fixed::from_raw(raw, q);
+            let sequential = m2.apply(m1.apply(x));
+            let composed = m1.then(m2).apply(x);
+            assert_eq!(sequential, composed, "raw {raw}");
+        }
+        let twice = m1.then(m1);
+        assert_eq!(twice, m1, "mask pairs are idempotent under composition");
     }
 }

@@ -42,6 +42,21 @@ impl PeMasks {
     pub fn is_identity(&self) -> bool {
         self.and_mask == u32::MAX && self.or_mask == 0
     }
+
+    /// Composes two mask applications into one: `self.then(next)` applied
+    /// once equals applying `self` and then `next`. Exact on the word level
+    /// — `((x & a₁ | o₁) & a₂) | o₂ = (x & a₁a₂) | ((o₁ & a₂) | o₂)` — which
+    /// is what lets the executor collapse the run of masks between two
+    /// nonzero activations into a single pair and skip zero-activation steps
+    /// in faulty columns without changing a bit. Composition is idempotent
+    /// (`m.then(m) == m`), so replaying a periodic mask chain any number of
+    /// times equals one composed application.
+    pub fn then(&self, next: PeMasks) -> PeMasks {
+        PeMasks {
+            and_mask: self.and_mask & next.and_mask,
+            or_mask: (self.or_mask & next.and_mask) | next.or_mask,
+        }
+    }
 }
 
 impl Default for PeMasks {
@@ -166,6 +181,29 @@ impl FaultMap {
     /// Returns `true` when the map contains no faults.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// Content fingerprint of the map's *effect*: grid shape, accumulator
+    /// format and the composed masks of every faulty PE (in canonical
+    /// row-major order). Two maps with the same fingerprint corrupt products
+    /// identically, which is what backend fingerprints (and through them the
+    /// cross-call prefix cache) key on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = falvolt_tensor::Fingerprint::new();
+        fp.write_str("fault-map");
+        fp.write_usize(self.config.rows());
+        fp.write_usize(self.config.cols());
+        let format = self.config.accumulator_format();
+        fp.write_usize(format.total_bits() as usize);
+        fp.write_usize(format.frac_bits() as usize);
+        fp.write_usize(self.masks.len());
+        for (pe, masks) in &self.masks {
+            fp.write_usize(pe.row);
+            fp.write_usize(pe.col);
+            fp.write_u64(u64::from(masks.and_mask));
+            fp.write_u64(u64::from(masks.or_mask));
+        }
+        fp.finish() as u64
     }
 
     // ------------------------------------------------------------------

@@ -59,6 +59,7 @@ pub mod fault;
 pub mod fault_map;
 pub mod mapping;
 pub mod pe;
+pub mod product_cache;
 
 pub use array::SystolicArray;
 pub use config::SystolicConfig;
@@ -68,6 +69,7 @@ pub use fault::{Fault, PeCoord, StuckAt};
 pub use fault_map::{FaultMap, PeMasks};
 pub use mapping::WeightMapping;
 pub use pe::ProcessingElement;
+pub use product_cache::{CacheDecision, ProductCache};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SystolicError>;

@@ -1,0 +1,206 @@
+//! Shared clean-product cache for scenario sweeps.
+//!
+//! A figure sweep pushes the *same* activation matrices (the im2col lowering
+//! of one input batch) through the executor once per fault map. Faults only
+//! corrupt output columns whose PE column holds a faulty PE; every other
+//! column replays the identical maskless quantized accumulator chain in every
+//! scenario. The [`ProductCache`] lets scenario workers share exactly that
+//! work: the first worker to need a product's clean columns computes the full
+//! clean (quantized, fault-free) product once, and every other worker copies
+//! its clean columns instead of recomputing them.
+//!
+//! # Promote-on-second-request
+//!
+//! Mid-network activations *diverge* across scenarios (different corruption →
+//! different spikes), so caching every product would waste a full clean
+//! product on keys seen exactly once. The cache therefore promotes lazily:
+//! the first sighting of a key only records interest ([`CacheDecision::Skip`]
+//! — compute inline, don't store), and a second sighting proves the key is
+//! shared across workers, so that caller computes the full product and
+//! fulfils the entry ([`CacheDecision::Compute`]). Encoder products (shared
+//! by construction) promote on the second scenario; per-scenario suffix
+//! products never promote and cost one hash lookup each.
+//!
+//! Cached values are pure functions of the key's content (operands, shape,
+//! accumulator format), so sharing cannot change results — sweeps remain
+//! bit-identical to the per-clone baseline. Only one worker per key is ever
+//! told to compute the shared value; workers racing it while it is in
+//! flight compute their own column subsets inline.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on tracked keys (pending + fulfilled).
+const DEFAULT_CAPACITY: usize = 512;
+
+/// What the caller should do after a cache lookup.
+#[derive(Debug, Clone)]
+pub enum CacheDecision {
+    /// The value is cached — use it.
+    Hit(Arc<Vec<f32>>),
+    /// The key was requested before: it is shared across workers. Compute
+    /// the value and hand it back via [`ProductCache::fulfill`].
+    Compute,
+    /// First sighting of this key — compute whatever subset is needed
+    /// inline and do not store anything.
+    Skip,
+}
+
+enum Slot {
+    /// Seen once; not yet worth materialising.
+    Pending,
+    /// A worker is computing the shared value; everyone else computes their
+    /// own subset inline instead of duplicating the full product.
+    Computing,
+    /// Computed and shared.
+    Ready(Arc<Vec<f32>>),
+}
+
+/// Shared clean-product store (see the module docs).
+pub struct ProductCache {
+    slots: Mutex<HashMap<u128, Slot>>,
+    capacity: usize,
+    hits: AtomicUsize,
+    promotions: AtomicUsize,
+    skips: AtomicUsize,
+}
+
+impl ProductCache {
+    /// Creates an empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache tracking at most `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicUsize::new(0),
+            promotions: AtomicUsize::new(0),
+            skips: AtomicUsize::new(0),
+        }
+    }
+
+    /// Looks the key up and reports what the caller should do. Exactly one
+    /// caller per key is ever told to compute: the promotion transitions the
+    /// slot to an in-flight state, so concurrent workers racing on the same
+    /// key fall back to inline computation of their own subset instead of
+    /// all duplicating the full shared product.
+    pub fn lookup(&self, key: u128) -> CacheDecision {
+        let mut slots = self.slots.lock().expect("product cache poisoned");
+        match slots.get(&key) {
+            Some(Slot::Ready(value)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheDecision::Hit(Arc::clone(value))
+            }
+            Some(Slot::Pending) => {
+                self.promotions.fetch_add(1, Ordering::Relaxed);
+                slots.insert(key, Slot::Computing);
+                CacheDecision::Compute
+            }
+            Some(Slot::Computing) => {
+                self.skips.fetch_add(1, Ordering::Relaxed);
+                CacheDecision::Skip
+            }
+            None => {
+                self.skips.fetch_add(1, Ordering::Relaxed);
+                if slots.len() < self.capacity {
+                    slots.insert(key, Slot::Pending);
+                }
+                CacheDecision::Skip
+            }
+        }
+    }
+
+    /// Stores a computed value for a key previously answered with
+    /// [`CacheDecision::Compute`].
+    pub fn fulfill(&self, key: u128, value: Arc<Vec<f32>>) {
+        let mut slots = self.slots.lock().expect("product cache poisoned");
+        slots.insert(key, Slot::Ready(value));
+    }
+
+    /// Number of tracked keys (pending and fulfilled).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("product cache poisoned").len()
+    }
+
+    /// `true` when nothing has been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from a fulfilled entry.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that asked the caller to compute-and-fulfill.
+    pub fn promotions(&self) -> usize {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// First-sighting lookups (computed inline, nothing stored).
+    pub fn skips(&self) -> usize {
+        self.skips.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ProductCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ProductCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProductCache")
+            .field("keys", &self.len())
+            .field("hits", &self.hits())
+            .field("promotions", &self.promotions())
+            .field("skips", &self.skips())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotes_on_second_request_then_hits() {
+        let cache = ProductCache::new();
+        assert!(matches!(cache.lookup(7), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(7), CacheDecision::Compute));
+        cache.fulfill(7, Arc::new(vec![1.0, 2.0]));
+        match cache.lookup(7) {
+            CacheDecision::Hit(v) => assert_eq!(v.as_slice(), &[1.0, 2.0]),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!((cache.skips(), cache.promotions(), cache.hits()), (1, 1, 1));
+    }
+
+    #[test]
+    fn only_one_caller_is_told_to_compute() {
+        let cache = ProductCache::new();
+        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+        // While the promoted worker computes, racing workers skip (inline
+        // subset computation) instead of duplicating the full product.
+        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
+        cache.fulfill(1, Arc::new(vec![4.0]));
+        assert!(matches!(cache.lookup(1), CacheDecision::Hit(_)));
+    }
+
+    #[test]
+    fn capacity_stops_tracking_new_keys() {
+        let cache = ProductCache::with_capacity(1);
+        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
+        // Key 2 cannot be tracked: it stays a Skip forever.
+        assert!(matches!(cache.lookup(2), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(2), CacheDecision::Skip));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -42,6 +42,53 @@ proptest! {
     }
 
     #[test]
+    fn composed_and_cached_executors_match_replay_bit_for_bit(
+        config in small_grid(),
+        seed in 0u64..1000,
+        density_pct in 0usize..60,
+        bypass_choice in 0usize..2,
+    ) {
+        // Random grids, fault maps, spike densities and bypass policies:
+        // the composed event walk and the sweep-shared clean-product cache
+        // must reproduce the full k-step replay exactly — this is the
+        // "composed vs replayed mask chains" leg of the Fig 5 bit-identity
+        // guarantee, at the executor level where the chains live.
+        use falvolt_systolic::ProductCache;
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(5));
+        let faulty = 1 + config.pe_count() / 4;
+        let map = FaultMap::random_msb_faults(&config, faulty, &mut rng).unwrap();
+        prop_assert!(!map.is_empty());
+        let policy = [BypassPolicy::None, BypassPolicy::SkipFaulty][bypass_choice];
+
+        // k wraps the grid rows a few times so folded PEs repeat masks; m is
+        // large enough for the executor's hash gate to consult the cache.
+        let k = config.rows() * 3 + 1;
+        let n = config.cols() * 2 + 1;
+        let a = Tensor::from_fn(&[50, k], |i| {
+            let r = (i * 2654435761 + seed as usize) % 100;
+            if r < density_pct { 1.0 } else if r == 99 { -0.5 } else { 0.0 }
+        });
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.4, 0.4, &mut rng);
+
+        let mut replay = SystolicExecutor::with_bypass(config, map.clone(), policy);
+        replay.set_composed_mask_chains(false);
+        let reference = replay.matmul(&a, &b).unwrap();
+
+        let composed = SystolicExecutor::with_bypass(config, map.clone(), policy);
+        let composed_out = composed.matmul(&a, &b).unwrap();
+        prop_assert_eq!(composed_out.data(), reference.data());
+
+        let mut cached = SystolicExecutor::with_bypass(config, map, policy);
+        cached.set_product_cache(Some(Arc::new(ProductCache::new())));
+        for _ in 0..3 {
+            let cached_out = cached.matmul(&a, &b).unwrap();
+            prop_assert_eq!(cached_out.data(), reference.data());
+        }
+    }
+
+    #[test]
     fn empty_fault_map_executor_is_close_to_float(config in small_grid(), seed in 0u64..1000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = config.rows() + 1;

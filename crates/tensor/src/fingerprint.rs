@@ -1,0 +1,167 @@
+//! Content fingerprints for cache keying.
+//!
+//! The scenario-throughput engine memoizes expensive intermediates (lowered
+//! im2col matrices, stateless-prefix outputs, clean-column products) across
+//! sweep workers. Cache keys must identify *content*, not identity: two
+//! scenario workers lowering the same input batch must produce the same key.
+//!
+//! [`Fingerprint`] is a streaming 128-bit content hash built from two
+//! independent 64-bit lanes (FNV-1a and a Murmur-style multiply-xorshift
+//! lane). 128 bits make accidental collisions across the at-most-thousands
+//! of keys a sweep produces vanishingly unlikely (~n²/2¹²⁸), which is what
+//! lets the caches guarantee bit-identical sweep results in practice without
+//! storing and comparing full operand copies.
+//!
+//! # Example
+//!
+//! ```
+//! use falvolt_tensor::fingerprint::Fingerprint;
+//!
+//! let mut a = Fingerprint::new();
+//! a.write_f32s(&[1.0, 2.0, 3.0]);
+//! let mut b = Fingerprint::new();
+//! b.write_f32s(&[1.0, 2.0, 3.0]);
+//! assert_eq!(a.finish(), b.finish());
+//! ```
+
+/// Streaming 128-bit content hash (two independent 64-bit lanes).
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint {
+    /// FNV-1a lane.
+    a: u64,
+    /// Multiply-xorshift lane, seeded differently so the two lanes do not
+    /// collide together.
+    b: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const MIX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const MIX_PRIME: u64 = 0xff51_afd7_ed55_8ccd;
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Self {
+            a: FNV_OFFSET,
+            b: MIX_SEED,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = (self.a ^ v).wrapping_mul(FNV_PRIME);
+        let mut m = self.b ^ v.rotate_left(29);
+        m = m.wrapping_mul(MIX_PRIME);
+        m ^= m >> 33;
+        self.b = m;
+    }
+
+    /// Absorbs a `usize` (as 64 bits).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a byte string (e.g. a layer or backend name).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = 0u64;
+            for (i, &byte) in chunk.iter().enumerate() {
+                word |= u64::from(byte) << (8 * i);
+            }
+            self.write_u64(word);
+        }
+    }
+
+    /// Absorbs an `f32` slice by bit pattern (so `-0.0` and `0.0` hash
+    /// differently — content keys must be exact, not numeric).
+    pub fn write_f32s(&mut self, data: &[f32]) {
+        self.write_u64(data.len() as u64);
+        let mut pairs = data.chunks_exact(2);
+        for pair in &mut pairs {
+            let word = u64::from(pair[0].to_bits()) | (u64::from(pair[1].to_bits()) << 32);
+            self.write_u64(word);
+        }
+        if let [last] = pairs.remainder() {
+            self.write_u64(u64::from(last.to_bits()));
+        }
+    }
+
+    /// Absorbs a shape (rank plus every dimension).
+    pub fn write_dims(&mut self, dims: &[usize]) {
+        self.write_u64(dims.len() as u64);
+        for &d in dims {
+            self.write_u64(d as u64);
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_agree() {
+        let mut a = Fingerprint::new();
+        let mut b = Fingerprint::new();
+        for fp in [&mut a, &mut b] {
+            fp.write_str("layer");
+            fp.write_dims(&[2, 3]);
+            fp.write_f32s(&[1.0, -2.5, 0.25]);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn single_element_changes_digest() {
+        let data: Vec<f32> = (0..257).map(|i| i as f32 * 0.5).collect();
+        let mut a = Fingerprint::new();
+        a.write_f32s(&data);
+        let mut perturbed = data.clone();
+        // Flip the lowest mantissa bit (adding a small float would round
+        // away at this magnitude).
+        perturbed[200] = f32::from_bits(perturbed[200].to_bits() ^ 1);
+        let mut b = Fingerprint::new();
+        b.write_f32s(&perturbed);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn zero_sign_and_length_are_distinguished() {
+        let mut a = Fingerprint::new();
+        a.write_f32s(&[0.0]);
+        let mut b = Fingerprint::new();
+        b.write_f32s(&[-0.0]);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fingerprint::new();
+        c.write_f32s(&[0.0, 0.0]);
+        let mut d = Fingerprint::new();
+        d.write_f32s(&[0.0, 0.0, 0.0]);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        // "ab" + "c" must differ from "a" + "bc".
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -36,12 +36,14 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod fingerprint;
 pub mod init;
 pub mod kernels;
 pub mod ops;
 pub mod reduce;
 
 pub use error::TensorError;
+pub use fingerprint::Fingerprint;
 pub use kernels::{MatmulHint, OperandProfile};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -16,13 +16,30 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide worker-count override (0 = none). A shim extension beyond
+/// the real rayon API: tests that need to compare worker counts set this
+/// instead of mutating `RAYON_NUM_THREADS`, because `std::env::set_var`
+/// races with the `getenv` calls every parallel operation makes.
+static THREAD_COUNT_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces [`current_num_threads`] to report `n` (shim-only test hook;
+/// `0` clears the override). Data-race-free, unlike env mutation.
+pub fn set_thread_count_override(n: usize) {
+    THREAD_COUNT_OVERRIDE.store(n, Ordering::SeqCst);
+}
 
 /// Number of worker threads used for parallel execution.
 ///
-/// Honours `RAYON_NUM_THREADS` (like the real rayon) and falls back to the
-/// machine's available parallelism.
+/// Honours the test override, then `RAYON_NUM_THREADS` (like the real
+/// rayon), and falls back to the machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    let forced = THREAD_COUNT_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
     if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
             if n > 0 {

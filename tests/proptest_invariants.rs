@@ -137,6 +137,77 @@ proptest! {
     }
 
     #[test]
+    fn fig5_sweep_is_bit_identical_across_workers_caches_and_chain_modes(
+        seed in 0u64..40,
+        faulty_pes in 1usize..9,
+    ) {
+        // The scenario-throughput engine's acceptance bar: a Fig-5-shaped
+        // sweep (several fault maps, one of them non-empty by construction,
+        // plus the empty map) must produce bit-identical accuracies
+        //
+        //   * sequentially on per-clone deep copies with replayed mask
+        //     chains and no caches (the PR 2 engine), vs
+        //   * fanned out through `parallel_accuracies` (scenario views,
+        //     sweep + product caches, composed chains) with 1 worker, vs
+        //   * the same with several workers.
+        use falvolt::vulnerability::{parallel_accuracies, reference_accuracies};
+        use falvolt_snn::trainer::Batch;
+
+        let systolic = SystolicConfig::new(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7000));
+        let mut scenarios = vec![(systolic, FaultMap::new(systolic))];
+        for _ in 0..3 {
+            scenarios.push((
+                systolic,
+                FaultMap::random_faulty_pes(&systolic, faulty_pes, 15, StuckAt::One, &mut rng)
+                    .unwrap(),
+            ));
+        }
+        prop_assert!(scenarios.iter().skip(1).all(|(_, m)| !m.is_empty()));
+
+        let network = tiny_network(1.0);
+        let test: Vec<Batch> = (0..2)
+            .map(|b| {
+                let input = falvolt_tensor::init::uniform(
+                    &[4, 1, 8, 8],
+                    0.0,
+                    1.4,
+                    &mut StdRng::seed_from_u64(seed ^ (b as u64) << 32),
+                );
+                Batch::new(input, vec![0, 1, 2, 3]).unwrap()
+            })
+            .collect();
+
+        let reference = reference_accuracies(&network, &scenarios, &test).unwrap();
+
+        // Force worker counts through the shim's race-free override (env
+        // mutation would race the getenv calls of concurrently running
+        // tests). The override is process-global, which is harmless: every
+        // computation in this suite is worker-count-independent — that is
+        // the invariant under test. A drop guard clears it even when a
+        // worker panics mid-sweep.
+        struct ClearOverride;
+        impl Drop for ClearOverride {
+            fn drop(&mut self) {
+                rayon::set_thread_count_override(0);
+            }
+        }
+        for workers in [1usize, 4] {
+            let fanned = {
+                let _guard = ClearOverride;
+                rayon::set_thread_count_override(workers);
+                parallel_accuracies(&network, scenarios.clone(), &test)
+            };
+            prop_assert_eq!(
+                fanned.unwrap(),
+                reference.clone(),
+                "sweep accuracies changed with {} workers",
+                workers
+            );
+        }
+    }
+
+    #[test]
     fn prefix_cache_is_exact_under_faulty_systolic_backend(seed in 0u64..50) {
         // Same bar, isolating the prefix cache: only the caching switch
         // differs, the kernels stay hinted on both sides.
