@@ -6,7 +6,7 @@
 //!   — the design-choice ablation called out in `DESIGN.md` §5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use falvolt::SystolicBackend;
+use falvolt::{ScenarioProducts, SystolicBackend};
 use falvolt_snn::config::ArchitectureConfig;
 use falvolt_snn::layers::{
     AvgPool2d, Conv2d, Flatten, ForwardContext, Layer, Linear, Mode, SpikingLayer,
@@ -16,7 +16,7 @@ use falvolt_snn::surrogate::Surrogate;
 use falvolt_snn::{EngineConfig, FloatBackend, MatmulBackend, SpikingNetwork, SweepCache};
 use falvolt_systolic::{FaultMap, ProductCache, StuckAt, SystolicConfig, SystolicExecutor};
 use falvolt_tensor::ops::Conv2dDims;
-use falvolt_tensor::{ops, MatmulHint, OperandProfile, Tensor};
+use falvolt_tensor::{ops, MatmulHint, OperandProfile, SpikeIndex, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
@@ -217,6 +217,7 @@ fn kernel_choice_sweep() -> Vec<(String, Vec<LayerChoiceRow>)> {
         network.set_engine(EngineConfig {
             prefix_cache: false,
             spike_kernels: true,
+            csr_spikes: true,
         });
         let recorder = Arc::new(RecordingBackend::default());
         network.set_backend(Arc::clone(&recorder) as Arc<dyn MatmulBackend>);
@@ -360,6 +361,39 @@ fn kernel_comparison(c: &mut Criterion) {
         ));
     }
 
+    // --- CSR spike tensors: index walk vs dense kernel vs probe kernel ----
+    // The event-stream representation at the kernel level: a prebuilt CSR
+    // index (what a spiking layer attaches for free) against the dense
+    // blocked kernel and the probe-based gather-accumulate kernel. The CSR
+    // walk never scans the dense operand at all.
+    let mut csr_entries = Vec::new();
+    for &density in &[0.02f32, 0.05, 0.10, 0.20] {
+        let sa: Vec<f32> = (0..sm * sk)
+            .map(|i| {
+                let r = ((i * 2654435761 + 41) % 100_000) as f32 / 100_000.0;
+                (r < density) as u8 as f32
+            })
+            .collect();
+        let index = SpikeIndex::from_dense(&sa, sk).expect("binary spike matrix");
+        let measured = index.density();
+        let dense_s = best_of(5, || kernels::matmul(&sa, &sb, sm, sk, sn));
+        let probe_s = best_of(5, || {
+            kernels::matmul_dispatch(&sa, &sb, sm, sk, sn, kernels::MatmulHint::Spikes)
+        });
+        let csr_s = best_of(5, || {
+            kernels::matmul_spikes_indexed(&index, &sb, sm, sk, sn)
+        });
+        csr_entries.push(format!(
+            "    {{\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"probe_event_ms\": {:.3},\n      \"csr_ms\": {:.3},\n      \"speedup\": {:.3}\n    }}",
+            density,
+            measured,
+            dense_s * 1e3,
+            probe_s * 1e3,
+            csr_s * 1e3,
+            dense_s / csr_s,
+        ));
+    }
+
     // --- network forward: temporal prefix cache + spike kernels on vs off -
     // Direct-encoding shape of every figure sweep: the stateless encoder
     // prefix (5x5 conv + avg-pool, the expensive part) ahead of the first
@@ -431,19 +465,21 @@ fn kernel_comparison(c: &mut Criterion) {
     };
     let run_scenario_engine = || -> Vec<Tensor> {
         // Fresh caches per run: the sweep owns them, and timing must include
-        // the misses that fill them.
+        // the misses that fill them. Workers are members of one
+        // ScenarioProducts set, so products against scenario-invariant
+        // operands are evaluated for all 32 maps in one batched event walk.
         let sweep_cache = Arc::new(SweepCache::new());
         let product_cache = Arc::new(ProductCache::new());
-        scenario_maps
-            .iter()
-            .map(|map| {
+        let set = Arc::new(ScenarioProducts::new(
+            sys16,
+            scenario_maps.clone(),
+            Arc::clone(&product_cache),
+        ));
+        (0..scenario_maps.len())
+            .map(|s| {
                 let mut worker = scenario_net.scenario_view();
                 worker.set_sweep_cache(Some(Arc::clone(&sweep_cache)));
-                worker.set_backend(SystolicBackend::shared_with_cache(
-                    sys16,
-                    map.clone(),
-                    Arc::clone(&product_cache),
-                ));
+                worker.set_backend(ScenarioProducts::member(&set, s));
                 worker.forward(&net_input, Mode::Eval).unwrap()
             })
             .collect()
@@ -460,6 +496,45 @@ fn kernel_comparison(c: &mut Criterion) {
     }
     let scenario_baseline_s = best_of(2, run_per_clone_baseline);
     let scenario_engine_s = best_of(2, run_scenario_engine);
+
+    // --- executor-level multi-map batching: per-map loop vs one event walk -
+    // The same 32 fault maps against one encoder-shaped product
+    // (m x k x n = 2048 x 48 x 32 on the 16x16 grid): the per-map loop
+    // re-resolves every row's event list and re-quantizes every contribution
+    // once per map; `matmul_scenarios` walks the stream once for all maps.
+    let (bm, bk, bn) = (2048usize, 48usize, 32usize);
+    let batch_a = Tensor::from_fn(&[bm, bk], |i| ((i * 2654435761 + 23) % 1000) as f32 / 400.0);
+    let batch_b = Tensor::from_fn(&[bk, bn], |i| (i % 11) as f32 * 0.02 - 0.1);
+    let per_map_exec: Vec<SystolicExecutor> = scenario_maps
+        .iter()
+        .map(|map| SystolicExecutor::new(sys16, map.clone()))
+        .collect();
+    let batch_exec = SystolicExecutor::new(sys16, FaultMap::new(sys16));
+    let per_map_outputs: Vec<Tensor> = per_map_exec
+        .iter()
+        .map(|e| e.matmul(&batch_a, &batch_b).unwrap())
+        .collect();
+    let batched_outputs = batch_exec
+        .matmul_scenarios(&batch_a, &batch_b, &scenario_maps)
+        .unwrap();
+    for (s, (a_out, b_out)) in per_map_outputs.iter().zip(&batched_outputs).enumerate() {
+        assert_eq!(
+            a_out.data(),
+            b_out.data(),
+            "batched scenario {s} diverged from the per-map product"
+        );
+    }
+    let per_map_s = best_of(3, || {
+        per_map_exec
+            .iter()
+            .map(|e| e.matmul(&batch_a, &batch_b).unwrap())
+            .collect::<Vec<_>>()
+    });
+    let batched_s = best_of(3, || {
+        batch_exec
+            .matmul_scenarios(&batch_a, &batch_b, &scenario_maps)
+            .unwrap()
+    });
 
     // --- kernel-choice frequency across the paper's architectures ---------
     let choice_report = kernel_choice_sweep();
@@ -483,7 +558,7 @@ fn kernel_comparison(c: &mut Criterion) {
 
     let threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"csr_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"matmul_scenarios_32maps_16x16_m2048_k48_n32\": {{\n    \"scenarios\": {},\n    \"bit_identical\": true,\n    \"per_map_ms\": {:.3},\n    \"batched_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
         naive_s * 1e3,
         blocked_s * 1e3,
         matmul_speedup,
@@ -494,6 +569,7 @@ fn kernel_comparison(c: &mut Criterion) {
         clean_s * 1e3,
         seed_clean_s / clean_s,
         sparse_entries.join(",\n"),
+        csr_entries.join(",\n"),
         spike_density,
         uncached_s * 1e3,
         cached_s * 1e3,
@@ -502,6 +578,10 @@ fn kernel_comparison(c: &mut Criterion) {
         scenario_baseline_s * 1e3,
         scenario_engine_s * 1e3,
         scenario_baseline_s / scenario_engine_s,
+        scenario_maps.len(),
+        per_map_s * 1e3,
+        batched_s * 1e3,
+        per_map_s / batched_s,
         choice_sections.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");

@@ -2,8 +2,11 @@
 
 use falvolt_snn::MatmulBackend;
 use falvolt_systolic::executor::BypassPolicy;
-use falvolt_systolic::{FaultMap, ProductCache, SystolicConfig, SystolicExecutor};
+use falvolt_systolic::{
+    FaultMap, ProductCache, SharedStore, StoreDecision, SystolicConfig, SystolicExecutor,
+};
 use falvolt_tensor::{Fingerprint, MatmulHint, Tensor, TensorError};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A [`MatmulBackend`] that executes every convolutional / fully connected
@@ -126,6 +129,237 @@ impl MatmulBackend for SystolicBackend {
         // and the bypass policy. (Mask-chain mode and product cache are
         // execution strategies, not result state — the executor guarantees
         // bit-identity across them.)
+        let mut fp = Fingerprint::new();
+        fp.write_str("systolic");
+        fp.write_u64(self.executor.fault_map().fingerprint());
+        fp.write_u64(match self.executor.bypass_policy() {
+            BypassPolicy::None => 0,
+            BypassPolicy::SkipFaulty => 1,
+        });
+        fp.finish() as u64
+    }
+}
+
+/// Default bound on value-bearing batched entries (each holds one output per
+/// scenario, so the bound is deliberately modest).
+const SCENARIO_BATCH_CAPACITY: usize = 64;
+
+/// Sweep-shared multi-map product batcher: the scenario set of one sweep
+/// (one systolic grid, many fault maps) plus a promote-on-second-request
+/// store of batched products.
+///
+/// Scenario workers execute whole network forwards independently, but the
+/// products they issue against the *scenario-invariant* operands (the shared
+/// im2col lowering of a test batch, the shared transposed weights) are
+/// identical across workers — only the fault map differs. Each member
+/// backend ([`ScenarioProducts::member`]) keys every product on its operands'
+/// content ids: the first sighting computes inline through its own single-map
+/// executor, the second proves the operands are shared across scenarios and
+/// evaluates [`SystolicExecutor::matmul_scenarios`] — **one event-stream walk
+/// for every map** — and later members copy their slice. Products whose
+/// activations diverge per scenario (everything downstream of the first
+/// corrupted spiking layer) never promote and fall back to the single-map
+/// path, so batching is self-selecting and bit-identical either way.
+pub struct ScenarioProducts {
+    config: SystolicConfig,
+    maps: Vec<FaultMap>,
+    product_cache: Arc<ProductCache>,
+    batch_executor: SystolicExecutor,
+    store: SharedStore<Vec<Tensor>>,
+    batches: AtomicUsize,
+}
+
+impl std::fmt::Debug for ScenarioProducts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioProducts")
+            .field("scenarios", &self.maps.len())
+            .field("hits", &self.hits())
+            .field("batches", &self.batches())
+            .finish()
+    }
+}
+
+impl ScenarioProducts {
+    /// Creates the batcher for one sweep's scenario set (all maps must
+    /// target `config`'s grid; faults stay active in the datapath, matching
+    /// [`SystolicBackend::new`]).
+    pub fn new(
+        config: SystolicConfig,
+        maps: Vec<FaultMap>,
+        product_cache: Arc<ProductCache>,
+    ) -> Self {
+        let mut batch_executor = SystolicExecutor::new(config, FaultMap::new(config));
+        batch_executor.set_product_cache(Some(Arc::clone(&product_cache)));
+        Self {
+            config,
+            maps,
+            product_cache,
+            batch_executor,
+            store: SharedStore::new(),
+            batches: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of scenarios in the set.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// `true` for an empty scenario set.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Batched products served from a fulfilled entry.
+    pub fn hits(&self) -> usize {
+        self.store.hits()
+    }
+
+    /// Multi-map batched evaluations performed.
+    pub fn batches(&self) -> usize {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// The backend of scenario `index`: behaves exactly like
+    /// [`SystolicBackend::shared_with_cache`] with `maps[index]` installed
+    /// (same name, same fingerprint, bit-identical products), but consults
+    /// the shared batch store first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn member(set: &Arc<Self>, index: usize) -> Arc<dyn MatmulBackend> {
+        assert!(index < set.maps.len(), "scenario index out of range");
+        let mut executor = SystolicExecutor::new(set.config, set.maps[index].clone());
+        executor.set_product_cache(Some(Arc::clone(&set.product_cache)));
+        Arc::new(ScenarioMemberBackend {
+            set: Arc::clone(set),
+            index,
+            executor,
+        })
+    }
+
+    /// One store lookup; `eager` callers declared the operands
+    /// scenario-invariant (every member will request this product) and batch
+    /// on first sighting instead of letting one worker pay the single-map
+    /// path first.
+    fn lookup(&self, key: u128, eager: bool) -> StoreDecision<Vec<Tensor>> {
+        self.store.lookup(key, SCENARIO_BATCH_CAPACITY, eager)
+    }
+
+    fn fulfill(&self, key: u128, outputs: Arc<Vec<Tensor>>) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.store.fulfill(key, outputs);
+    }
+
+    fn abandon(&self, key: u128) {
+        self.store.abandon(key);
+    }
+}
+
+/// One scenario's view of a [`ScenarioProducts`] set.
+#[derive(Debug)]
+struct ScenarioMemberBackend {
+    set: Arc<ScenarioProducts>,
+    index: usize,
+    executor: SystolicExecutor,
+}
+
+impl ScenarioMemberBackend {
+    /// Consults the batch store for this product; `None` means the caller
+    /// should fall back to the single-map path.
+    fn batched(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+        eager: bool,
+    ) -> Option<falvolt_tensor::Result<Tensor>> {
+        if a.ndim() != 2 || b.ndim() != 2 || a.shape()[1] != b.shape()[0] {
+            return None;
+        }
+        let mut fp = Fingerprint::new();
+        fp.write_str("scenario-batch");
+        fp.write_dims(a.shape());
+        fp.write_dims(b.shape());
+        fp.write_u64(match hint {
+            MatmulHint::Auto => 0,
+            MatmulHint::Dense => 1,
+            MatmulHint::Spikes => 2,
+        });
+        fp.write_u64(a.content_id());
+        fp.write_u64(b.content_id());
+        let key = fp.finish();
+        match self.set.lookup(key, eager) {
+            StoreDecision::Skip => None,
+            StoreDecision::Hit(outputs) => Some(Ok(outputs[self.index].clone())),
+            StoreDecision::Compute => {
+                match self
+                    .set
+                    .batch_executor
+                    .matmul_scenarios_hinted(a, b, &self.set.maps, hint)
+                {
+                    Ok(outputs) => {
+                        let outputs = Arc::new(outputs);
+                        self.set.fulfill(key, Arc::clone(&outputs));
+                        Some(Ok(outputs[self.index].clone()))
+                    }
+                    Err(e) => {
+                        // Release the in-flight slot so the key is not dead for
+                        // the rest of the sweep.
+                        self.set.abandon(key);
+                        Some(Err(as_tensor_error(e)))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MatmulBackend for ScenarioMemberBackend {
+    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
+        self.matmul_hinted(a, b, MatmulHint::Auto)
+    }
+
+    fn matmul_hinted(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        if let Some(result) = self.batched(a, b, hint, false) {
+            return result;
+        }
+        self.executor
+            .matmul_hinted(a, b, hint)
+            .map_err(as_tensor_error)
+    }
+
+    fn matmul_scenario_shared(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        // The caller certified the operands are scenario-invariant: batch
+        // for every map on first sighting.
+        if let Some(result) = self.batched(a, b, hint, true) {
+            return result;
+        }
+        self.executor
+            .matmul_hinted(a, b, hint)
+            .map_err(as_tensor_error)
+    }
+
+    fn name(&self) -> &str {
+        "systolic"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // A member is semantically a single-map systolic backend: the batch
+        // store is an execution strategy, not result state, so the
+        // fingerprint matches `SystolicBackend` with the same map installed
+        // and sweep-cache sharing semantics carry over unchanged.
         let mut fp = Fingerprint::new();
         fp.write_str("systolic");
         fp.write_u64(self.executor.fault_map().fingerprint());

@@ -10,8 +10,10 @@
 //! substitution table in `DESIGN.md` §3), so absolute accuracies differ from
 //! the paper; the *shape* of every curve is what the reproduction targets.
 
-use crate::mitigation::{EpochPoint, MitigationStrategy, Mitigator, RetrainConfig};
-use crate::vulnerability::{self, SweepSeries, VulnerabilityConfig};
+use crate::mitigation::{
+    EpochPoint, MitigationOutcome, MitigationStrategy, Mitigator, RetrainConfig,
+};
+use crate::vulnerability::{self, SweepCaches, SweepSeries, VulnerabilityConfig};
 use crate::Result;
 use falvolt_datasets::{
     to_batches, Dataset, DatasetConfig, LabeledBatch, SyntheticDvsGesture, SyntheticMnist,
@@ -163,6 +165,10 @@ pub struct ExperimentContext {
     baseline_state: Vec<Tensor>,
     baseline_accuracy: f32,
     seed: u64,
+    /// Sweep caches keyed per prepared test set: the figure runners share
+    /// one pair, so Figure 5a/5b/5c reuse the encoder lowerings of the same
+    /// test batches across figures instead of rebuilding them per sweep.
+    caches: SweepCaches,
 }
 
 impl ExperimentContext {
@@ -207,6 +213,7 @@ impl ExperimentContext {
             baseline_state,
             baseline_accuracy,
             seed,
+            caches: SweepCaches::new(),
         })
     }
 
@@ -253,6 +260,13 @@ impl ExperimentContext {
     /// Fault-free baseline accuracy of the trained network.
     pub fn baseline_accuracy(&self) -> f32 {
         self.baseline_accuracy
+    }
+
+    /// The context-owned sweep caches (one pair per prepared test set),
+    /// shared by every figure runner so repeated sweeps over the same data
+    /// reuse lowerings and clean products across figures.
+    pub fn caches(&self) -> &SweepCaches {
+        &self.caches
     }
 
     /// Restores the network to the trained baseline (undoing pruning,
@@ -325,6 +339,98 @@ fn convert_batches(batches: Vec<LabeledBatch>) -> Result<Vec<Batch>> {
 }
 
 // ---------------------------------------------------------------------------
+// Shared fault-rate cell sweep machinery
+// ---------------------------------------------------------------------------
+
+/// One retraining/evaluation cell handed to [`run_fault_rate_cells`]'s
+/// closure: a scenario view of the trained baseline (sweep cache installed)
+/// plus the context's data splits.
+pub struct SweepCell<'a> {
+    /// Scenario view of the baseline network, sweep cache already installed.
+    pub network: SpikingNetwork,
+    /// Training batches.
+    pub train: &'a [Batch],
+    /// Test batches.
+    pub test: &'a [Batch],
+}
+
+/// Runs one cell per `(fault rate, payload)` pair, in parallel, against the
+/// restored baseline — the boilerplate every figure-cell driver shares:
+///
+/// 1. draw one fault map per rate into a pool (sequentially, from
+///    `seed_mix(ctx seed, rate)`, so results are worker-count-independent),
+/// 2. build the rate-major cell list; cells *borrow* their map from the pool,
+/// 3. restore the baseline and hand every cell a scenario view with one
+///    shared sweep cache (cells that evaluate identical networks — e.g. the
+///    strategies of one rate at epoch 0 — share prefix work through it),
+/// 4. collect results in cell order and restore the baseline again.
+///
+/// `threshold_sweep`, `mitigation_comparison` and the convergence driver are
+/// thin wrappers; future sweep-axis changes stay single-sited here.
+///
+/// # Errors
+///
+/// Propagates fault-map draw errors and the first cell error in cell order.
+pub fn run_fault_rate_cells<P, R, F>(
+    ctx: &mut ExperimentContext,
+    fault_rates: &[f64],
+    seed_mix: impl Fn(u64, f64) -> u64,
+    payloads: &[P],
+    cell: F,
+) -> Result<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(SweepCell<'_>, f64, &FaultMap, &P) -> Result<R> + Sync,
+{
+    let msb = ctx.systolic.accumulator_format().msb();
+    let mut pool = Vec::with_capacity(fault_rates.len());
+    for &fault_rate in fault_rates {
+        let mut rng = StdRng::seed_from_u64(seed_mix(ctx.seed, fault_rate));
+        pool.push(FaultMap::random_with_rate(
+            &ctx.systolic,
+            fault_rate,
+            msb,
+            StuckAt::One,
+            &mut rng,
+        )?);
+    }
+    let cells: Vec<(f64, &FaultMap, &P)> = fault_rates
+        .iter()
+        .zip(&pool)
+        .flat_map(|(&fault_rate, fault_map)| {
+            payloads
+                .iter()
+                .map(move |payload| (fault_rate, fault_map, payload))
+        })
+        .collect();
+    ctx.restore_baseline()?;
+    let baseline = &ctx.network;
+    let (train, test) = (&ctx.train, &ctx.test);
+    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
+    let results: Vec<Result<R>> = cells
+        .into_par_iter()
+        .map(|(fault_rate, fault_map, payload)| {
+            let mut network = baseline.scenario_view();
+            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
+            cell(
+                SweepCell {
+                    network,
+                    train,
+                    test,
+                },
+                fault_rate,
+                fault_map,
+                payload,
+            )
+        })
+        .collect();
+    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
+    ctx.restore_baseline()?;
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
 // Figure 2: fixed-threshold retraining sweep (motivational study)
 // ---------------------------------------------------------------------------
 
@@ -365,44 +471,20 @@ pub fn threshold_sweep(
     epochs: usize,
 ) -> Result<ThresholdSweepReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    let msb = ctx.systolic.accumulator_format().msb();
-    // Draw one fault map per rate into a pool (deterministic per-rate
-    // seeds), then run every (fault rate, threshold) retraining cell in
-    // parallel on a scenario view of the trained baseline. Cells *borrow*
-    // their fault map from the pool — the map is drawn once per rate, not
-    // cloned per cell.
-    let mut pool = Vec::with_capacity(fault_rates.len());
-    for &fault_rate in fault_rates {
-        let mut rng = StdRng::seed_from_u64(ctx.seed ^ (fault_rate.to_bits()));
-        pool.push(FaultMap::random_with_rate(
-            &ctx.systolic,
-            fault_rate,
-            msb,
-            StuckAt::One,
-            &mut rng,
-        )?);
-    }
-    let cells: Vec<(f64, &FaultMap, f32)> = fault_rates
-        .iter()
-        .zip(&pool)
-        .flat_map(|(&fault_rate, fault_map)| {
-            thresholds
-                .iter()
-                .map(move |&threshold| (fault_rate, fault_map, threshold))
-        })
-        .collect();
-    ctx.restore_baseline()?;
-    let baseline = &ctx.network;
-    let (train, test) = (&ctx.train, &ctx.test);
-    // Cells evaluating the same pruned network (same fault map, epoch-0
-    // accuracy) share prefix outputs through the sweep cache; once
-    // retraining diverges their prefix fingerprints diverge with it.
-    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
-    let results: Vec<Result<ThresholdSweepRow>> = cells
-        .into_par_iter()
-        .map(|(fault_rate, fault_map, threshold)| {
-            let mut network = baseline.scenario_view();
-            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
+    // One retraining cell per (fault rate, threshold); cells of one rate
+    // borrow the same pooled fault map and share epoch-0 prefix work through
+    // the sweep cache until retraining diverges them.
+    let rows = run_fault_rate_cells(
+        ctx,
+        fault_rates,
+        |seed, rate| seed ^ rate.to_bits(),
+        thresholds,
+        |cell, fault_rate, fault_map, &threshold| {
+            let SweepCell {
+                mut network,
+                train,
+                test,
+            } = cell;
             let outcome = mitigator.run(
                 &mut network,
                 fault_map,
@@ -415,10 +497,8 @@ pub fn threshold_sweep(
                 fault_rate,
                 accuracy: outcome.final_accuracy,
             })
-        })
-        .collect();
-    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
-    ctx.restore_baseline()?;
+        },
+    )?;
     Ok(ThresholdSweepReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
@@ -453,6 +533,7 @@ pub fn bit_position_experiment(
     ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
     let systolic = ctx.systolic;
+    let caches = ctx.caches.clone();
     let series = vulnerability::bit_position_sweep(
         &mut ctx.network,
         systolic,
@@ -460,6 +541,7 @@ pub fn bit_position_experiment(
         bits,
         faulty_pes,
         &config,
+        &caches,
     )?;
     Ok(BitPositionReport {
         dataset: ctx.kind.label().to_string(),
@@ -490,8 +572,15 @@ pub fn faulty_pe_experiment(
     ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
     let systolic = ctx.systolic;
-    let series =
-        vulnerability::faulty_pe_sweep(&mut ctx.network, systolic, &ctx.test, pe_counts, &config)?;
+    let caches = ctx.caches.clone();
+    let series = vulnerability::faulty_pe_sweep(
+        &mut ctx.network,
+        systolic,
+        &ctx.test,
+        pe_counts,
+        &config,
+        &caches,
+    )?;
     Ok(FaultyPeReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
@@ -522,8 +611,15 @@ pub fn array_size_experiment(
 ) -> Result<ArraySizeReport> {
     ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
-    let series =
-        vulnerability::array_size_sweep(&mut ctx.network, sizes, &ctx.test, faulty_pes, &config)?;
+    let caches = ctx.caches.clone();
+    let series = vulnerability::array_size_sweep(
+        &mut ctx.network,
+        sizes,
+        &ctx.test,
+        faulty_pes,
+        &config,
+        &caches,
+    )?;
     Ok(ArraySizeReport {
         dataset: ctx.kind.label().to_string(),
         faulty_pes,
@@ -572,47 +668,25 @@ pub fn mitigation_comparison(
     epochs: usize,
 ) -> Result<MitigationComparisonReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    let msb = ctx.systolic.accumulator_format().msb();
     let strategies = [
         MitigationStrategy::FaP,
         MitigationStrategy::fapit(epochs),
         MitigationStrategy::falvolt(epochs),
     ];
-    // One retraining cell per (fault rate, strategy), all cells in parallel
-    // on scenario views of the trained baseline; fault maps drawn
-    // sequentially into a pool from deterministic per-rate seeds (cells
-    // borrow, no per-cell clone) so worker count never changes results.
-    let mut pool = Vec::with_capacity(fault_rates.len());
-    for &fault_rate in fault_rates {
-        let mut rng = StdRng::seed_from_u64(ctx.seed ^ fault_rate.to_bits().rotate_left(13));
-        pool.push(FaultMap::random_with_rate(
-            &ctx.systolic,
-            fault_rate,
-            msb,
-            StuckAt::One,
-            &mut rng,
-        )?);
-    }
-    let cells: Vec<(f64, &FaultMap, MitigationStrategy)> = fault_rates
-        .iter()
-        .zip(&pool)
-        .flat_map(|(&fault_rate, fault_map)| {
-            strategies
-                .into_iter()
-                .map(move |strategy| (fault_rate, fault_map, strategy))
-        })
-        .collect();
-    ctx.restore_baseline()?;
-    let baseline = &ctx.network;
-    let (train, test) = (&ctx.train, &ctx.test);
-    // The three strategies of one fault rate prune to the same weights, so
-    // their epoch-0 evaluations share prefix outputs through the cache.
-    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
-    let results: Vec<Result<MitigationRow>> = cells
-        .into_par_iter()
-        .map(|(fault_rate, fault_map, strategy)| {
-            let mut network = baseline.scenario_view();
-            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
+    // One retraining cell per (fault rate, strategy); the three strategies
+    // of one rate prune to the same weights, so their epoch-0 evaluations
+    // share prefix outputs through the common sweep cache.
+    let rows = run_fault_rate_cells(
+        ctx,
+        fault_rates,
+        |seed, rate| seed ^ rate.to_bits().rotate_left(13),
+        &strategies,
+        |cell, fault_rate, fault_map, &strategy| {
+            let SweepCell {
+                mut network,
+                train,
+                test,
+            } = cell;
             let outcome = mitigator.run(&mut network, fault_map, train, test, strategy)?;
             Ok(MitigationRow {
                 fault_rate,
@@ -620,10 +694,8 @@ pub fn mitigation_comparison(
                 accuracy: outcome.final_accuracy,
                 thresholds: outcome.thresholds.clone(),
             })
-        })
-        .collect();
-    let rows = results.into_iter().collect::<Result<Vec<_>>>()?;
-    ctx.restore_baseline()?;
+        },
+    )?;
     Ok(MitigationComparisonReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
@@ -679,45 +751,30 @@ pub fn convergence_experiment(
     epochs: usize,
 ) -> Result<ConvergenceReport> {
     let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    let msb = ctx.systolic.accumulator_format().msb();
-    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xF168);
-    let fault_map =
-        FaultMap::random_with_rate(&ctx.systolic, fault_rate, msb, StuckAt::One, &mut rng)?;
-
-    ctx.restore_baseline()?;
-    // The two strategies are independent retraining runs: give each its own
-    // scenario view of the baseline (weights shared until their first
-    // optimizer step diverges them) and let them proceed side by side,
-    // sharing epoch-0 prefix work through one sweep cache.
-    let baseline = &ctx.network;
-    let (train, test) = (&ctx.train, &ctx.test);
-    let sweep_cache = std::sync::Arc::new(falvolt_snn::SweepCache::new());
-    let (fapit, falvolt) = rayon::join(
-        || {
-            let mut network = baseline.scenario_view();
-            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
-            mitigator.run(
-                &mut network,
-                &fault_map,
+    // The two strategies are the payload axis of a one-rate cell sweep: each
+    // retrains its own scenario view of the baseline (weights shared until
+    // the first optimizer step diverges them), sharing epoch-0 prefix work
+    // through the common sweep cache.
+    let strategies = [
+        MitigationStrategy::fapit(epochs),
+        MitigationStrategy::falvolt(epochs),
+    ];
+    let mut outcomes: Vec<MitigationOutcome> = run_fault_rate_cells(
+        ctx,
+        &[fault_rate],
+        |seed, _| seed ^ 0xF168,
+        &strategies,
+        |cell, _, fault_map, &strategy| {
+            let SweepCell {
+                mut network,
                 train,
                 test,
-                MitigationStrategy::fapit(epochs),
-            )
+            } = cell;
+            mitigator.run(&mut network, fault_map, train, test, strategy)
         },
-        || {
-            let mut network = baseline.scenario_view();
-            network.set_sweep_cache(Some(std::sync::Arc::clone(&sweep_cache)));
-            mitigator.run(
-                &mut network,
-                &fault_map,
-                train,
-                test,
-                MitigationStrategy::falvolt(epochs),
-            )
-        },
-    );
-    let (fapit, falvolt) = (fapit?, falvolt?);
-    ctx.restore_baseline()?;
+    )?;
+    let falvolt = outcomes.pop().expect("two strategy cells");
+    let fapit = outcomes.pop().expect("two strategy cells");
 
     Ok(ConvergenceReport {
         dataset: ctx.kind.label().to_string(),

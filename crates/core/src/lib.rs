@@ -60,8 +60,9 @@ pub mod mitigation;
 pub mod prune;
 pub mod vulnerability;
 
-pub use backend::SystolicBackend;
+pub use backend::{ScenarioProducts, SystolicBackend};
 pub use error::FalvoltError;
+pub use vulnerability::SweepCaches;
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, FalvoltError>;

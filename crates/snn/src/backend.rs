@@ -44,6 +44,26 @@ pub trait MatmulBackend: fmt::Debug + Send + Sync {
         self.matmul(a, b)
     }
 
+    /// Computes `a @ b` for a product the caller knows is **scenario
+    /// invariant**: in a sweep, every worker will issue this exact product
+    /// (same operand contents) against its own fault scenario. Sweep-batched
+    /// backends use the claim to evaluate all scenarios in one pass on the
+    /// first request instead of waiting for a second worker to prove
+    /// sharing; the default simply delegates, so the claim is an
+    /// optimisation channel — never a correctness requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for rank or inner-dimension mismatches.
+    fn matmul_scenario_shared(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        self.matmul_hinted(a, b, hint)
+    }
+
     /// Human-readable backend name for diagnostics.
     fn name(&self) -> &str {
         "backend"
@@ -129,6 +149,15 @@ impl<B: MatmulBackend + ?Sized> MatmulBackend for Arc<B> {
         hint: MatmulHint,
     ) -> falvolt_tensor::Result<Tensor> {
         (**self).matmul_hinted(a, b, hint)
+    }
+
+    fn matmul_scenario_shared(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        hint: MatmulHint,
+    ) -> falvolt_tensor::Result<Tensor> {
+        (**self).matmul_scenario_shared(a, b, hint)
     }
 
     fn name(&self) -> &str {

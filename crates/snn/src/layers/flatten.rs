@@ -57,7 +57,17 @@ impl Layer for Flatten {
         }
         let batch = input.shape()[0];
         let features: usize = input.shape()[1..].iter().product();
-        let output = input.reshape(&[batch, features])?;
+        let mut output = input.reshape(&[batch, features])?;
+        // Flattening a spike tensor is an index transform: the CSR rows of
+        // one sample concatenate into that sample's feature row. The event
+        // stream survives the reshape, so the fully connected product can
+        // walk it instead of re-scanning the dense row.
+        if let Some(index) = input.spike_index() {
+            if batch > 0 && features > 0 && index.rows() % batch == 0 {
+                let group = index.rows() / batch;
+                output.attach_spike_index(std::sync::Arc::new(index.flatten_rows(group)));
+            }
+        }
         if ctx.mode.is_train() {
             self.caches.push(input.shape().to_vec());
         }

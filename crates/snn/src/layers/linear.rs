@@ -113,13 +113,9 @@ impl Layer for Linear {
                 input.shape()
             )));
         }
-        if self.weight_t.as_ref().map(|(v, _)| *v) != Some(self.weight.version()) {
-            self.weight_t = Some((
-                self.weight.version(),
-                Arc::new(ops::transpose2d(self.weight.value())?),
-            ));
-        }
-        let weight_t: &Tensor = &self.weight_t.as_ref().expect("transposed above").1;
+        let weight_t =
+            crate::layers::shared_weight_transpose(&self.weight, &mut self.weight_t, ctx.cache)?;
+        let weight_t: &Tensor = &weight_t;
         // After a spiking layer (+ flatten) the input is a binary spike
         // matrix; let the backend's dispatcher probe it and pick the
         // event-driven kernel. Hints off pins the dense baseline.
@@ -128,7 +124,13 @@ impl Layer for Linear {
         } else {
             MatmulHint::Dense
         };
-        let mut output = ctx.backend.matmul_hinted(input, weight_t, hint)?;
+        // Prefix (scenario-invariant) products announce themselves so
+        // sweep-batched backends can evaluate every scenario in one pass.
+        let mut output = if ctx.shareable_input {
+            ctx.backend.matmul_scenario_shared(input, weight_t, hint)?
+        } else {
+            ctx.backend.matmul_hinted(input, weight_t, hint)?
+        };
         // Add the bias to every row.
         let bias = self.bias.value().data().to_vec();
         let out_features = self.out_features;

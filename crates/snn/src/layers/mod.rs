@@ -58,22 +58,36 @@ pub struct ForwardContext<'a> {
     /// hints to the backend (the spike-sparse kernel switch). Off pins every
     /// product to the dense blocked kernel — the engine-off baseline.
     pub spike_hints: bool,
+    /// Whether evaluation-mode spiking layers attach a CSR
+    /// [`falvolt_tensor::SpikeIndex`] to their outputs (and downstream layers
+    /// propagate it), making the spike event stream first-class: im2col
+    /// becomes an index transform and products walk the index instead of
+    /// probing. Off reproduces the probe-based engine bit-for-bit.
+    pub csr_spikes: bool,
     /// Sweep-driver-owned cross-call cache, when the network is evaluating
     /// inside a scenario sweep. Layers may use it to share backend-independent
-    /// intermediates (e.g. im2col lowerings) across scenario workers; `None`
-    /// outside sweeps and always `None` in training mode.
+    /// intermediates (im2col lowerings, transposed weights) across scenario
+    /// workers; `None` outside sweeps and always `None` in training mode.
     pub cache: Option<&'a SweepCache>,
+    /// `true` when this context's input is scenario-invariant by
+    /// construction (the stateless prefix of a sweep forward sees the raw
+    /// batch, which every worker shares). Layers may then promote their
+    /// input-derived cache keys on first sighting instead of waiting for a
+    /// second worker to prove sharing.
+    pub shareable_input: bool,
 }
 
 impl<'a> ForwardContext<'a> {
-    /// Creates a context with spike-structure hints enabled and no sweep
-    /// cache.
+    /// Creates a context with spike-structure hints and CSR spike indexes
+    /// enabled and no sweep cache.
     pub fn new(mode: Mode, backend: &'a dyn MatmulBackend) -> Self {
         Self {
             mode,
             backend,
             spike_hints: true,
+            csr_spikes: true,
             cache: None,
+            shareable_input: false,
         }
     }
 
@@ -83,12 +97,77 @@ impl<'a> ForwardContext<'a> {
         self
     }
 
+    /// Builder-style override of the CSR spike-index switch.
+    pub fn with_csr_spikes(mut self, enabled: bool) -> Self {
+        self.csr_spikes = enabled;
+        self
+    }
+
     /// Builder-style attachment of a sweep cache (ignored in training mode —
     /// training forwards mutate per-layer state and are never shared).
     pub fn with_cache(mut self, cache: Option<&'a SweepCache>) -> Self {
         self.cache = if self.mode.is_train() { None } else { cache };
         self
     }
+
+    /// Builder-style override of the shareable-input flag.
+    pub fn with_shareable_input(mut self, shareable: bool) -> Self {
+        self.shareable_input = shareable;
+        self
+    }
+}
+
+/// Returns the transposed weight matrix, reusing the layer-local derivation
+/// while the weight's edit version is unchanged and sharing the computed
+/// transpose across scenario workers through the sweep cache (keyed on the
+/// weight's content id — scenario views share the weight buffer, so every
+/// worker resolves the same key instead of transposing its own copy).
+pub(crate) fn shared_weight_transpose(
+    weight: &Param,
+    local: &mut Option<(u64, std::sync::Arc<Tensor>)>,
+    cache: Option<&SweepCache>,
+) -> Result<std::sync::Arc<Tensor>> {
+    use crate::sweep_cache::SweepDecision;
+    use std::sync::Arc;
+    if local.as_ref().map(|(v, _)| *v) != Some(weight.version()) {
+        let computed: Arc<Tensor> = match cache {
+            Some(cache) => {
+                let mut fp = Fingerprint::new();
+                fp.write_str("weight_t");
+                fp.write_u64(weight.value().content_id());
+                let key = fp.finish();
+                // Weight transposes are always shared by construction in an
+                // evaluation sweep (scenario views share the frozen weight
+                // buffer), so promote on first sighting.
+                match cache.lookup_lowered_eager(key) {
+                    SweepDecision::Hit(hit) => hit,
+                    decision => {
+                        let promoted = matches!(decision, SweepDecision::Compute);
+                        match falvolt_tensor::ops::transpose2d(weight.value()) {
+                            Ok(t) => {
+                                let t = Arc::new(t);
+                                if promoted {
+                                    cache.fulfill_lowered(key, Arc::clone(&t));
+                                }
+                                t
+                            }
+                            Err(e) => {
+                                if promoted {
+                                    cache.abandon_lowered(key);
+                                }
+                                return Err(e.into());
+                            }
+                        }
+                    }
+                }
+            }
+            None => Arc::new(falvolt_tensor::ops::transpose2d(weight.value())?),
+        };
+        *local = Some((weight.version(), computed));
+    }
+    Ok(std::sync::Arc::clone(
+        &local.as_ref().expect("stored above").1,
+    ))
 }
 
 impl fmt::Debug for ForwardContext<'_> {

@@ -117,7 +117,18 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &ForwardContext<'_>) -> Result<Tensor> {
-        let (output, argmax) = ops::max_pool2d_forward(input, self.kernel)?;
+        let (mut output, argmax) = ops::max_pool2d_forward(input, self.kernel)?;
+        // Max pooling preserves the binary amplitude of spikes, so a spike
+        // input yields a spike output: re-index it (one O(len) scan of the
+        // smaller pooled tensor) to keep the event stream flowing into the
+        // next convolution block.
+        if input.spike_index().is_some() && !ctx.mode.is_train() {
+            if let Some(cols) = output.shape().last().copied().filter(|&c| c > 0) {
+                if let Some(index) = falvolt_tensor::SpikeIndex::from_dense(output.data(), cols) {
+                    output.attach_spike_index(std::sync::Arc::new(index));
+                }
+            }
+        }
         if ctx.mode.is_train() {
             self.caches.push((input.shape().to_vec(), argmax));
         }

@@ -162,6 +162,19 @@ impl Layer for SpikingLayer {
                 charged,
                 spikes: spikes.clone(),
             });
+        } else if ctx.csr_spikes {
+            // Emit the spike event stream directly: the firing layer is the
+            // one place that knows exactly which elements are nonzero, so it
+            // indexes them once (CSR over last-dimension rows) and every
+            // downstream consumer — im2col, the gather-accumulate kernel,
+            // the systolic executor's event walk — reads the index instead
+            // of re-probing the dense buffer. Spikes are binary by
+            // construction, so `from_dense` always succeeds.
+            if let Some(cols) = spikes.shape().last().copied().filter(|&c| c > 0) {
+                if let Some(index) = falvolt_tensor::SpikeIndex::from_dense(spikes.data(), cols) {
+                    spikes.attach_spike_index(std::sync::Arc::new(index));
+                }
+            }
         }
         Ok(spikes)
     }

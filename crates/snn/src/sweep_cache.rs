@@ -98,7 +98,7 @@ struct Store {
 const TRACKED_PER_CAPACITY: usize = 16;
 
 impl Store {
-    fn lookup(&self, key: u128, capacity: usize) -> SweepDecision {
+    fn lookup(&self, key: u128, capacity: usize, eager: bool) -> SweepDecision {
         let mut inner = self.inner.lock().expect("sweep cache poisoned");
         match inner.slots.get(&key) {
             Some(Slot::Ready(value)) => {
@@ -121,6 +121,16 @@ impl Store {
                 SweepDecision::Skip
             }
             None => {
+                // Eager callers know their key is shared by construction
+                // (e.g. a lowering of the scenario-invariant prefix input):
+                // the value is being computed either way, so promote on
+                // first sighting and let every later worker hit it.
+                if eager && inner.promoted < capacity {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                    inner.promoted += 1;
+                    inner.slots.insert(key, Slot::Computing);
+                    return SweepDecision::Compute;
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 if inner.slots.len() < capacity * TRACKED_PER_CAPACITY {
                     inner.slots.insert(key, Slot::Pending);
@@ -183,7 +193,7 @@ impl SweepCache {
 
     /// Looks up a stateless-prefix output.
     pub fn lookup_prefix(&self, key: u128) -> SweepDecision {
-        self.prefix.lookup(key, self.capacity)
+        self.prefix.lookup(key, self.capacity, false)
     }
 
     /// Stores a prefix output previously answered with
@@ -199,9 +209,21 @@ impl SweepCache {
         self.prefix.abandon(key);
     }
 
-    /// Looks up an im2col lowering.
+    /// Looks up an im2col lowering (or any other shared derivation in the
+    /// lowering store, e.g. transposed weights).
     pub fn lookup_lowered(&self, key: u128) -> SweepDecision {
-        self.lowered.lookup(key, self.capacity)
+        self.lowered.lookup(key, self.capacity, false)
+    }
+
+    /// [`SweepCache::lookup_lowered`] with **promote-on-first-sighting**:
+    /// for keys the caller knows are shared by construction (a lowering of
+    /// the scenario-invariant prefix input, a transposed weight of the
+    /// frozen baseline), waiting for a second sighting only delays sharing
+    /// by one worker — the value is computed either way, fulfilment just
+    /// keeps it. One-shot keys must keep using the non-eager lookup so they
+    /// cannot crowd the bounded value store.
+    pub fn lookup_lowered_eager(&self, key: u128) -> SweepDecision {
+        self.lowered.lookup(key, self.capacity, true)
     }
 
     /// Stores an im2col lowering previously answered with

@@ -31,7 +31,7 @@ use crate::fault_map::PeMasks;
 use crate::product_cache::{CacheDecision, ProductCache};
 use crate::{FaultMap, Result, SystolicConfig, SystolicError, WeightMapping};
 use falvolt_fixedpoint::{Fixed, QFormat};
-use falvolt_tensor::{Fingerprint, MatmulHint, Tensor, TensorError};
+use falvolt_tensor::{Fingerprint, MatmulHint, SpikeIndex, Tensor, TensorError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -222,14 +222,11 @@ impl SystolicExecutor {
         let a = activations.data();
         let w = weights.data();
 
-        // Consulting the product cache costs a content hash of both operands
-        // (O(mk + kn)); the shareable win scales with the output (O(mn) per
-        // reusing scenario, times the chain length). Only consult when the
-        // hash amortises against the output — this admits the batch-sized
-        // encoder lowering (huge m, tiny k·n) and rejects the per-scenario
-        // fully connected products (huge k, tiny m·n) whose activations
-        // diverge across scenarios and would never hit anyway.
-        let cache = self.cache.as_ref().filter(|_| m * k + k * n <= 4 * m * n);
+        // Cache keys are O(1) content-id fingerprints (no operand hashing),
+        // so every product — including the deep fully connected ones whose
+        // operands previously cost more to hash than to multiply — consults
+        // the sweep-shared store when one is installed.
+        let cache = self.cache.as_ref();
 
         // Hoist all per-(k, col-fold) fault state out of the element loops;
         // the dense replay chains are only materialised when the replay
@@ -248,23 +245,7 @@ impl SystolicExecutor {
         // by k * resolution; only faulty maps replay the quantized datapath
         // below.)
         if !plan.any_fault() {
-            if let Some(cache) = cache {
-                let key = product_key("float", a, w, m, k, n, hint_tag(hint));
-                match cache.lookup(key) {
-                    CacheDecision::Hit(shared) => {
-                        return Ok(Tensor::from_vec(vec![m, n], shared.as_ref().clone())?);
-                    }
-                    CacheDecision::Compute => {
-                        let out = Arc::new(falvolt_tensor::kernels::matmul_dispatch(
-                            a, w, m, k, n, hint,
-                        ));
-                        cache.fulfill(key, Arc::clone(&out));
-                        return Ok(Tensor::from_vec(vec![m, n], out.as_ref().clone())?);
-                    }
-                    CacheDecision::Skip => {}
-                }
-            }
-            let out = falvolt_tensor::kernels::matmul_dispatch(a, w, m, k, n, hint);
+            let out = fault_free_product(activations, weights, m, k, n, hint, cache);
             return Ok(Tensor::from_vec(vec![m, n], out)?);
         }
         if m == 0 || n == 0 {
@@ -285,8 +266,8 @@ impl SystolicExecutor {
             Some(cache) => {
                 let key = product_key(
                     "quantized-clean",
-                    a,
-                    w,
+                    activations,
+                    weights,
                     m,
                     k,
                     n,
@@ -305,6 +286,22 @@ impl SystolicExecutor {
             None => None,
         };
 
+        // A CSR spike index on the activations makes the per-row event list
+        // a free view: the executor walks the index instead of re-scanning
+        // (and re-allocating) the nonzero scratch per product.
+        let spike_index = spike_index_for(activations, m, k);
+        // Binary activations contribute `quantize(1.0 * w) == quantize(w)`
+        // per event — a pure function of the weights and the format, shared
+        // across every scenario, time step and batch through the cache. A
+        // table read replaces the multiply+round+clamp per accumulation.
+        let qweights = quantized_weight_table(
+            spike_index.is_some().then_some(weights),
+            w,
+            k,
+            n,
+            format,
+            cache,
+        );
         let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
         let compute_row =
             |i: usize, a_row: &[f32], out_row: &mut [f32], nz: &mut Vec<(usize, f32)>| {
@@ -312,9 +309,9 @@ impl SystolicExecutor {
                 // Event skip-list: the nonzero activations of this row, resolved
                 // once and reused by every output column (the seed re-scanned
                 // all k activations for each of the n columns). The buffer is
-                // caller-owned scratch, reused across the rows of a panel.
-                nz.clear();
-                nz.extend(a_row.iter().copied().enumerate().filter(|&(_, v)| v != 0.0));
+                // caller-owned scratch, reused across the rows of a panel —
+                // served from the CSR index when the activations carry one.
+                fill_nonzeros(nz, spike_index, i, a_row);
                 for (j, out_elem) in out_row.iter_mut().enumerate() {
                     if plan.column_is_clean(j) {
                         if let Some(clean) = clean_row {
@@ -322,10 +319,29 @@ impl SystolicExecutor {
                             *out_elem = clean[j];
                             continue;
                         }
-                        *out_elem = quantized_clean_element(nz, w, n, j, format, min_raw, max_raw);
+                        *out_elem = match &qweights {
+                            Some(qw) => {
+                                quantized_clean_element_tab(nz, qw, n, j, format, min_raw, max_raw)
+                            }
+                            None => quantized_clean_element(nz, w, n, j, format, min_raw, max_raw),
+                        };
                         continue;
                     }
-                    *out_elem = if self.composed_chains {
+                    *out_elem = if !self.composed_chains {
+                        faulty_column_replay(&plan, j, a_row, w, n, format, bypass)
+                    } else if let Some(qw) = &qweights {
+                        faulty_column_composed_tab(
+                            plan.fold_masked(j),
+                            nz,
+                            qw,
+                            n,
+                            j,
+                            format,
+                            min_raw,
+                            max_raw,
+                            bypass,
+                        )
+                    } else {
                         faulty_column_composed(
                             plan.fold_masked(j),
                             nz,
@@ -337,8 +353,6 @@ impl SystolicExecutor {
                             max_raw,
                             bypass,
                         )
-                    } else {
-                        faulty_column_replay(&plan, j, a_row, w, n, format, bypass)
                     };
                 }
             };
@@ -346,6 +360,259 @@ impl SystolicExecutor {
         let mut out = vec![0.0f32; m * n];
         for_each_row_panel(a, &mut out, m, k, n, compute_row);
         Ok(Tensor::from_vec(vec![m, n], out)?)
+    }
+
+    /// Multi-map batched product with [`MatmulHint::Auto`]; see
+    /// [`SystolicExecutor::matmul_scenarios_hinted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for non-matrix inputs or mismatched inner
+    /// dimensions.
+    pub fn matmul_scenarios(
+        &self,
+        activations: &Tensor,
+        weights: &Tensor,
+        maps: &[FaultMap],
+    ) -> Result<Vec<Tensor>> {
+        self.matmul_scenarios_hinted(activations, weights, maps, MatmulHint::Auto)
+    }
+
+    /// Computes `activations x weights` under every fault map of a scenario
+    /// set in **one pass over the event stream**, returning one output per
+    /// map (in input order) — each bit-identical to
+    /// [`SystolicExecutor::matmul_hinted`] with that map installed.
+    ///
+    /// A figure sweep replays the *same* activations against dozens of fault
+    /// maps; evaluating them per map repeats all the map-independent work.
+    /// The batched walk amortises it:
+    ///
+    /// * each row's nonzero event list is resolved **once** for all maps
+    ///   (free when the activations carry a CSR spike index),
+    /// * each corruptible column's quantized contribution sequence
+    ///   (`quantize(a_ip * w[p, j])`, map-independent) is computed **once**
+    ///   and replayed per map with that map's composed mask events,
+    /// * the maskless quantized clean product is computed **once** in-call
+    ///   (and shared across calls through the [`ProductCache`] when
+    ///   installed), serving every map's fault-free columns,
+    /// * fault-free maps share one structure-aware fast-path product.
+    ///
+    /// The executor's own fault map is ignored; its grid, accumulator format
+    /// and bypass policy apply to every scenario. All maps must target this
+    /// executor's grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for non-matrix inputs or mismatched inner
+    /// dimensions.
+    pub fn matmul_scenarios_hinted(
+        &self,
+        activations: &Tensor,
+        weights: &Tensor,
+        maps: &[FaultMap],
+        hint: MatmulHint,
+    ) -> Result<Vec<Tensor>> {
+        let (m, k) = matrix_dims(activations)?;
+        let (k2, n) = matrix_dims(weights)?;
+        if k != k2 {
+            return Err(SystolicError::Tensor(TensorError::MatmulDimMismatch {
+                left_cols: k,
+                right_rows: k2,
+            }));
+        }
+        if maps.is_empty() {
+            return Ok(Vec::new());
+        }
+        let a = activations.data();
+        let w = weights.data();
+        let cache = self.cache.as_ref();
+        let plans: Vec<FoldPlan> = maps
+            .iter()
+            .map(|map| FoldPlan::without_replay_chains(&self.config, map, k))
+            .collect();
+        let mut outputs: Vec<Option<Tensor>> = vec![None; maps.len()];
+
+        // Fault-free maps cannot corrupt anything: they share one fast-path
+        // product (identical to the single-map fast path, cache included).
+        let mut fast: Option<Vec<f32>> = None;
+        for (s, plan) in plans.iter().enumerate() {
+            if plan.any_fault() {
+                continue;
+            }
+            let value = match &fast {
+                Some(value) => value.clone(),
+                None => {
+                    let value = fault_free_product(activations, weights, m, k, n, hint, cache);
+                    fast = Some(value.clone());
+                    value
+                }
+            };
+            outputs[s] = Some(Tensor::from_vec(vec![m, n], value)?);
+        }
+
+        let faulty: Vec<usize> = plans
+            .iter()
+            .enumerate()
+            .filter(|(_, plan)| plan.any_fault())
+            .map(|(s, _)| s)
+            .collect();
+        if faulty.is_empty() || m == 0 || n == 0 {
+            for &s in &faulty {
+                outputs[s] = Some(Tensor::from_vec(vec![m, n], Vec::new())?);
+            }
+            return Ok(outputs.into_iter().map(|o| o.expect("filled")).collect());
+        }
+
+        let format = self.config.accumulator_format();
+        let bypass = matches!(self.bypass, BypassPolicy::SkipFaulty);
+        let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
+
+        // Every map's fault-free columns read the maskless quantized value.
+        // It is the corrupted chain *without* the mask events — the same
+        // per-column q sequence folded without masks — so the batched walk
+        // derives it from the q scratch it builds anyway instead of running
+        // a separate clean product (an extra quantize pass over the whole
+        // matrix). A sweep-shared clean product is still consumed when the
+        // cache holds one, and fulfilled when the cache promotes this key.
+        let (shared_clean, fulfil_clean): (Option<Arc<Vec<f32>>>, Option<u128>) = match cache {
+            Some(cache) => {
+                let key = product_key(
+                    "quantized-clean",
+                    activations,
+                    weights,
+                    m,
+                    k,
+                    n,
+                    u64::from(format.total_bits()) << 8 | u64::from(format.frac_bits()),
+                );
+                match cache.lookup(key) {
+                    CacheDecision::Hit(shared) => (Some(shared), None),
+                    CacheDecision::Compute => (None, Some(key)),
+                    CacheDecision::Skip => (None, None),
+                }
+            }
+            None => (None, None),
+        };
+
+        // Which faulty scenarios actually walk each column fold; the rest of
+        // the maps copy the shared clean value.
+        let cols = self.config.cols();
+        let mut fold_users: Vec<Vec<usize>> = vec![Vec::new(); cols];
+        for (fi, &s) in faulty.iter().enumerate() {
+            for (fold, users) in fold_users.iter_mut().enumerate() {
+                if !plans[s].column_is_clean(fold) {
+                    users.push(fi);
+                }
+            }
+        }
+
+        let spike_index = spike_index_for(activations, m, k);
+        let qweights = quantized_weight_table(
+            spike_index.is_some().then_some(weights),
+            w,
+            k,
+            n,
+            format,
+            cache,
+        );
+        let fcount = faulty.len();
+        // One extra lane holds the derived clean values when no shared clean
+        // product is available (lane `fcount`, later fulfilled to the cache
+        // if this call was promoted).
+        let lanes = fcount + usize::from(shared_clean.is_none());
+        let row_stride = lanes * n;
+        // Interleaved output: row-major, all scenarios of one row contiguous,
+        // so the row walk stays embarrassingly parallel across threads.
+        let mut inter = vec![0.0f32; m * row_stride];
+        let compute_row =
+            |i: usize, row_chunk: &mut [f32], nz: &mut Vec<(usize, f32)>, q: &mut Vec<i64>| {
+                fill_nonzeros(nz, spike_index, i, &a[i * k..(i + 1) * k]);
+                let shared_row = shared_clean.as_ref().map(|v| &v[i * n..(i + 1) * n]);
+                for j in 0..n {
+                    let users = &fold_users[j % cols];
+                    // The quantized contribution sequence of this (row, column)
+                    // is map-independent: compute it once and replay it under
+                    // every map that can corrupt this fold (read straight from
+                    // the weight table when binary activations allow one). With
+                    // no shared clean product it is needed for every column —
+                    // the clean value is the same chain folded without masks.
+                    let need_q = !users.is_empty() || shared_row.is_none();
+                    if need_q {
+                        q.clear();
+                        match &qweights {
+                            Some(qw) => q.extend(nz.iter().map(|&(p, _)| i64::from(qw[p * n + j]))),
+                            None => q.extend(
+                                nz.iter()
+                                    .map(|&(p, v)| i64::from(format.quantize(v * w[p * n + j]))),
+                            ),
+                        }
+                    }
+                    let clean_v = match shared_row {
+                        Some(row) => row[j],
+                        None => {
+                            let mut acc = 0i64;
+                            for &qv in q.iter() {
+                                acc = (acc + qv).clamp(min_raw, max_raw);
+                            }
+                            let v = format.dequantize(acc as i32);
+                            row_chunk[fcount * n + j] = v;
+                            v
+                        }
+                    };
+                    for fi in 0..fcount {
+                        row_chunk[fi * n + j] = clean_v;
+                    }
+                    for &fi in users {
+                        row_chunk[fi * n + j] = faulty_column_from_q(
+                            plans[faulty[fi]].fold_masked(j),
+                            nz,
+                            q,
+                            format,
+                            min_raw,
+                            max_raw,
+                            bypass,
+                        );
+                    }
+                }
+            };
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || m * n * k * fcount < PARALLEL_ELEMENT_THRESHOLD {
+            let (mut nz, mut q) = (Vec::new(), Vec::new());
+            for (i, row_chunk) in inter.chunks_mut(row_stride).enumerate() {
+                compute_row(i, row_chunk, &mut nz, &mut q);
+            }
+        } else {
+            let rows_per_panel = m.div_ceil(threads * 2).max(1);
+            inter
+                .par_chunks_mut(rows_per_panel * row_stride)
+                .enumerate()
+                .for_each(|(panel, out_panel)| {
+                    let row0 = panel * rows_per_panel;
+                    let (mut nz, mut q) = (Vec::new(), Vec::new());
+                    for (r, row_chunk) in out_panel.chunks_mut(row_stride).enumerate() {
+                        compute_row(row0 + r, row_chunk, &mut nz, &mut q);
+                    }
+                });
+        }
+
+        // De-interleave into per-map tensors (and the fulfilled clean lane).
+        for (fi, &s) in faulty.iter().enumerate() {
+            let mut data = vec![0.0f32; m * n];
+            for i in 0..m {
+                let src = &inter[i * row_stride + fi * n..i * row_stride + (fi + 1) * n];
+                data[i * n..(i + 1) * n].copy_from_slice(src);
+            }
+            outputs[s] = Some(Tensor::from_vec(vec![m, n], data)?);
+        }
+        if let (Some(key), Some(cache)) = (fulfil_clean, cache) {
+            let mut data = vec![0.0f32; m * n];
+            for i in 0..m {
+                let src = &inter[i * row_stride + fcount * n..i * row_stride + (fcount + 1) * n];
+                data[i * n..(i + 1) * n].copy_from_slice(src);
+            }
+            cache.fulfill(key, Arc::new(data));
+        }
+        Ok(outputs.into_iter().map(|o| o.expect("filled")).collect())
     }
 
     /// Reference clean product computed in floating point (no quantization,
@@ -404,15 +671,192 @@ fn hint_tag(hint: MatmulHint) -> u64 {
     }
 }
 
-/// Content key of one product under one execution regime (`tag`).
-fn product_key(tag: &str, a: &[f32], w: &[f32], m: usize, k: usize, n: usize, extra: u64) -> u128 {
+/// Key of one product under one execution regime (`tag`). Operands are
+/// identified by their generation-tagged content ids — O(1) per consult, and
+/// an id equal to a cached one guarantees byte-equal content (ids are never
+/// reused and every mutation re-mints them), so id-keyed hits are as
+/// bit-safe as the content hashes they replaced.
+fn product_key(
+    tag: &str,
+    a: &Tensor,
+    w: &Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    extra: u64,
+) -> u128 {
     let mut fp = Fingerprint::new();
     fp.write_str(tag);
     fp.write_dims(&[m, k, n]);
     fp.write_u64(extra);
-    fp.write_f32s(a);
-    fp.write_f32s(w);
+    fp.write_u64(a.content_id());
+    fp.write_u64(w.content_id());
     fp.finish()
+}
+
+/// The activations' CSR spike index, when it matches the `m x k` matrix
+/// view. The index was validated against the data when it was attached (and
+/// any mutable access drops it), so only the geometry is checked here.
+fn spike_index_for(activations: &Tensor, m: usize, k: usize) -> Option<&SpikeIndex> {
+    activations
+        .spike_index()
+        .filter(|ix| ix.rows() == m && ix.cols() == k)
+        .map(|ix| ix.as_ref())
+}
+
+/// Resolves one row's nonzero event list into caller-owned scratch: a free
+/// view of the CSR index when one is attached (spikes are binary, so the
+/// value is `1.0`), otherwise one scan of the dense row.
+fn fill_nonzeros(nz: &mut Vec<(usize, f32)>, index: Option<&SpikeIndex>, i: usize, a_row: &[f32]) {
+    nz.clear();
+    match index {
+        Some(ix) => nz.extend(ix.row(i).iter().map(|&p| (p as usize, 1.0f32))),
+        None => nz.extend(a_row.iter().copied().enumerate().filter(|&(_, v)| v != 0.0)),
+    }
+}
+
+/// The fault-free product of the executor's fast path: the kernel layer's
+/// structure-aware dispatch, shared through the product cache when one is
+/// installed. Bit-identical whether the value is computed, fulfilled or hit
+/// (cached values are pure functions of the key).
+fn fault_free_product(
+    activations: &Tensor,
+    weights: &Tensor,
+    m: usize,
+    k: usize,
+    n: usize,
+    hint: MatmulHint,
+    cache: Option<&Arc<ProductCache>>,
+) -> Vec<f32> {
+    let dispatch = || {
+        falvolt_tensor::kernels::matmul_dispatch_indexed(
+            activations.data(),
+            spike_index_for(activations, m, k),
+            weights.data(),
+            m,
+            k,
+            n,
+            hint,
+        )
+    };
+    if let Some(cache) = cache {
+        let key = product_key("float", activations, weights, m, k, n, hint_tag(hint));
+        match cache.lookup(key) {
+            CacheDecision::Hit(shared) => return shared.as_ref().clone(),
+            CacheDecision::Compute => {
+                let out = Arc::new(dispatch());
+                cache.fulfill(key, Arc::clone(&out));
+                return out.as_ref().clone();
+            }
+            CacheDecision::Skip => {}
+        }
+    }
+    dispatch()
+}
+
+/// Resolves the sweep-shared quantized-weight table for a product with
+/// **binary** activations (`binary_weights` is `Some` only when a CSR spike
+/// index certifies every nonzero is `1.0`, so `quantize(a_ip * w) ==
+/// quantize(w)` exactly). Promote-on-second-request through the product
+/// cache: without a cache (or before promotion) the caller quantizes inline
+/// — building a `k x n` table for a single product would cost more than it
+/// saves.
+fn quantized_weight_table(
+    binary_weights: Option<&Tensor>,
+    w: &[f32],
+    k: usize,
+    n: usize,
+    format: QFormat,
+    cache: Option<&Arc<ProductCache>>,
+) -> Option<Arc<Vec<i32>>> {
+    let weights = binary_weights?;
+    let cache = cache?;
+    let mut fp = Fingerprint::new();
+    fp.write_str("qweights");
+    fp.write_dims(&[k, n]);
+    fp.write_u64(u64::from(format.total_bits()) << 8 | u64::from(format.frac_bits()));
+    fp.write_u64(weights.content_id());
+    let key = fp.finish();
+    match cache.lookup_qweights(key) {
+        CacheDecision::Hit(table) => Some(table),
+        CacheDecision::Compute => {
+            let table: Arc<Vec<i32>> = Arc::new(w.iter().map(|&x| format.quantize(x)).collect());
+            cache.fulfill_qweights(key, Arc::clone(&table));
+            Some(table)
+        }
+        CacheDecision::Skip => None,
+    }
+}
+
+/// [`quantized_clean_element`] with the contribution read from a
+/// quantized-weight table (binary activations only): same chain, same bits.
+fn quantized_clean_element_tab(
+    nonzero: &[(usize, f32)],
+    qw: &[i32],
+    n: usize,
+    j: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+) -> f32 {
+    let mut acc = 0i64;
+    for &(p, _) in nonzero {
+        acc = (acc + i64::from(qw[p * n + j])).clamp(min_raw, max_raw);
+    }
+    format.dequantize(acc as i32)
+}
+
+/// [`faulty_column_composed`] with the contributions read from a
+/// quantized-weight table (binary activations only): same adds, same
+/// composed masks, same order — bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn faulty_column_composed_tab(
+    masked: &[(u32, PeMasks)],
+    nonzero: &[(usize, f32)],
+    qw: &[i32],
+    n: usize,
+    j: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+) -> f32 {
+    let mut acc = 0i64;
+    let mut mi = 0usize;
+    if bypass {
+        for &(p, _) in nonzero {
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                mi += 1;
+            }
+            if mi < masked.len() && masked[mi].0 as usize == p {
+                continue;
+            }
+            acc = (acc + i64::from(qw[p * n + j])).clamp(min_raw, max_raw);
+        }
+        return format.dequantize(acc as i32);
+    }
+    for &(p, _) in nonzero {
+        if mi < masked.len() && (masked[mi].0 as usize) < p {
+            let mut composed = masked[mi].1;
+            mi += 1;
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                composed = composed.then(masked[mi].1);
+                mi += 1;
+            }
+            acc = apply_masks_raw(acc, composed, format);
+        }
+        acc = (acc + i64::from(qw[p * n + j])).clamp(min_raw, max_raw);
+    }
+    if mi < masked.len() {
+        let mut composed = masked[mi].1;
+        mi += 1;
+        while mi < masked.len() {
+            composed = composed.then(masked[mi].1);
+            mi += 1;
+        }
+        acc = apply_masks_raw(acc, composed, format);
+    }
+    format.dequantize(acc as i32)
 }
 
 /// One element of the maskless quantized accumulator chain: identical to the
@@ -520,6 +964,60 @@ fn faulty_column_composed(
     }
     // Tail: masks at and after the last add (an add at position p is masked
     // by position p's own PE after the accumulation step).
+    if mi < masked.len() {
+        let mut composed = masked[mi].1;
+        mi += 1;
+        while mi < masked.len() {
+            composed = composed.then(masked[mi].1);
+            mi += 1;
+        }
+        acc = apply_masks_raw(acc, composed, format);
+    }
+    format.dequantize(acc as i32)
+}
+
+/// Faulty column via the composed event walk with a **precomputed quantized
+/// contribution sequence**: `q[idx]` is `quantize(a_ip * w[p, j])` for the
+/// `idx`-th nonzero — exactly what [`faulty_column_composed`] computes
+/// inline, so the chain (same adds, same composed masks, same order) is
+/// bit-identical. The batched scenario walk shares one `q` across every
+/// fault map that corrupts the column, amortising the multiply+quantize.
+#[allow(clippy::too_many_arguments)]
+fn faulty_column_from_q(
+    masked: &[(u32, PeMasks)],
+    nonzero: &[(usize, f32)],
+    q: &[i64],
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+) -> f32 {
+    let mut acc = 0i64;
+    let mut mi = 0usize;
+    if bypass {
+        for (&(p, _), &qv) in nonzero.iter().zip(q) {
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                mi += 1;
+            }
+            if mi < masked.len() && masked[mi].0 as usize == p {
+                continue;
+            }
+            acc = (acc + qv).clamp(min_raw, max_raw);
+        }
+        return format.dequantize(acc as i32);
+    }
+    for (&(p, _), &qv) in nonzero.iter().zip(q) {
+        if mi < masked.len() && (masked[mi].0 as usize) < p {
+            let mut composed = masked[mi].1;
+            mi += 1;
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                composed = composed.then(masked[mi].1);
+                mi += 1;
+            }
+            acc = apply_masks_raw(acc, composed, format);
+        }
+        acc = (acc + qv).clamp(min_raw, max_raw);
+    }
     if mi < masked.len() {
         let mut composed = masked[mi].1;
         mi += 1;
@@ -988,6 +1486,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The batched multi-map product must agree bit-for-bit with installing
+    /// each map on its own executor — mixed clean/faulty maps, both bypass
+    /// policies, with and without a CSR spike index on the activations.
+    #[test]
+    fn matmul_scenarios_matches_per_map_matmul_bit_for_bit() {
+        let config = SystolicConfig::new(4, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut maps = vec![FaultMap::new(config)];
+        for faulty_pes in [1usize, 3, 6, 9] {
+            maps.push(FaultMap::random_msb_faults(&config, faulty_pes, &mut rng).unwrap());
+        }
+        let spikes = Tensor::from_fn(&[18, 21], |i| ((i % 4) == 0) as u8 as f32);
+        let indexed = spikes.clone().with_spike_index(Arc::new(
+            falvolt_tensor::SpikeIndex::from_dense(spikes.data(), 21).unwrap(),
+        ));
+        let mixed = Tensor::from_fn(&[18, 21], |i| match i % 5 {
+            0 => 1.0,
+            1 => -0.6,
+            _ => 0.0,
+        });
+        let b = Tensor::from_fn(&[21, 9], |i| (i % 13) as f32 * 0.05 - 0.3);
+        for bypass in [BypassPolicy::None, BypassPolicy::SkipFaulty] {
+            for a in [&spikes, &indexed, &mixed] {
+                let executor = SystolicExecutor::with_bypass(config, FaultMap::new(config), bypass);
+                let batched = executor.matmul_scenarios(a, &b, &maps).unwrap();
+                assert_eq!(batched.len(), maps.len());
+                for (s, map) in maps.iter().enumerate() {
+                    let single = SystolicExecutor::with_bypass(config, map.clone(), bypass);
+                    let reference = single.matmul(a, &b).unwrap();
+                    assert_eq!(
+                        batched[s].data(),
+                        reference.data(),
+                        "scenario {s} diverged ({bypass:?})"
+                    );
+                }
+            }
+        }
+        // Degenerate shapes: empty scenario lists and zero-width products.
+        let none: Vec<Tensor> = SystolicExecutor::new(config, FaultMap::new(config))
+            .matmul_scenarios(&mixed, &b, &[])
+            .unwrap();
+        assert!(none.is_empty());
+        let empty = SystolicExecutor::new(config, FaultMap::new(config))
+            .matmul_scenarios(&Tensor::zeros(&[0, 21]), &b, &maps)
+            .unwrap();
+        assert!(empty.iter().all(|t| t.shape() == [0, 9]));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Shared clean-product cache for scenario sweeps.
+//! Shared clean-product / quantized-weight cache for scenario sweeps.
 //!
 //! A figure sweep pushes the *same* activation matrices (the im2col lowering
 //! of one input batch) through the executor once per fault map. Faults only
@@ -9,62 +9,49 @@
 //! clean (quantized, fault-free) product once, and every other worker copies
 //! its clean columns instead of recomputing them.
 //!
-//! # Promote-on-second-request
+//! The cache also shares **quantized-weight tables** for binary (spike)
+//! activations: with every nonzero exactly `1.0`, each accumulation step
+//! contributes `quantize(1.0 * w[p, j]) == quantize(w[p, j])` — a pure
+//! function of the weights and the accumulator format. One table serves
+//! every scenario, every time step and every batch of a sweep, replacing a
+//! multiply+round+clamp per event with a table read
+//! ([`ProductCache::lookup_qweights`]).
 //!
-//! Mid-network activations *diverge* across scenarios (different corruption →
-//! different spikes), so caching every product would waste a full clean
-//! product on keys seen exactly once. The cache therefore promotes lazily:
-//! the first sighting of a key only records interest ([`CacheDecision::Skip`]
-//! — compute inline, don't store), and a second sighting proves the key is
-//! shared across workers, so that caller computes the full product and
-//! fulfils the entry ([`CacheDecision::Compute`]). Encoder products (shared
-//! by construction) promote on the second scenario; per-scenario suffix
-//! products never promote and cost one hash lookup each.
+//! Both stores follow the **promote-on-second-request** protocol of
+//! [`crate::SharedStore`]: mid-network activations diverge across scenarios
+//! (different corruption → different spikes), so the first sighting of a key
+//! only records interest and a second sighting proves the key is shared.
+//! Encoder products promote on the second scenario; per-scenario suffix
+//! products never promote and cost one hash lookup each. Quantized-weight
+//! keys depend only on the (frozen) weights, so they promote on the second
+//! product against the same weight matrix.
 //!
 //! Cached values are pure functions of the key's content (operands, shape,
 //! accumulator format), so sharing cannot change results — sweeps remain
-//! bit-identical to the per-clone baseline. Only one worker per key is ever
-//! told to compute the shared value; workers racing it while it is in
-//! flight compute their own column subsets inline.
+//! bit-identical to the per-clone baseline.
 
-use std::collections::HashMap;
+use crate::shared_store::SharedStore;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// Default bound on tracked keys (pending + fulfilled).
+/// Default bound on value-bearing (promoted) keys per store.
 const DEFAULT_CAPACITY: usize = 512;
 
-/// What the caller should do after a cache lookup.
-#[derive(Debug, Clone)]
-pub enum CacheDecision {
-    /// The value is cached — use it.
-    Hit(Arc<Vec<f32>>),
-    /// The key was requested before: it is shared across workers. Compute
-    /// the value and hand it back via [`ProductCache::fulfill`].
-    Compute,
-    /// First sighting of this key — compute whatever subset is needed
-    /// inline and do not store anything.
-    Skip,
-}
+/// What the caller should do after a cache lookup — the shared-store
+/// decision, defaulted to the clean-product value type.
+pub use crate::shared_store::StoreDecision as CacheDecision;
 
-enum Slot {
-    /// Seen once; not yet worth materialising.
-    Pending,
-    /// A worker is computing the shared value; everyone else computes their
-    /// own subset inline instead of duplicating the full product.
-    Computing,
-    /// Computed and shared.
-    Ready(Arc<Vec<f32>>),
-}
-
-/// Shared clean-product store (see the module docs).
+/// Shared clean-product and quantized-weight store (see the module docs).
 pub struct ProductCache {
-    slots: Mutex<HashMap<u128, Slot>>,
+    products: SharedStore<Vec<f32>>,
+    qweights: SharedStore<Vec<i32>>,
     capacity: usize,
-    hits: AtomicUsize,
-    promotions: AtomicUsize,
-    skips: AtomicUsize,
+}
+
+impl Default for ProductCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ProductCache {
@@ -73,58 +60,46 @@ impl ProductCache {
         Self::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// Creates an empty cache tracking at most `capacity` keys.
+    /// Creates an empty cache promoting at most `capacity` keys per store.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            slots: Mutex::new(HashMap::new()),
+            products: SharedStore::new(),
+            qweights: SharedStore::new(),
             capacity,
-            hits: AtomicUsize::new(0),
-            promotions: AtomicUsize::new(0),
-            skips: AtomicUsize::new(0),
         }
     }
 
-    /// Looks the key up and reports what the caller should do. Exactly one
-    /// caller per key is ever told to compute: the promotion transitions the
-    /// slot to an in-flight state, so concurrent workers racing on the same
-    /// key fall back to inline computation of their own subset instead of
-    /// all duplicating the full shared product.
-    pub fn lookup(&self, key: u128) -> CacheDecision {
-        let mut slots = self.slots.lock().expect("product cache poisoned");
-        match slots.get(&key) {
-            Some(Slot::Ready(value)) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                CacheDecision::Hit(Arc::clone(value))
-            }
-            Some(Slot::Pending) => {
-                self.promotions.fetch_add(1, Ordering::Relaxed);
-                slots.insert(key, Slot::Computing);
-                CacheDecision::Compute
-            }
-            Some(Slot::Computing) => {
-                self.skips.fetch_add(1, Ordering::Relaxed);
-                CacheDecision::Skip
-            }
-            None => {
-                self.skips.fetch_add(1, Ordering::Relaxed);
-                if slots.len() < self.capacity {
-                    slots.insert(key, Slot::Pending);
-                }
-                CacheDecision::Skip
-            }
-        }
+    /// Looks a clean-product key up and reports what the caller should do.
+    /// Exactly one caller per key is ever told to compute: the promotion
+    /// transitions the slot to an in-flight state, so concurrent workers
+    /// racing on the same key fall back to inline computation of their own
+    /// subset instead of all duplicating the full shared product.
+    pub fn lookup(&self, key: u128) -> CacheDecision<Vec<f32>> {
+        self.products.lookup(key, self.capacity, false)
     }
 
-    /// Stores a computed value for a key previously answered with
+    /// Stores a computed clean product for a key previously answered with
     /// [`CacheDecision::Compute`].
     pub fn fulfill(&self, key: u128, value: Arc<Vec<f32>>) {
-        let mut slots = self.slots.lock().expect("product cache poisoned");
-        slots.insert(key, Slot::Ready(value));
+        self.products.fulfill(key, value);
     }
 
-    /// Number of tracked keys (pending and fulfilled).
+    /// Looks up a quantized-weight table (`quantize(w[p, j])` for every
+    /// weight element, the per-event contribution of binary activations).
+    /// Same promote-on-second-request protocol as [`ProductCache::lookup`].
+    pub fn lookup_qweights(&self, key: u128) -> CacheDecision<Vec<i32>> {
+        self.qweights.lookup(key, self.capacity, false)
+    }
+
+    /// Stores a quantized-weight table previously answered with
+    /// [`CacheDecision::Compute`].
+    pub fn fulfill_qweights(&self, key: u128, value: Arc<Vec<i32>>) {
+        self.qweights.fulfill(key, value);
+    }
+
+    /// Number of tracked keys (pending and fulfilled, both stores).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("product cache poisoned").len()
+        self.products.len() + self.qweights.len()
     }
 
     /// `true` when nothing has been tracked yet.
@@ -134,23 +109,18 @@ impl ProductCache {
 
     /// Lookups served from a fulfilled entry.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.products.hits() + self.qweights.hits()
     }
 
     /// Lookups that asked the caller to compute-and-fulfill.
     pub fn promotions(&self) -> usize {
-        self.promotions.load(Ordering::Relaxed)
+        self.products.promotions() + self.qweights.promotions()
     }
 
-    /// First-sighting lookups (computed inline, nothing stored).
+    /// Lookups that found no usable entry (first sightings, in-flight keys,
+    /// capacity overflow).
     pub fn skips(&self) -> usize {
-        self.skips.load(Ordering::Relaxed)
-    }
-}
-
-impl Default for ProductCache {
-    fn default() -> Self {
-        Self::new()
+        self.products.skips() + self.qweights.skips()
     }
 }
 
@@ -195,12 +165,33 @@ mod tests {
     }
 
     #[test]
-    fn capacity_stops_tracking_new_keys() {
+    fn value_capacity_bounds_promotions_not_pending_markers() {
         let cache = ProductCache::with_capacity(1);
+        // Key 1 takes the single value slot.
         assert!(matches!(cache.lookup(1), CacheDecision::Skip));
-        // Key 2 cannot be tracked: it stays a Skip forever.
+        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+        cache.fulfill(1, Arc::new(vec![2.0]));
+        // Key 2 is tracked (cheap Pending marker) but can never promote
+        // while the value capacity is used up — and key 1 still hits.
         assert!(matches!(cache.lookup(2), CacheDecision::Skip));
         assert!(matches!(cache.lookup(2), CacheDecision::Skip));
-        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup(1), CacheDecision::Hit(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn qweight_store_is_independent_of_the_product_store() {
+        let cache = ProductCache::new();
+        // Same key, different stores: promotions do not interfere.
+        assert!(matches!(cache.lookup(9), CacheDecision::Skip));
+        assert!(matches!(cache.lookup_qweights(9), CacheDecision::Skip));
+        assert!(matches!(cache.lookup_qweights(9), CacheDecision::Compute));
+        cache.fulfill_qweights(9, Arc::new(vec![3, -4]));
+        match cache.lookup_qweights(9) {
+            CacheDecision::Hit(v) => assert_eq!(v.as_slice(), &[3, -4]),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // The product store still sees its own promotion protocol.
+        assert!(matches!(cache.lookup(9), CacheDecision::Compute));
     }
 }

@@ -1,0 +1,198 @@
+//! Generic promote-on-second-request value store.
+//!
+//! Several sweep-sharing caches follow the same protocol: the first sighting
+//! of a key only records interest (compute inline, store nothing), a second
+//! sighting proves the key is shared across workers (that caller computes
+//! and fulfils the shared value), and everyone after hits. Exactly one
+//! caller per key is ever told to compute — racers fall back to inline
+//! computation while the value is in flight. [`SharedStore`] is the single
+//! implementation behind the clean-product and quantized-weight stores of
+//! [`crate::ProductCache`] and the multi-map batch store of the experiment
+//! layer, so the subtle locking logic lives in one place.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tracked-key bound as a multiple of the value capacity. Pending markers
+/// are 16-byte bookkeeping; one-shot keys arrive in volume (per-scenario
+/// operands mint fresh content ids) and must not lock genuinely shared keys
+/// out of promotion — only the map itself needs a growth bound.
+const TRACKED_PER_CAPACITY: usize = 16;
+
+/// What the caller should do after a store lookup.
+#[derive(Debug, Clone)]
+pub enum StoreDecision<T> {
+    /// The value is cached — use it.
+    Hit(Arc<T>),
+    /// This key is shared across workers: compute the value and hand it
+    /// back via [`SharedStore::fulfill`] (or release the slot with
+    /// [`SharedStore::abandon`] on failure).
+    Compute,
+    /// No usable entry (first sighting, in-flight key, or capacity
+    /// overflow) — compute whatever subset is needed inline, store nothing.
+    Skip,
+}
+
+enum Slot<T> {
+    /// Seen once; not yet worth materialising.
+    Pending,
+    /// A worker is computing the shared value.
+    Computing,
+    /// Computed and shared.
+    Ready(Arc<T>),
+}
+
+struct Inner<T> {
+    slots: HashMap<u128, Slot<T>>,
+    /// Keys promoted to `Computing`/`Ready` — what the capacity bounds.
+    promoted: usize,
+}
+
+/// One promote-on-second-request store (see the module docs).
+pub struct SharedStore<T> {
+    inner: Mutex<Inner<T>>,
+    hits: AtomicUsize,
+    promotions: AtomicUsize,
+    skips: AtomicUsize,
+}
+
+impl<T> Default for SharedStore<T> {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                promoted: 0,
+            }),
+            hits: AtomicUsize::new(0),
+            promotions: AtomicUsize::new(0),
+            skips: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<T> SharedStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks `key` up under a `capacity` bound on promoted values. `eager`
+    /// callers know their key is shared by construction (the value is being
+    /// computed either way, fulfilment just keeps it), so a first sighting
+    /// promotes immediately instead of waiting for a second worker.
+    pub fn lookup(&self, key: u128, capacity: usize, eager: bool) -> StoreDecision<T> {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        match inner.slots.get(&key) {
+            Some(Slot::Ready(value)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                StoreDecision::Hit(Arc::clone(value))
+            }
+            Some(Slot::Pending) => {
+                if inner.promoted < capacity {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                    inner.promoted += 1;
+                    inner.slots.insert(key, Slot::Computing);
+                    StoreDecision::Compute
+                } else {
+                    self.skips.fetch_add(1, Ordering::Relaxed);
+                    StoreDecision::Skip
+                }
+            }
+            Some(Slot::Computing) => {
+                self.skips.fetch_add(1, Ordering::Relaxed);
+                StoreDecision::Skip
+            }
+            None => {
+                if eager && inner.promoted < capacity {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                    inner.promoted += 1;
+                    inner.slots.insert(key, Slot::Computing);
+                    return StoreDecision::Compute;
+                }
+                self.skips.fetch_add(1, Ordering::Relaxed);
+                if inner.slots.len() < capacity * TRACKED_PER_CAPACITY {
+                    inner.slots.insert(key, Slot::Pending);
+                }
+                StoreDecision::Skip
+            }
+        }
+    }
+
+    /// Stores a computed value for a key previously answered with
+    /// [`StoreDecision::Compute`].
+    pub fn fulfill(&self, key: u128, value: Arc<T>) {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        inner.slots.insert(key, Slot::Ready(value));
+    }
+
+    /// Releases an in-flight promotion whose computation failed: the key
+    /// returns to `Pending`, so a later caller may promote it again instead
+    /// of skipping forever.
+    pub fn abandon(&self, key: u128) {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        if matches!(inner.slots.get(&key), Some(Slot::Computing)) {
+            inner.promoted -= 1;
+            inner.slots.insert(key, Slot::Pending);
+        }
+    }
+
+    /// Number of tracked keys (pending and fulfilled).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("shared store poisoned")
+            .slots
+            .len()
+    }
+
+    /// `true` when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from a fulfilled entry.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that asked the caller to compute-and-fulfill.
+    pub fn promotions(&self) -> usize {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no usable entry.
+    pub fn skips(&self) -> usize {
+        self.skips.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_on_second_then_hit_and_abandon_releases() {
+        let store: SharedStore<Vec<u8>> = SharedStore::new();
+        assert!(matches!(store.lookup(1, 4, false), StoreDecision::Skip));
+        assert!(matches!(store.lookup(1, 4, false), StoreDecision::Compute));
+        // In flight: racers skip; abandon returns the key to Pending.
+        assert!(matches!(store.lookup(1, 4, false), StoreDecision::Skip));
+        store.abandon(1);
+        assert!(matches!(store.lookup(1, 4, false), StoreDecision::Compute));
+        store.fulfill(1, Arc::new(vec![7]));
+        assert!(matches!(store.lookup(1, 4, false), StoreDecision::Hit(_)));
+        assert_eq!((store.hits(), store.promotions()), (1, 2));
+    }
+
+    #[test]
+    fn eager_promotes_on_first_sighting_within_capacity() {
+        let store: SharedStore<u32> = SharedStore::new();
+        assert!(matches!(store.lookup(5, 1, true), StoreDecision::Compute));
+        store.fulfill(5, Arc::new(9));
+        // Capacity exhausted: further eager first-sightings degrade to the
+        // pending protocol.
+        assert!(matches!(store.lookup(6, 1, true), StoreDecision::Skip));
+        assert!(matches!(store.lookup(5, 1, true), StoreDecision::Hit(_)));
+    }
+}

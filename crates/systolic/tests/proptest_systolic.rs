@@ -89,6 +89,67 @@ proptest! {
     }
 
     #[test]
+    fn matmul_scenarios_is_bit_identical_to_per_map_products(
+        config in small_grid(),
+        seed in 0u64..1000,
+        density_pct in 0usize..60,
+        bypass_choice in 0usize..2,
+        scenario_count in 2usize..6,
+        indexed_choice in 0usize..2,
+    ) {
+        // The multi-map batched product walks each row's event stream once
+        // for every fault map; it must agree bit-for-bit with installing
+        // each map on its own executor — over random grids, map mixes
+        // (including the empty map), densities, bypass policies, and with
+        // or without a CSR spike index on the activations.
+        use std::sync::Arc;
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(3));
+        let policy = [BypassPolicy::None, BypassPolicy::SkipFaulty][bypass_choice];
+        let indexed = indexed_choice == 1;
+        let mut maps = vec![FaultMap::new(config)];
+        for extra in 0..scenario_count - 1 {
+            let faulty = 1 + (extra + config.pe_count() / 4) % config.pe_count();
+            maps.push(FaultMap::random_msb_faults(&config, faulty, &mut rng).unwrap());
+        }
+
+        let k = config.rows() * 3 + 1;
+        let n = config.cols() * 2 + 1;
+        // Binary spikes when an index rides along (indexes certify
+        // binariness); mixed-magnitude activations otherwise.
+        let a = Tensor::from_fn(&[23, k], |i| {
+            let r = (i * 2654435761 + seed as usize) % 100;
+            if r < density_pct {
+                1.0
+            } else if r == 99 && !indexed {
+                -0.5
+            } else {
+                0.0
+            }
+        });
+        let a = if indexed {
+            let index = falvolt_tensor::SpikeIndex::from_dense(a.data(), k).unwrap();
+            a.with_spike_index(Arc::new(index))
+        } else {
+            a
+        };
+        let b = falvolt_tensor::init::uniform(&[k, n], -0.4, 0.4, &mut rng);
+
+        let batch = SystolicExecutor::with_bypass(config, FaultMap::new(config), policy);
+        let outputs = batch.matmul_scenarios(&a, &b, &maps).unwrap();
+        prop_assert_eq!(outputs.len(), maps.len());
+        for (s, map) in maps.iter().enumerate() {
+            let single = SystolicExecutor::with_bypass(config, map.clone(), policy);
+            let reference = single.matmul(&a, &b).unwrap();
+            prop_assert_eq!(
+                outputs[s].data(),
+                reference.data(),
+                "scenario {} diverged", s
+            );
+        }
+    }
+
+    #[test]
     fn empty_fault_map_executor_is_close_to_float(config in small_grid(), seed in 0u64..1000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = config.rows() + 1;

@@ -33,6 +33,7 @@
 //! pixels into the (pre-zeroed) im2col matrix instead of copying every
 //! window cell.
 
+use crate::spikes::SpikeIndex;
 use rayon::prelude::*;
 
 /// Rows per register tile.
@@ -365,6 +366,95 @@ pub fn matmul_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<
     out
 }
 
+/// Structure-aware product that may consume a pre-built CSR spike index for
+/// the left operand. With `index = None` this is exactly [`matmul_dispatch`];
+/// with an index, the density decision is O(1) (`nnz / len`, the same number
+/// the probe would measure) and the sparse branch walks the index instead of
+/// re-scanning rows — bit-identical to [`matmul_sparse`] because listed
+/// positions are exactly the nonzeros, all `1.0`, visited in the same order.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`, or if the index
+/// geometry does not match `m x k`.
+pub fn matmul_dispatch_indexed(
+    a: &[f32],
+    index: Option<&SpikeIndex>,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    hint: MatmulHint,
+) -> Vec<f32> {
+    let Some(index) = index else {
+        return matmul_dispatch(a, b, m, k, n, hint);
+    };
+    if matches!(hint, MatmulHint::Dense) {
+        return matmul(a, b, m, k, n);
+    }
+    // The index was validated against the data when it was attached (and
+    // any mutable access drops it), so only the geometry is re-checked here.
+    assert_eq!(index.rows(), m, "spike index row count must be m");
+    assert_eq!(index.cols(), k, "spike index row width must be k");
+    if index.density() <= SPARSE_DENSITY_CUTOFF {
+        matmul_spikes_indexed(index, b, m, k, n)
+    } else {
+        matmul(a, b, m, k, n)
+    }
+}
+
+/// Event-stream matrix product: each output row is the sum of the `b` rows
+/// listed in the CSR index row (binary spikes — pure row additions, no
+/// multiply and no scan of the dense operand at all). Identical accumulation
+/// order to [`matmul_sparse`] on the same operand.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths disagree with `m`, `k`, `n` or the index.
+pub fn matmul_spikes_indexed(
+    index: &SpikeIndex,
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    assert_eq!(index.rows(), m, "spike index row count must be m");
+    assert_eq!(index.cols(), k, "spike index row width must be k");
+    assert_eq!(b.len(), k * n, "rhs has the wrong length");
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || m * n * k < PARALLEL_FLOP_THRESHOLD {
+        for (i, out_row) in out.chunks_mut(n).enumerate() {
+            indexed_row(index.row(i), b, out_row, n);
+        }
+        return out;
+    }
+    let rows_per_panel = m.div_ceil(threads * 2).max(1);
+    out.par_chunks_mut(rows_per_panel * n)
+        .enumerate()
+        .for_each(|(panel, out_panel)| {
+            let row0 = panel * rows_per_panel;
+            for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
+                indexed_row(index.row(row0 + r), b, out_row, n);
+            }
+        });
+    out
+}
+
+/// Adds the `b` rows listed in `cols` (a CSR row of spike positions) into
+/// `out_row`.
+fn indexed_row(cols: &[u32], b: &[f32], out_row: &mut [f32], n: usize) {
+    for &p in cols {
+        let b_row = &b[p as usize * n..(p as usize + 1) * n];
+        for (o, &w) in out_row.iter_mut().zip(b_row) {
+            *o += w;
+        }
+    }
+}
+
 /// Gather-accumulate update of one output row from the nonzeros of `a_row`.
 fn sparse_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
     for (p, &v) in a_row.iter().enumerate() {
@@ -567,6 +657,110 @@ fn im2col_scatter_batch(input: &[f32], out_batch: &mut [f32], geom: &Im2colGeom,
     }
 }
 
+/// Index-transform im2col for spike frames: consumes the input's CSR spike
+/// index (rows of the `[N, C, H]` pixel grid, width `W`) and produces both
+/// the dense im2col matrix and *its* CSR index in one pass — the lowering of
+/// a spike tensor is itself a spike tensor, so downstream products keep the
+/// event stream without ever re-probing.
+///
+/// Output rows are visited in order and columns are emitted ascending within
+/// each row, so the produced index is valid CSR; the dense matrix is exactly
+/// what [`im2col_into`] / [`im2col_sparse_into`] build for the same input.
+///
+/// # Panics
+///
+/// Panics if the index geometry disagrees with `geom`.
+pub fn im2col_indexed(index: &SpikeIndex, geom: &Im2colGeom) -> (Vec<f32>, SpikeIndex) {
+    assert_eq!(
+        index.rows(),
+        geom.batch * geom.channels * geom.in_h,
+        "spike index rows must cover the [N, C, H] pixel grid"
+    );
+    assert_eq!(index.cols(), geom.in_w, "spike index width must be W");
+    let rows = geom.rows();
+    let cols = geom.cols();
+    let mut out = vec![0.0f32; rows * cols];
+    let batch_rows = geom.out_h * geom.out_w;
+    let batch_stride = batch_rows * cols;
+    if batch_stride == 0 {
+        let row_ptr = vec![0u32; rows + 1];
+        return (
+            out,
+            SpikeIndex::from_parts(rows, cols.max(1), row_ptr, Vec::new()),
+        );
+    }
+    let threads = rayon::current_num_threads();
+    let parts: Vec<(Vec<u32>, Vec<u32>)> = if threads <= 1 || out.len() < PARALLEL_FLOP_THRESHOLD {
+        (0..geom.batch)
+            .map(|b| im2col_index_batch(index, geom, b))
+            .collect()
+    } else {
+        (0..geom.batch)
+            .into_par_iter()
+            .map(|b| im2col_index_batch(index, geom, b))
+            .collect()
+    };
+    // Scatter the listed positions into the dense matrix (O(nnz)) and stitch
+    // the per-batch CSR parts together.
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    row_ptr.push(0u32);
+    let mut col_idx = Vec::new();
+    for (b, (rp, ci)) in parts.into_iter().enumerate() {
+        let out_batch = &mut out[b * batch_stride..(b + 1) * batch_stride];
+        for local_row in 0..batch_rows {
+            let row = &ci[rp[local_row] as usize..rp[local_row + 1] as usize];
+            for &col in row {
+                out_batch[local_row * cols + col as usize] = 1.0;
+            }
+        }
+        let base = col_idx.len() as u32;
+        for &offset in &rp[1..] {
+            row_ptr.push(base + offset);
+        }
+        col_idx.extend_from_slice(&ci);
+    }
+    (out, SpikeIndex::from_parts(rows, cols, row_ptr, col_idx))
+}
+
+/// Builds one batch's CSR part of the indexed im2col matrix: walks the
+/// output rows in order and, per `(channel, ky)` block, gathers the input
+/// row's spike positions inside the window via the sorted CSR row. For
+/// window base `x0 = ox * stride - padding`, pixel `ix` lands at
+/// `kx = ix - x0`, column `(ch * k + ky) * k + kx` — emitted ascending, so
+/// the part is valid CSR.
+fn im2col_index_batch(index: &SpikeIndex, geom: &Im2colGeom, b: usize) -> (Vec<u32>, Vec<u32>) {
+    let (c, h, w, k) = (geom.channels, geom.in_h, geom.in_w, geom.kernel);
+    let mut row_ptr = Vec::with_capacity(geom.out_h * geom.out_w + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    row_ptr.push(0u32);
+    for oy in 0..geom.out_h {
+        for ox in 0..geom.out_w {
+            let x0 = (ox * geom.stride) as isize - geom.padding as isize;
+            let lo = x0.max(0) as u32;
+            let hi = (x0 + k as isize).min(w as isize);
+            for ch in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy as usize >= h || hi <= lo as isize {
+                        continue;
+                    }
+                    let src = index.row((b * c + ch) * h + iy as usize);
+                    let start = src.partition_point(|&ix| ix < lo);
+                    for &ix in &src[start..] {
+                        if (ix as isize) >= hi {
+                            break;
+                        }
+                        let kx = (ix as isize - x0) as usize;
+                        col_idx.push(((ch * k + ky) * k + kx) as u32);
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+    }
+    (row_ptr, col_idx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +899,64 @@ mod tests {
             for hint in [MatmulHint::Auto, MatmulHint::Dense, MatmulHint::Spikes] {
                 assert_close(&matmul_dispatch(a, &b, m, k, n, hint), &reference, 1e-5);
             }
+        }
+    }
+
+    #[test]
+    fn indexed_matmul_is_bit_identical_to_sparse_probe_kernel() {
+        let (m, k, n) = (13, 90, 17);
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 5)).collect();
+        for &density in &[0.0f32, 0.05, 0.2, 0.6] {
+            let a = spike_matrix(m * k, density, 11);
+            let index = SpikeIndex::from_dense(&a, k).unwrap();
+            let via_index = matmul_spikes_indexed(&index, &b, m, k, n);
+            let via_probe = matmul_sparse(&a, &b, m, k, n);
+            assert_eq!(via_index, via_probe, "density {density}");
+        }
+    }
+
+    #[test]
+    fn indexed_dispatch_matches_probe_dispatch_decisions() {
+        let (m, k, n) = (9, 50, 11);
+        let b: Vec<f32> = (0..k * n).map(|i| pseudo(i, 9)).collect();
+        for &density in &[0.05f32, 0.6] {
+            let a = spike_matrix(m * k, density, 3);
+            let index = SpikeIndex::from_dense(&a, k).unwrap();
+            for hint in [MatmulHint::Auto, MatmulHint::Dense, MatmulHint::Spikes] {
+                let with_index = matmul_dispatch_indexed(&a, Some(&index), &b, m, k, n, hint);
+                let without = matmul_dispatch(&a, &b, m, k, n, hint);
+                assert_eq!(with_index, without, "density {density}, hint {hint:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_im2col_matches_dense_lowering_and_emits_valid_index() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let (batch, channels, in_h, in_w, kernel) = (2, 3, 6, 5, 3);
+            let out_h = (in_h + 2 * padding - kernel) / stride + 1;
+            let out_w = (in_w + 2 * padding - kernel) / stride + 1;
+            let geom = Im2colGeom {
+                batch,
+                channels,
+                in_h,
+                in_w,
+                kernel,
+                stride,
+                padding,
+                out_h,
+                out_w,
+            };
+            let input = spike_matrix(batch * channels * in_h * in_w, 0.25, 17);
+            let index = SpikeIndex::from_dense(&input, in_w).unwrap();
+            let mut dense_out = vec![0.0f32; geom.rows() * geom.cols()];
+            im2col_into(&input, &mut dense_out, &geom);
+            let (indexed_out, out_index) = im2col_indexed(&index, &geom);
+            assert_eq!(dense_out, indexed_out, "stride {stride} padding {padding}");
+            assert!(
+                out_index.matches_dense(&indexed_out),
+                "stride {stride} padding {padding}: output index diverges"
+            );
         }
     }
 

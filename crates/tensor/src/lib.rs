@@ -41,11 +41,13 @@ pub mod init;
 pub mod kernels;
 pub mod ops;
 pub mod reduce;
+pub mod spikes;
 
 pub use error::TensorError;
 pub use fingerprint::Fingerprint;
 pub use kernels::{MatmulHint, OperandProfile};
 pub use shape::Shape;
+pub use spikes::{SharedSpikeIndex, SpikeIndex};
 pub use tensor::Tensor;
 
 /// Convenience result alias used across the crate.

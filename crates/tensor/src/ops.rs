@@ -173,7 +173,14 @@ pub fn matmul_hinted(a: &Tensor, b: &Tensor, hint: crate::kernels::MatmulHint) -
             right_rows: k2,
         });
     }
-    let out = crate::kernels::matmul_dispatch(a.data(), b.data(), m, k, n, hint);
+    // A spike tensor's CSR index turns the structure probe into an O(1)
+    // density read and the sparse kernel into a pure index walk; the
+    // dispatcher produces bit-identical results either way.
+    let index = a
+        .spike_index()
+        .filter(|ix| ix.rows() == m && ix.cols() == k)
+        .map(|ix| ix.as_ref());
+    let out = crate::kernels::matmul_dispatch_indexed(a.data(), index, b.data(), m, k, n, hint);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -258,6 +265,23 @@ pub fn im2col_with_profile(
     profile: crate::kernels::OperandProfile,
 ) -> Result<Tensor> {
     check_input_shape(input, dims)?;
+    // A spike frame carrying a CSR index lowers as an index transform: the
+    // input's spike positions are mapped straight to their window cells and
+    // the produced matrix carries its own index, so the downstream product
+    // (and the systolic executor's event walk) never re-probes. The dense
+    // bytes are identical to the probe-based lowerings.
+    if let Some(index) = input
+        .spike_index()
+        .filter(|ix| ix.rows() == dims.batch * dims.in_channels * dims.in_h)
+    {
+        let geom = dims.geom();
+        let (out, out_index) = crate::kernels::im2col_indexed(index, &geom);
+        let cols = Tensor::from_vec(vec![dims.col_rows(), dims.col_cols()], out)?;
+        if dims.col_cols() > 0 {
+            return Ok(cols.with_spike_index(std::sync::Arc::new(out_index)));
+        }
+        return Ok(cols);
+    }
     let geom = dims.geom();
     let mut out = vec![0.0f32; dims.col_rows() * dims.col_cols()];
     if profile.is_event_sparse() {

@@ -1,8 +1,21 @@
 //! The dense, owned, row-major [`Tensor`] type.
 
+use crate::spikes::SpikeIndex;
 use crate::{Result, Shape, TensorError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global content-id source. Ids are handed out once and never reused, so
+/// `a.content_id() == b.content_id()` implies the two tensors hold the same
+/// data bytes (the reverse does not hold — equal content may carry different
+/// ids, which costs a cache miss, never a wrong hit).
+static NEXT_CONTENT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_content_id() -> u64 {
+    NEXT_CONTENT_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense, owned, row-major `f32` tensor with a dynamic shape.
 ///
@@ -22,13 +35,132 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// # Content ids and spike indexes
+///
+/// Every tensor carries a **generation-tagged content id**: a token that is
+/// minted once per distinct data buffer and re-minted by every mutable data
+/// access, so two tensors with the same id are guaranteed to hold identical
+/// bytes. Caches key on the id instead of hashing operand contents per
+/// consult (O(1) vs O(len)); clones keep the id (their content is identical)
+/// and mutation re-mints it, so a stale key can never alias new content.
+///
+/// Binary spike tensors may additionally carry a [`SpikeIndex`] — a CSR view
+/// of their nonzero positions that event-driven consumers walk instead of
+/// re-scanning the dense buffer. Any mutable data access drops the index.
+/// Neither the id nor the index participates in equality or serialization.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    // Skipped by (a real) serde: a deserialized id must be freshly minted —
+    // an id that bypassed `NEXT_CONTENT_ID` could collide with a live
+    // tensor's and certify a false content equality to the id-keyed caches.
+    // The offline serde shim derives markers only, so nothing serializes at
+    // runtime either way; the attributes document the contract for a future
+    // real-serde swap.
+    #[serde(skip, default = "fresh_content_id")]
+    content_id: u64,
+    // Skipped for the same reason: an index must only ever be attached
+    // through `attach_spike_index`, which validates it against the data.
+    #[serde(skip)]
+    spike_index: Option<Arc<SpikeIndex>>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // A clone holds the same bytes: it keeps the content id (and the
+        // spike index); only mutation re-mints.
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+            content_id: self.content_id,
+            spike_index: self.spike_index.clone(),
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is shape + content; the id is a cache token and the index
+        // is derived structure, neither is state.
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
+    /// Internal constructor: every new buffer gets a fresh content id and no
+    /// spike index.
+    fn from_shape_data(shape: Shape, data: Vec<f32>) -> Self {
+        Self {
+            shape,
+            data,
+            content_id: fresh_content_id(),
+            spike_index: None,
+        }
+    }
+
+    /// Re-mints the content id and drops the spike index — called by every
+    /// mutable data access, so a previously issued id (or index) can never
+    /// describe the new contents.
+    fn invalidate_content(&mut self) {
+        self.content_id = fresh_content_id();
+        self.spike_index = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Content id and spike index
+    // ------------------------------------------------------------------
+
+    /// The tensor's generation-tagged content id. Two tensors with the same
+    /// id hold identical data bytes (clones keep the id; any mutable data
+    /// access re-mints it), so caches can key products on ids instead of
+    /// hashing operands per consult. Ids say nothing about shape — key dims
+    /// separately.
+    pub fn content_id(&self) -> u64 {
+        self.content_id
+    }
+
+    /// The attached CSR spike index, if any (see [`SpikeIndex`]).
+    pub fn spike_index(&self) -> Option<&Arc<SpikeIndex>> {
+        self.spike_index.as_ref()
+    }
+
+    /// Attaches a CSR spike index describing this tensor's nonzero structure
+    /// (metadata only — the content id is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index geometry does not match the tensor (`cols` must
+    /// be the last dimension, `rows * cols` the element count). Debug builds
+    /// additionally verify the listed positions against the data.
+    pub fn attach_spike_index(&mut self, index: Arc<SpikeIndex>) {
+        assert_eq!(
+            index.len(),
+            self.data.len(),
+            "spike index covers {} elements, tensor has {}",
+            index.len(),
+            self.data.len()
+        );
+        let last_dim = self.shape.dims().last().copied().unwrap_or(1);
+        assert_eq!(
+            index.cols(),
+            last_dim.max(1),
+            "spike index rows must span the tensor's last dimension"
+        );
+        debug_assert!(
+            index.matches_dense(&self.data),
+            "spike index diverges from the tensor contents"
+        );
+        self.spike_index = Some(index);
+    }
+
+    /// Builder-style [`Tensor::attach_spike_index`].
+    #[must_use]
+    pub fn with_spike_index(mut self, index: Arc<SpikeIndex>) -> Self {
+        self.attach_spike_index(index);
+        self
+    }
+
     // ------------------------------------------------------------------
     // Constructors
     // ------------------------------------------------------------------
@@ -37,10 +169,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::from(shape);
         let len = shape.len();
-        Self {
-            shape,
-            data: vec![0.0; len],
-        }
+        Self::from_shape_data(shape, vec![0.0; len])
     }
 
     /// Creates a tensor filled with ones.
@@ -52,18 +181,12 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::from(shape);
         let len = shape.len();
-        Self {
-            shape,
-            data: vec![value; len],
-        }
+        Self::from_shape_data(shape, vec![value; len])
     }
 
     /// Creates a rank-0 tensor holding a single scalar.
     pub fn scalar(value: f32) -> Self {
-        Self {
-            shape: Shape::new(vec![]),
-            data: vec![value],
-        }
+        Self::from_shape_data(Shape::new(vec![]), vec![value])
     }
 
     /// Creates a tensor from a shape and a flat row-major data vector.
@@ -80,7 +203,7 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Self { shape, data })
+        Ok(Self::from_shape_data(shape, data))
     }
 
     /// Creates a tensor by calling `f` with the flat index of every element.
@@ -88,7 +211,7 @@ impl Tensor {
         let shape = Shape::from(shape);
         let len = shape.len();
         let data = (0..len).map(&mut f).collect();
-        Self { shape, data }
+        Self::from_shape_data(shape, data)
     }
 
     // ------------------------------------------------------------------
@@ -125,8 +248,10 @@ impl Tensor {
         &self.data
     }
 
-    /// Returns the flat row-major data mutably.
+    /// Returns the flat row-major data mutably. Re-mints the content id and
+    /// drops any spike index — the caller may write anything.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.invalidate_content();
         &mut self.data
     }
 
@@ -173,6 +298,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] when the index is invalid.
     pub fn try_set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let offset = self.shape.offset(index)?;
+        self.invalidate_content();
         self.data[offset] = value;
         Ok(())
     }
@@ -208,6 +334,12 @@ impl Tensor {
         Ok(Self {
             shape: new_shape,
             data: self.data,
+            // The bytes are untouched: a reshape keeps the content id (keys
+            // that must distinguish shapes absorb dims separately). The
+            // index describes last-dimension rows, which a reshape changes,
+            // so it does not survive.
+            content_id: self.content_id,
+            spike_index: None,
         })
     }
 
@@ -216,6 +348,8 @@ impl Tensor {
         Self {
             shape: Shape::new(vec![self.data.len()]),
             data: self.data.clone(),
+            content_id: self.content_id,
+            spike_index: None,
         }
     }
 
@@ -225,14 +359,15 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Self {
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Self::from_shape_data(
+            self.shape.clone(),
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        self.invalidate_content();
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -245,15 +380,14 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn zip_map(&self, other: &Self, mut f: impl FnMut(f32, f32) -> f32) -> Result<Self> {
         self.check_same_shape(other)?;
-        Ok(Self {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Ok(Self::from_shape_data(
+            self.shape.clone(),
+            self.data
                 .iter()
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        })
+        ))
     }
 
     /// Element-wise sum of two same-shaped tensors.
@@ -290,6 +424,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn add_assign(&mut self, other: &Self) -> Result<()> {
         self.check_same_shape(other)?;
+        self.invalidate_content();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -303,6 +438,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn add_scaled_assign(&mut self, other: &Self, scale: f32) -> Result<()> {
         self.check_same_shape(other)?;
+        self.invalidate_content();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += scale * b;
         }
@@ -321,6 +457,7 @@ impl Tensor {
 
     /// Multiplies every element by `scalar` in place.
     pub fn scale_inplace(&mut self, scalar: f32) {
+        self.invalidate_content();
         for v in &mut self.data {
             *v *= scalar;
         }
@@ -328,6 +465,7 @@ impl Tensor {
 
     /// Fills the tensor with `value`.
     pub fn fill(&mut self, value: f32) {
+        self.invalidate_content();
         for v in &mut self.data {
             *v = value;
         }
@@ -359,10 +497,7 @@ impl Tensor {
         let mut dims = self.shape.dims().to_vec();
         dims[0] = end - start;
         let data = self.data[start * inner..end * inner].to_vec();
-        Ok(Self {
-            shape: Shape::new(dims),
-            data,
-        })
+        Ok(Self::from_shape_data(Shape::new(dims), data))
     }
 
     /// Returns the `i`-th sub-tensor along the first axis (with that axis
@@ -395,10 +530,7 @@ impl Tensor {
         }
         let mut dims = vec![items.len()];
         dims.extend_from_slice(first.shape());
-        Ok(Self {
-            shape: Shape::new(dims),
-            data,
-        })
+        Ok(Self::from_shape_data(Shape::new(dims), data))
     }
 
     /// Concatenates tensors along the existing first axis.
@@ -434,10 +566,7 @@ impl Tensor {
         }
         let mut dims = vec![dim0];
         dims.extend_from_slice(trailing);
-        Ok(Self {
-            shape: Shape::new(dims),
-            data,
-        })
+        Ok(Self::from_shape_data(Shape::new(dims), data))
     }
 
     // ------------------------------------------------------------------
@@ -458,10 +587,7 @@ impl Tensor {
 impl Default for Tensor {
     /// Returns an empty rank-1 tensor with zero elements.
     fn default() -> Self {
-        Self {
-            shape: Shape::new(vec![0]),
-            data: Vec::new(),
-        }
+        Self::from_shape_data(Shape::new(vec![0]), Vec::new())
     }
 }
 

@@ -208,6 +208,48 @@ proptest! {
     }
 
     #[test]
+    fn csr_forward_is_bit_identical_to_probe_forward(
+        seed in 0u64..50,
+        faulty_pes in 1usize..8,
+    ) {
+        // The CSR acceptance bar: with only the spike-index switch differing
+        // (spike kernels and prefix cache on in both runs), forwards must be
+        // bit-identical — on the float backend (index-walking kernels vs
+        // probe-based kernels) and through the systolic model with a
+        // non-empty FaultMap (index-fed event walk vs per-row scratch
+        // rebuild on the faulty path).
+        use falvolt::SystolicBackend;
+        use falvolt_snn::EngineConfig;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(9000));
+        let input = falvolt_tensor::init::uniform(&[3, 1, 8, 8], 0.0, 1.6, &mut rng);
+        let probe_engine = EngineConfig {
+            csr_spikes: false,
+            ..EngineConfig::default()
+        };
+
+        let mut csr = tiny_network(1.0);
+        let mut probe = tiny_network(1.0);
+        probe.set_engine(probe_engine);
+        let a = csr.forward(&input, Mode::Eval).unwrap();
+        let b = probe.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(a.data(), b.data(), "float backend diverged");
+
+        let systolic = SystolicConfig::new(4, 4).unwrap();
+        let fault_map =
+            FaultMap::random_faulty_pes(&systolic, faulty_pes, 15, StuckAt::One, &mut rng)
+                .unwrap();
+        prop_assert!(!fault_map.is_empty());
+        let mut csr = tiny_network(1.0);
+        let mut probe = tiny_network(1.0);
+        csr.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
+        probe.set_backend(SystolicBackend::shared(systolic, fault_map));
+        probe.set_engine(probe_engine);
+        let a = csr.forward(&input, Mode::Eval).unwrap();
+        let b = probe.forward(&input, Mode::Eval).unwrap();
+        prop_assert_eq!(a.data(), b.data(), "faulty systolic backend diverged");
+    }
+
+    #[test]
     fn prefix_cache_is_exact_under_faulty_systolic_backend(seed in 0u64..50) {
         // Same bar, isolating the prefix cache: only the caching switch
         // differs, the kernels stay hinted on both sides.
