@@ -5,7 +5,8 @@
 //! (one fixed-threshold retraining step on the pruned network).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use falvolt::experiment::{threshold_sweep, DatasetKind, ExperimentScale};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentScale};
 use falvolt::mitigation::{MitigationStrategy, Mitigator, RetrainConfig};
 use falvolt_bench::{bench_context, pct};
 use falvolt_systolic::{FaultMap, StuckAt};
@@ -17,20 +18,27 @@ fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
 
-    // Regenerate the figure series.
-    let report = threshold_sweep(&mut ctx, &[0.45, 0.55, 0.7, 1.0], &[0.30, 0.60], epochs)
+    // Regenerate the figure series as a campaign plan (the historical seed
+    // mixer keeps the drawn chips — and the series — identical to the
+    // pre-campaign driver's recorded output).
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30, 0.60]))
+        .axis(Axis::Threshold(vec![0.45, 0.55, 0.7, 1.0]))
+        .retrain_epochs(epochs)
+        .seed_mixer(falvolt::campaign::mixers::per_fault_rate)
+        .run()
         .expect("figure 2 sweep");
     println!(
         "\nFigure 2 — fixed-threshold retraining ({}):",
-        report.dataset
+        ctx.kind().label()
     );
     println!("  threshold | fault rate | accuracy");
-    for row in &report.rows {
+    for cell in &run {
         println!(
             "  {:>9.2} | {:>9.0}% | {:>6}",
-            row.threshold,
-            row.fault_rate * 100.0,
-            pct(row.accuracy)
+            cell.spec.threshold.unwrap_or(0.0),
+            cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
+            pct(cell.accuracy)
         );
     }
 

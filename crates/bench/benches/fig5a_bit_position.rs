@@ -4,7 +4,8 @@
 //! (one faulty-inference evaluation pass through the systolic backend).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use falvolt::experiment::{bit_position_experiment, DatasetKind};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::DatasetKind;
 use falvolt::vulnerability::accuracy_under_faults;
 use falvolt_bench::{bench_context, print_series};
 use falvolt_systolic::{FaultMap, StuckAt};
@@ -15,14 +16,25 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let msb = ctx.systolic_config().accumulator_format().msb();
+    let vuln = ctx.scale().vulnerability_config();
 
-    let report = bit_position_experiment(&mut ctx, &[0, 4, 8, 12, msb], 8).expect("figure 5a");
+    // Historical seed + mixer: the drawn maps (and series) match the
+    // pre-campaign driver's recorded output.
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::Polarity(StuckAt::ALL.to_vec()))
+        .axis(Axis::BitPosition(vec![0, 4, 8, 12, msb]))
+        .axis(Axis::FaultyPes(vec![8]))
+        .scenarios_per_cell(vuln.iterations)
+        .seed(vuln.seed)
+        .seed_mixer(falvolt::campaign::mixers::per_bit)
+        .run()
+        .expect("figure 5a");
     println!(
         "\nFigure 5a — accuracy vs fault bit location ({}):",
-        report.dataset
+        ctx.kind().label()
     );
-    for series in &report.series {
-        print_series("  series", "bit", series);
+    for series in run.mean_series("bit") {
+        print_series("  series", "bit", &series);
     }
 
     // Kernel benchmark: one evaluation pass with MSB stuck-at-1 faults.

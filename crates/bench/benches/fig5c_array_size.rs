@@ -5,7 +5,8 @@
 //! figure).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use falvolt::experiment::{array_size_experiment, DatasetKind};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::DatasetKind;
 use falvolt_bench::{bench_context, print_series};
 use falvolt_systolic::{FaultMap, SystolicConfig, SystolicExecutor};
 use falvolt_tensor::Tensor;
@@ -13,12 +14,24 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
-    let report = array_size_experiment(&mut ctx, &[4, 8, 16, 32], 4).expect("figure 5c sweep");
+    let vuln = ctx.scale().vulnerability_config();
+    // Historical seed + mixer: the drawn maps (and series) match the
+    // pre-campaign driver's recorded output.
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::ArraySize(vec![4, 8, 16, 32]))
+        .axis(Axis::FaultyPes(vec![4]))
+        .scenarios_per_cell(vuln.iterations)
+        .seed(vuln.seed)
+        .seed_mixer(falvolt::campaign::mixers::per_array_size)
+        .run()
+        .expect("figure 5c sweep");
     println!(
-        "\nFigure 5c — accuracy vs array size ({}, {} faulty PEs):",
-        report.dataset, report.faulty_pes
+        "\nFigure 5c — accuracy vs array size ({}, 4 faulty PEs):",
+        ctx.kind().label()
     );
-    print_series("  series", "total PEs", &report.series);
+    for series in run.mean_series("array_size") {
+        print_series("  series", "array side", &series);
+    }
 
     // Kernel benchmark: the same matrix product executed on arrays of
     // different sizes (fault-free; isolates the mapping/fold overhead).

@@ -5,7 +5,9 @@
 //! kernel (spiking-layer backward pass with a trainable threshold).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use falvolt::experiment::{mitigation_comparison, DatasetKind, ExperimentScale};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentScale};
+use falvolt::mitigation::MitigationStrategy;
 use falvolt_bench::bench_context;
 use falvolt_snn::layers::{ForwardContext, Layer, Mode, SpikingLayer};
 use falvolt_snn::neuron::NeuronConfig;
@@ -16,21 +18,27 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
-    let report =
-        mitigation_comparison(&mut ctx, &[0.10, 0.30], epochs).expect("figure 6 comparison");
+    // Historical seed mixer: the drawn chips match the pre-campaign driver.
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.10, 0.30]))
+        .axis(Axis::Mitigation(vec![MitigationStrategy::falvolt(epochs)]))
+        .seed_mixer(falvolt::campaign::mixers::per_fault_rate_rotated)
+        .run()
+        .expect("figure 6 comparison");
     println!(
         "\nFigure 6 — optimized threshold voltages ({}):",
-        report.dataset
+        ctx.kind().label()
     );
-    for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
-        let thresholds: Vec<String> = row
+    for cell in &run {
+        let outcome = cell.outcome().expect("retraining cell");
+        let thresholds: Vec<String> = outcome
             .thresholds
             .iter()
             .map(|(name, v)| format!("{name}={v:.2}"))
             .collect();
         println!(
             "  {:>3.0}% faulty: {}",
-            row.fault_rate * 100.0,
+            cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
             thresholds.join(", ")
         );
     }

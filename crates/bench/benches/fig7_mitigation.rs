@@ -5,7 +5,9 @@
 //! (mask derivation and application).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use falvolt::experiment::{mitigation_comparison, DatasetKind, ExperimentScale};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentScale};
+use falvolt::mitigation::MitigationStrategy;
 use falvolt::prune::PruneMasks;
 use falvolt_bench::{bench_context, pct};
 use falvolt_systolic::{FaultMap, StuckAt};
@@ -16,17 +18,30 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
-    let report =
-        mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs).expect("figure 7 comparison");
-    println!("\nFigure 7 — mitigation comparison ({}):", report.dataset);
-    println!("  baseline: {}", pct(report.baseline_accuracy));
+    // Historical seed mixer: the drawn chips match the pre-campaign driver.
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.10, 0.30, 0.60]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::FaP,
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .seed_mixer(falvolt::campaign::mixers::per_fault_rate_rotated)
+        .run()
+        .expect("figure 7 comparison");
+    println!(
+        "\nFigure 7 — mitigation comparison ({}):",
+        ctx.kind().label()
+    );
+    println!("  baseline: {}", pct(run.baseline_accuracy()));
     println!("  fault rate | strategy | accuracy");
-    for row in &report.rows {
+    for cell in &run {
+        let outcome = cell.outcome().expect("retraining cell");
         println!(
             "  {:>9.0}% | {:<8} | {:>6}",
-            row.fault_rate * 100.0,
-            row.strategy,
-            pct(row.accuracy)
+            cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
+            outcome.strategy,
+            pct(cell.accuracy)
         );
     }
 

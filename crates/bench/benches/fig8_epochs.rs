@@ -5,7 +5,8 @@
 //! epoch of each strategy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use falvolt::experiment::{convergence_experiment, DatasetKind, ExperimentScale};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentScale};
 use falvolt::mitigation::{MitigationStrategy, Mitigator, RetrainConfig};
 use falvolt_bench::{bench_context, pct};
 use falvolt_systolic::{FaultMap, StuckAt};
@@ -16,13 +17,24 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut ctx = bench_context(DatasetKind::Mnist);
     let epochs = ExperimentScale::Tiny.retrain_epochs();
-    let report = convergence_experiment(&mut ctx, 0.30, epochs).expect("figure 8 convergence");
+    // Historical seed mixer: the drawn chip matches the pre-campaign driver.
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .seed_mixer(falvolt::campaign::mixers::convergence)
+        .run()
+        .expect("figure 8 convergence");
+    let fapit_history = &run.cells()[0].outcome().expect("FaPIT cell").history;
+    let falvolt_history = &run.cells()[1].outcome().expect("FalVolt cell").history;
     println!(
         "\nFigure 8 — convergence at 30% faulty PEs ({}):",
-        report.dataset
+        ctx.kind().label()
     );
     println!("  epoch |  FaPIT  | FalVolt");
-    for (fapit, falvolt) in report.fapit.iter().zip(&report.falvolt) {
+    for (fapit, falvolt) in fapit_history.iter().zip(falvolt_history) {
         println!(
             "  {:>5} | {:>7} | {:>7}",
             fapit.epoch,
@@ -30,8 +42,12 @@ fn bench(c: &mut Criterion) {
             pct(falvolt.test_accuracy)
         );
     }
-    let (fapit_epochs, falvolt_epochs) = report.epochs_to_fraction_of_baseline(0.95);
-    println!("  epochs to 95% of baseline: FaPIT {fapit_epochs:?}, FalVolt {falvolt_epochs:?}");
+    let target = run.baseline_accuracy() * 0.95;
+    println!(
+        "  epochs to 95% of baseline: FaPIT {:?}, FalVolt {:?}",
+        falvolt::mitigation::epochs_to_reach(fapit_history, target),
+        falvolt::mitigation::epochs_to_reach(falvolt_history, target)
+    );
 
     // Kernel benchmark: one retraining epoch of each strategy.
     let systolic = *ctx.systolic_config();

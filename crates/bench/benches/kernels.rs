@@ -13,7 +13,10 @@ use falvolt_snn::layers::{
 };
 use falvolt_snn::neuron::NeuronConfig;
 use falvolt_snn::surrogate::Surrogate;
-use falvolt_snn::{EngineConfig, FloatBackend, MatmulBackend, SpikingNetwork, SweepCache};
+use falvolt_snn::{
+    EnginePreset, FloatBackend, MatmulBackend, MatmulOutput, MatmulRequest, SpikingNetwork,
+    SweepCache,
+};
 use falvolt_systolic::{FaultMap, ProductCache, StuckAt, SystolicConfig, SystolicExecutor};
 use falvolt_tensor::ops::Conv2dDims;
 use falvolt_tensor::{ops, MatmulHint, OperandProfile, SpikeIndex, Tensor};
@@ -174,23 +177,14 @@ struct RecordingBackend {
 }
 
 impl MatmulBackend for RecordingBackend {
-    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
-        self.matmul_hinted(a, b, MatmulHint::Auto)
-    }
-
-    fn matmul_hinted(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        hint: MatmulHint,
-    ) -> falvolt_tensor::Result<Tensor> {
-        let profile = OperandProfile::measure(a.data());
-        let event = !matches!(hint, MatmulHint::Dense) && profile.is_event_sparse();
+    fn matmul_request(&self, req: MatmulRequest<'_>) -> falvolt_tensor::Result<MatmulOutput> {
+        let profile = OperandProfile::measure(req.a().data());
+        let event = !matches!(req.hint(), MatmulHint::Dense) && profile.is_event_sparse();
         self.calls
             .lock()
             .expect("recording backend poisoned")
             .push((profile.density, event));
-        self.inner.matmul_hinted(a, b, hint)
+        self.inner.matmul_request(req)
     }
 
     fn name(&self) -> &str {
@@ -214,11 +208,7 @@ fn kernel_choice_sweep() -> Vec<(String, Vec<LayerChoiceRow>)> {
         ArchitectureConfig::dvs_gesture_like(),
     ] {
         let mut network = config.build(33).expect("architecture builds");
-        network.set_engine(EngineConfig {
-            prefix_cache: false,
-            spike_kernels: true,
-            csr_spikes: true,
-        });
+        network.set_engine_preset(EnginePreset::full().with_prefix_cache(false));
         let recorder = Arc::new(RecordingBackend::default());
         network.set_backend(Arc::clone(&recorder) as Arc<dyn MatmulBackend>);
         let mut rng = StdRng::seed_from_u64(77);
@@ -427,7 +417,7 @@ fn kernel_comparison(c: &mut Criterion) {
     };
     let mut engine_on = build_network();
     let mut engine_off = build_network();
-    engine_off.set_event_driven(false);
+    engine_off.set_engine_preset(EnginePreset::seed_equivalent());
     let uncached_s = best_of(3, || engine_off.forward(&net_input, Mode::Eval).unwrap());
     let cached_s = best_of(3, || engine_on.forward(&net_input, Mode::Eval).unwrap());
 
@@ -453,12 +443,11 @@ fn kernel_comparison(c: &mut Criterion) {
             .iter()
             .map(|map| {
                 let mut worker = scenario_net.unshared_clone();
-                worker.set_backend(SystolicBackend::shared_with_options(
-                    sys16,
-                    map.clone(),
-                    None,
-                    false,
-                ));
+                worker.set_backend(
+                    SystolicBackend::builder(sys16, map.clone())
+                        .composed_mask_chains(false)
+                        .shared(),
+                );
                 worker.forward(&net_input, Mode::Eval).unwrap()
             })
             .collect()
@@ -496,6 +485,50 @@ fn kernel_comparison(c: &mut Criterion) {
     }
     let scenario_baseline_s = best_of(2, run_per_clone_baseline);
     let scenario_engine_s = best_of(2, run_scenario_engine);
+
+    // --- campaign-driven Fig-5 sweep: the scheduler's eval fan-out ---------
+    // The same 32 scenarios driven through `scenario_accuracies` — the exact
+    // fan-out the Campaign scheduler uses for evaluation cells (scenario
+    // views, preset threading, sweep/product caches, ScenarioProducts
+    // batching) — against the sequential per-clone reference engine.
+    // Accuracies are asserted identical before timing.
+    let (campaign_reference_s, campaign_engine_s) = {
+        use falvolt::vulnerability::{reference_accuracies, scenario_accuracies, SweepCaches};
+        use falvolt_snn::trainer::Batch;
+        let campaign_test = vec![Batch::new(net_input.clone(), (0..8).collect()).unwrap()];
+        let scenario_list: Vec<(SystolicConfig, FaultMap)> =
+            scenario_maps.iter().map(|m| (sys16, m.clone())).collect();
+        let reference =
+            reference_accuracies(&scenario_net, &scenario_list, &campaign_test).unwrap();
+        let campaign = scenario_accuracies(
+            &scenario_net,
+            scenario_list.clone(),
+            &campaign_test,
+            &SweepCaches::new(),
+            &EnginePreset::full(),
+        )
+        .unwrap();
+        assert_eq!(
+            reference, campaign,
+            "campaign eval fan-out diverged from the per-clone reference"
+        );
+        let campaign_reference_s = best_of(2, || {
+            reference_accuracies(&scenario_net, &scenario_list, &campaign_test).unwrap()
+        });
+        let campaign_engine_s = best_of(2, || {
+            // Fresh caches per run: the campaign owns them, and timing must
+            // include the misses that fill them.
+            scenario_accuracies(
+                &scenario_net,
+                scenario_list.clone(),
+                &campaign_test,
+                &SweepCaches::new(),
+                &EnginePreset::full(),
+            )
+            .unwrap()
+        });
+        (campaign_reference_s, campaign_engine_s)
+    };
 
     // --- executor-level multi-map batching: per-map loop vs one event walk -
     // The same 32 fault maps against one encoder-shaped product
@@ -558,7 +591,7 @@ fn kernel_comparison(c: &mut Criterion) {
 
     let threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"csr_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"matmul_scenarios_32maps_16x16_m2048_k48_n32\": {{\n    \"scenarios\": {},\n    \"bit_identical\": true,\n    \"per_map_ms\": {:.3},\n    \"batched_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"csr_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"campaign_fig5_eval_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_reference_ms\": {:.3},\n    \"campaign_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"matmul_scenarios_32maps_16x16_m2048_k48_n32\": {{\n    \"scenarios\": {},\n    \"bit_identical\": true,\n    \"per_map_ms\": {:.3},\n    \"batched_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
         naive_s * 1e3,
         blocked_s * 1e3,
         matmul_speedup,
@@ -578,6 +611,10 @@ fn kernel_comparison(c: &mut Criterion) {
         scenario_baseline_s * 1e3,
         scenario_engine_s * 1e3,
         scenario_baseline_s / scenario_engine_s,
+        scenario_maps.len(),
+        campaign_reference_s * 1e3,
+        campaign_engine_s * 1e3,
+        campaign_reference_s / campaign_engine_s,
         scenario_maps.len(),
         per_map_s * 1e3,
         batched_s * 1e3,

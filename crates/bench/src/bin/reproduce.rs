@@ -8,11 +8,11 @@
 //! Defaults: `--fig all --dataset mnist --scale tiny`. The measured series
 //! recorded in `EXPERIMENTS.md` were produced by this binary.
 
-use falvolt::experiment::{
-    array_size_experiment, bit_position_experiment, convergence_experiment, faulty_pe_experiment,
-    mitigation_comparison, threshold_sweep, DatasetKind, ExperimentContext, ExperimentScale,
-};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+use falvolt::mitigation::MitigationStrategy;
 use falvolt_bench::{pct, print_series};
+use falvolt_systolic::StuckAt;
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -95,65 +95,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut ctx = ExperimentContext::prepare(kind, options.scale, 42)?;
         println!("baseline accuracy: {}", pct(ctx.baseline_accuracy()));
         let epochs = options.scale.retrain_epochs();
+        let vuln = options.scale.vulnerability_config();
         let msb = ctx.systolic_config().accumulator_format().msb();
 
+        // Every plan installs the historical per-figure seed mixer (and, for
+        // the Figure 5 sweeps, the vulnerability seed), so the fault maps —
+        // and therefore the printed series — are identical to the
+        // pre-campaign drivers' recorded output.
         if wants(&options, "2") {
             println!("\n--- Figure 2: fixed-threshold retraining sweep ---");
-            let report = threshold_sweep(&mut ctx, &[0.45, 0.55, 0.7, 1.0], &[0.30, 0.60], epochs)?;
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::FaultRate(vec![0.30, 0.60]))
+                .axis(Axis::Threshold(vec![0.45, 0.55, 0.7, 1.0]))
+                .retrain_epochs(epochs)
+                .seed_mixer(falvolt::campaign::mixers::per_fault_rate)
+                .run()?;
             println!("  threshold | fault rate | accuracy");
-            for row in &report.rows {
+            for cell in &run {
                 println!(
                     "  {:>9.2} | {:>9.0}% | {:>6}",
-                    row.threshold,
-                    row.fault_rate * 100.0,
-                    pct(row.accuracy)
+                    cell.spec.threshold.unwrap_or(0.0),
+                    cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
+                    pct(cell.accuracy)
                 );
             }
         }
 
         if wants(&options, "5a") {
             println!("\n--- Figure 5a: accuracy vs fault bit location ---");
-            let bits: Vec<u32> = vec![0, 2, 4, 6, 8, 10, 12, 14, msb];
-            let report = bit_position_experiment(&mut ctx, &bits, 8)?;
-            for series in &report.series {
-                print_series("Figure 5a", "bit", series);
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::Polarity(StuckAt::ALL.to_vec()))
+                .axis(Axis::BitPosition(vec![0, 2, 4, 6, 8, 10, 12, 14, msb]))
+                .axis(Axis::FaultyPes(vec![8]))
+                .scenarios_per_cell(vuln.iterations)
+                .seed(vuln.seed)
+                .seed_mixer(falvolt::campaign::mixers::per_bit)
+                .run()?;
+            for series in run.mean_series("bit") {
+                print_series("Figure 5a", "bit", &series);
             }
         }
 
         if wants(&options, "5b") {
             println!("\n--- Figure 5b: accuracy vs number of faulty PEs ---");
-            let report = faulty_pe_experiment(&mut ctx, &[0, 4, 8, 16, 32, 48, 64])?;
-            print_series("Figure 5b", "faulty PEs", &report.series);
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::FaultyPes(vec![0, 4, 8, 16, 32, 48, 64]))
+                .scenarios_per_cell(vuln.iterations)
+                .seed(vuln.seed)
+                .seed_mixer(falvolt::campaign::mixers::per_faulty_pe_count)
+                .run()?;
+            for series in run.mean_series("faulty_pes") {
+                print_series("Figure 5b", "faulty PEs", &series);
+            }
         }
 
         if wants(&options, "5c") {
             println!("\n--- Figure 5c: accuracy vs systolic-array size ---");
-            let report = array_size_experiment(&mut ctx, &[4, 8, 16, 32], 4)?;
-            print_series("Figure 5c", "total PEs", &report.series);
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::ArraySize(vec![4, 8, 16, 32]))
+                .axis(Axis::FaultyPes(vec![4]))
+                .scenarios_per_cell(vuln.iterations)
+                .seed(vuln.seed)
+                .seed_mixer(falvolt::campaign::mixers::per_array_size)
+                .run()?;
+            for series in run.mean_series("array_size") {
+                print_series("Figure 5c", "array side", &series);
+            }
         }
 
         if wants(&options, "6") || wants(&options, "7") {
             println!("\n--- Figures 6 & 7: mitigation comparison (FaP / FaPIT / FalVolt) ---");
-            let report = mitigation_comparison(&mut ctx, &[0.10, 0.30, 0.60], epochs)?;
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::FaultRate(vec![0.10, 0.30, 0.60]))
+                .axis(Axis::Mitigation(vec![
+                    MitigationStrategy::FaP,
+                    MitigationStrategy::fapit(epochs),
+                    MitigationStrategy::falvolt(epochs),
+                ]))
+                .seed_mixer(falvolt::campaign::mixers::per_fault_rate_rotated)
+                .run()?;
             println!("  fault rate | strategy | accuracy");
-            for row in &report.rows {
+            for cell in &run {
+                let outcome = cell.outcome().expect("retraining cell");
                 println!(
                     "  {:>9.0}% | {:<8} | {:>6}",
-                    row.fault_rate * 100.0,
-                    row.strategy,
-                    pct(row.accuracy)
+                    cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
+                    outcome.strategy,
+                    pct(cell.accuracy)
                 );
             }
             println!("\n  per-layer thresholds learned by FalVolt (Figure 6):");
-            for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
-                let thresholds: Vec<String> = row
+            for cell in &run {
+                let outcome = cell.outcome().expect("retraining cell");
+                if outcome.strategy != "FalVolt" {
+                    continue;
+                }
+                let thresholds: Vec<String> = outcome
                     .thresholds
                     .iter()
                     .map(|(name, v)| format!("{name}={v:.2}"))
                     .collect();
                 println!(
                     "    {:>3.0}% faulty: {}",
-                    row.fault_rate * 100.0,
+                    cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
                     thresholds.join(", ")
                 );
             }
@@ -161,19 +205,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         if wants(&options, "8") {
             println!("\n--- Figure 8: accuracy vs retraining epochs (30% faulty PEs) ---");
-            let report = convergence_experiment(&mut ctx, 0.30, epochs)?;
+            let run = Campaign::new(&mut ctx)
+                .axis(Axis::FaultRate(vec![0.30]))
+                .axis(Axis::Mitigation(vec![
+                    MitigationStrategy::fapit(epochs),
+                    MitigationStrategy::falvolt(epochs),
+                ]))
+                .seed_mixer(falvolt::campaign::mixers::convergence)
+                .run()?;
+            let fapit = &run.cells()[0].outcome().expect("FaPIT cell").history;
+            let falvolt = &run.cells()[1].outcome().expect("FalVolt cell").history;
             println!("  epoch |  FaPIT  | FalVolt");
-            for (fapit, falvolt) in report.fapit.iter().zip(&report.falvolt) {
+            for (fa, fv) in fapit.iter().zip(falvolt) {
                 println!(
                     "  {:>5} | {:>7} | {:>7}",
-                    fapit.epoch,
-                    pct(fapit.test_accuracy),
-                    pct(falvolt.test_accuracy)
+                    fa.epoch,
+                    pct(fa.test_accuracy),
+                    pct(fv.test_accuracy)
                 );
             }
-            let (fapit_epochs, falvolt_epochs) = report.epochs_to_fraction_of_baseline(0.95);
+            let target = run.baseline_accuracy() * 0.95;
             println!(
-                "  epochs to 95% of baseline: FaPIT {fapit_epochs:?}, FalVolt {falvolt_epochs:?}"
+                "  epochs to 95% of baseline: FaPIT {:?}, FalVolt {:?}",
+                falvolt::mitigation::epochs_to_reach(fapit, target),
+                falvolt::mitigation::epochs_to_reach(falvolt, target)
             );
         }
     }

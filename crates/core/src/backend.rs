@@ -1,6 +1,6 @@
 //! Adapter running SNN matrix products on the systolic-array simulator.
 
-use falvolt_snn::MatmulBackend;
+use falvolt_snn::{EnginePreset, MatmulBackend, MatmulOutput, MatmulRequest};
 use falvolt_systolic::executor::BypassPolicy;
 use falvolt_systolic::{
     FaultMap, ProductCache, SharedStore, StoreDecision, SystolicConfig, SystolicExecutor,
@@ -63,35 +63,69 @@ impl SystolicBackend {
         Arc::new(Self::new(config, fault_map))
     }
 
+    /// Starts a [`SystolicBackendBuilder`] — the single configuration entry
+    /// that replaced the `shared_with_cache` / `shared_with_options`
+    /// constructor family. Defaults match [`SystolicBackend::new`]: faults
+    /// active (no bypass), no product cache, composed mask chains.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use falvolt::SystolicBackend;
+    /// use falvolt_snn::EnginePreset;
+    /// use falvolt_systolic::{FaultMap, SystolicConfig};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = SystolicConfig::new(8, 8)?;
+    /// let backend = SystolicBackend::builder(config, FaultMap::new(config))
+    ///     .preset(&EnginePreset::event_driven()) // replayed mask chains
+    ///     .shared();
+    /// assert_eq!(backend.name(), "systolic");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder(config: SystolicConfig, fault_map: FaultMap) -> SystolicBackendBuilder {
+        SystolicBackendBuilder {
+            config,
+            fault_map,
+            bypass: BypassPolicy::None,
+            product_cache: None,
+            composed_mask_chains: true,
+        }
+    }
+
     /// [`SystolicBackend::shared`] with a sweep-shared clean-product cache
     /// installed: scenario workers holding the same cache `Arc` compute each
     /// distinct activation matrix's fault-free (clean-column) product once
     /// and share it — fault-free columns cannot depend on the fault map, so
     /// sweep results stay bit-identical.
+    #[deprecated(note = "use SystolicBackend::builder(..).product_cache(..).shared()")]
     pub fn shared_with_cache(
         config: SystolicConfig,
         fault_map: FaultMap,
         cache: Arc<ProductCache>,
     ) -> Arc<dyn MatmulBackend> {
-        let mut backend = Self::new(config, fault_map);
-        backend.executor.set_product_cache(Some(cache));
-        Arc::new(backend)
+        Self::builder(config, fault_map)
+            .product_cache(cache)
+            .shared()
     }
 
     /// Fully explicit constructor for benchmarks and equivalence tests:
     /// chooses the mask-chain mode (composed vs full replay) and optionally
     /// installs a product cache. `composed_chains = false` with no cache is
     /// the PR 2 engine.
+    #[deprecated(note = "use SystolicBackend::builder(..) and its options")]
     pub fn shared_with_options(
         config: SystolicConfig,
         fault_map: FaultMap,
         cache: Option<Arc<ProductCache>>,
         composed_chains: bool,
     ) -> Arc<dyn MatmulBackend> {
-        let mut backend = Self::new(config, fault_map);
-        backend.executor.set_product_cache(cache);
-        backend.executor.set_composed_mask_chains(composed_chains);
-        Arc::new(backend)
+        let mut builder = Self::builder(config, fault_map).composed_mask_chains(composed_chains);
+        if let Some(cache) = cache {
+            builder = builder.product_cache(cache);
+        }
+        builder.shared()
     }
 
     /// The underlying executor.
@@ -100,22 +134,72 @@ impl SystolicBackend {
     }
 }
 
-impl MatmulBackend for SystolicBackend {
-    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
-        self.executor.matmul(a, b).map_err(as_tensor_error)
+/// Builder for [`SystolicBackend`], folding the former constructor
+/// proliferation (`shared_with_cache`, `shared_with_options`) into one entry
+/// with optional cache and execution-strategy options.
+#[derive(Debug)]
+pub struct SystolicBackendBuilder {
+    config: SystolicConfig,
+    fault_map: FaultMap,
+    bypass: BypassPolicy,
+    product_cache: Option<Arc<ProductCache>>,
+    composed_mask_chains: bool,
+}
+
+impl SystolicBackendBuilder {
+    /// Sets the bypass policy ([`BypassPolicy::SkipFaulty`] is the
+    /// fault-aware-pruning hardware configuration of the paper's Figure 3b).
+    pub fn bypass(mut self, policy: BypassPolicy) -> Self {
+        self.bypass = policy;
+        self
     }
 
-    fn matmul_hinted(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        hint: MatmulHint,
-    ) -> falvolt_tensor::Result<Tensor> {
+    /// Installs a sweep-shared clean-product cache (see
+    /// [`falvolt_systolic::ProductCache`]). Sharing cannot change results:
+    /// fault-free columns do not depend on the fault map.
+    pub fn product_cache(mut self, cache: Arc<ProductCache>) -> Self {
+        self.product_cache = Some(cache);
+        self
+    }
+
+    /// Chooses the mask-chain mode: composed (default) or full replay
+    /// (`false`, the PR 2 reference engine). Bit-identical either way.
+    pub fn composed_mask_chains(mut self, enabled: bool) -> Self {
+        self.composed_mask_chains = enabled;
+        self
+    }
+
+    /// Applies the systolic-relevant switches of an [`EnginePreset`]
+    /// (currently the mask-chain mode), threading one engine configuration
+    /// uniformly through network, backends and campaigns.
+    pub fn preset(self, preset: &EnginePreset) -> Self {
+        self.composed_mask_chains(preset.composed_mask_chains())
+    }
+
+    /// Builds the backend.
+    pub fn build(self) -> SystolicBackend {
+        let mut executor = SystolicExecutor::with_bypass(self.config, self.fault_map, self.bypass);
+        executor.set_product_cache(self.product_cache);
+        executor.set_composed_mask_chains(self.composed_mask_chains);
+        SystolicBackend { executor }
+    }
+
+    /// Builds the backend behind an [`Arc`], the form
+    /// [`falvolt_snn::SpikingNetwork::set_backend`] expects.
+    pub fn shared(self) -> Arc<dyn MatmulBackend> {
+        Arc::new(self.build())
+    }
+}
+
+impl MatmulBackend for SystolicBackend {
+    fn matmul_request(&self, req: MatmulRequest<'_>) -> falvolt_tensor::Result<MatmulOutput> {
         // The hint only steers the executor's fault-free fast path onto the
         // event-driven kernel; faulty products replay the quantized
-        // accumulator chain bit-identically regardless.
+        // accumulator chain bit-identically regardless. The scenario-sharing
+        // claim is meaningless for a single-map backend and is ignored.
         self.executor
-            .matmul_hinted(a, b, hint)
+            .matmul_hinted(req.a(), req.b(), req.hint())
+            .map(MatmulOutput::new)
             .map_err(as_tensor_error)
     }
 
@@ -182,14 +266,28 @@ impl std::fmt::Debug for ScenarioProducts {
 impl ScenarioProducts {
     /// Creates the batcher for one sweep's scenario set (all maps must
     /// target `config`'s grid; faults stay active in the datapath, matching
-    /// [`SystolicBackend::new`]).
+    /// [`SystolicBackend::new`]; composed mask chains, the executor
+    /// default).
     pub fn new(
         config: SystolicConfig,
         maps: Vec<FaultMap>,
         product_cache: Arc<ProductCache>,
     ) -> Self {
+        Self::with_preset(config, maps, product_cache, &EnginePreset::full())
+    }
+
+    /// [`ScenarioProducts::new`] with the systolic-relevant switches of an
+    /// [`EnginePreset`] applied to the batch executor and every member
+    /// executor (currently the mask-chain mode) — bit-identical either way.
+    pub fn with_preset(
+        config: SystolicConfig,
+        maps: Vec<FaultMap>,
+        product_cache: Arc<ProductCache>,
+        preset: &EnginePreset,
+    ) -> Self {
         let mut batch_executor = SystolicExecutor::new(config, FaultMap::new(config));
         batch_executor.set_product_cache(Some(Arc::clone(&product_cache)));
+        batch_executor.set_composed_mask_chains(preset.composed_mask_chains());
         Self {
             config,
             maps,
@@ -220,10 +318,10 @@ impl ScenarioProducts {
         self.batches.load(Ordering::Relaxed)
     }
 
-    /// The backend of scenario `index`: behaves exactly like
-    /// [`SystolicBackend::shared_with_cache`] with `maps[index]` installed
-    /// (same name, same fingerprint, bit-identical products), but consults
-    /// the shared batch store first.
+    /// The backend of scenario `index`: behaves exactly like a
+    /// [`SystolicBackend`] built with the set's product cache and
+    /// `maps[index]` installed (same name, same fingerprint, bit-identical
+    /// products), but consults the shared batch store first.
     ///
     /// # Panics
     ///
@@ -232,6 +330,7 @@ impl ScenarioProducts {
         assert!(index < set.maps.len(), "scenario index out of range");
         let mut executor = SystolicExecutor::new(set.config, set.maps[index].clone());
         executor.set_product_cache(Some(Arc::clone(&set.product_cache)));
+        executor.set_composed_mask_chains(set.batch_executor.composed_mask_chains());
         Arc::new(ScenarioMemberBackend {
             set: Arc::clone(set),
             index,
@@ -317,37 +416,16 @@ impl ScenarioMemberBackend {
 }
 
 impl MatmulBackend for ScenarioMemberBackend {
-    fn matmul(&self, a: &Tensor, b: &Tensor) -> falvolt_tensor::Result<Tensor> {
-        self.matmul_hinted(a, b, MatmulHint::Auto)
-    }
-
-    fn matmul_hinted(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        hint: MatmulHint,
-    ) -> falvolt_tensor::Result<Tensor> {
-        if let Some(result) = self.batched(a, b, hint, false) {
-            return result;
+    fn matmul_request(&self, req: MatmulRequest<'_>) -> falvolt_tensor::Result<MatmulOutput> {
+        // A scenario-shared claim certifies the operands scenario-invariant:
+        // batch for every map on first sighting instead of waiting for a
+        // second worker to prove sharing.
+        if let Some(result) = self.batched(req.a(), req.b(), req.hint(), req.is_scenario_shared()) {
+            return result.map(MatmulOutput::new);
         }
         self.executor
-            .matmul_hinted(a, b, hint)
-            .map_err(as_tensor_error)
-    }
-
-    fn matmul_scenario_shared(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        hint: MatmulHint,
-    ) -> falvolt_tensor::Result<Tensor> {
-        // The caller certified the operands are scenario-invariant: batch
-        // for every map on first sighting.
-        if let Some(result) = self.batched(a, b, hint, true) {
-            return result;
-        }
-        self.executor
-            .matmul_hinted(a, b, hint)
+            .matmul_hinted(req.a(), req.b(), req.hint())
+            .map(MatmulOutput::new)
             .map_err(as_tensor_error)
     }
 

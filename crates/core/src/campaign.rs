@@ -1,0 +1,1167 @@
+//! Declarative sweep campaigns: one scheduler for every figure-style sweep.
+//!
+//! The paper's results are all sweeps — fault-rate × threshold, bit
+//! position, faulty-PE count, array size, mitigation strategy. Before this
+//! module each sweep was its own driver function with hand-threaded caches,
+//! fault-map pools and scenario fan-out; a [`Campaign`] replaces them with a
+//! plan built from typed [`Axis`] values, whose single scheduler owns
+//!
+//! * **per-cell seed mixing** (a pluggable [`Campaign::seed_mixer`]; the
+//!   default hashes the cell's fault-drawing parameters, the legacy drivers
+//!   install their historical formulas so drawn maps are unchanged),
+//! * **fault-map pools**: cells whose fault-drawing parameters *and* mixed
+//!   seed agree share one sequentially drawn pool — e.g. the strategies of
+//!   one fault rate retrain against the same chip, drawn once per rate,
+//! * **scenario-view fan-out**: every cell evaluates or retrains on a
+//!   copy-on-write [`SpikingNetwork::scenario_view`] of the restored
+//!   baseline, in parallel, with results independent of worker count,
+//! * **cache sharing**: evaluation cells share the context-owned
+//!   [`crate::SweepCaches`] (prefix outputs, im2col lowerings, clean
+//!   products) and retraining cells share one fresh `SweepCache`,
+//! * **multi-map batching**: evaluation scenarios of one grid configuration
+//!   form a [`crate::ScenarioProducts`] set, so products against
+//!   scenario-invariant operands are evaluated for all fault maps in one
+//!   event walk (gated by [`EnginePreset::scenario_batching`]).
+//!
+//! A cell is a *retraining* cell when its spec carries a mitigation strategy
+//! or a fixed retraining threshold, and an *evaluation* cell otherwise.
+//! Evaluation cells measure classification accuracy under their drawn fault
+//! maps through the systolic backend; retraining cells run the
+//! [`Mitigator`] (prune + retrain) per drawn map on the float backend.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use falvolt::campaign::{Axis, Campaign};
+//! use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+//!
+//! # fn main() -> Result<(), falvolt::FalvoltError> {
+//! let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, ExperimentScale::Tiny, 42)?;
+//! // Figure 5b as data: accuracy vs faulty-PE count, 8 maps per point.
+//! let run = Campaign::new(&mut ctx)
+//!     .axis(Axis::FaultyPes(vec![0, 8, 32]))
+//!     .scenarios_per_cell(8)
+//!     .run()?;
+//! for cell in &run {
+//!     println!("{} faulty PEs -> {:.1}%",
+//!         cell.spec.faulty_pes.unwrap_or(0), cell.accuracy * 100.0);
+//! }
+//! let table = run.into_table(); // serde-serializable
+//! assert_eq!(table.axes, vec!["faulty_pes".to_string()]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::experiment::ExperimentContext;
+use crate::mitigation::{MitigationOutcome, MitigationStrategy, Mitigator, RetrainConfig};
+use crate::vulnerability::{scenario_accuracies, SweepPoint, SweepSeries};
+use crate::Result;
+use falvolt_snn::{EnginePreset, SpikingNetwork, SweepCache};
+use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Axes
+// ---------------------------------------------------------------------------
+
+/// One typed sweep dimension of a [`Campaign`].
+///
+/// Axes expand into the cartesian product in the order they are added (the
+/// first axis is outermost); each value edits the cell's [`CellSpec`] and
+/// records a [`Coord`] for the result table.
+///
+/// # Example
+///
+/// ```
+/// use falvolt::campaign::{Axis, CellSpec};
+///
+/// // Typed axes are plain data...
+/// let bits = Axis::BitPosition(vec![0, 8, 15]);
+/// assert_eq!(bits.label(), "bit");
+/// assert_eq!(bits.len(), 3);
+/// // ...and anything they cannot express becomes a closure axis.
+/// let rows = Axis::custom("array_rows", vec![8.0, 16.0], |spec: &mut CellSpec, rows| {
+///     spec.systolic = falvolt_systolic::SystolicConfig::new(rows as usize, 16).unwrap();
+/// });
+/// assert_eq!(rows.label(), "array_rows");
+/// ```
+#[derive(Clone)]
+pub enum Axis {
+    /// Fraction of faulty PEs; each cell draws maps with
+    /// [`FaultMap::random_with_rate`]. Takes precedence over
+    /// [`Axis::FaultyPes`] when both are set on one cell.
+    FaultRate(Vec<f64>),
+    /// Stuck-at bit position inside the accumulator (defaults to the MSB
+    /// when no bit axis is present).
+    BitPosition(Vec<u32>),
+    /// Number of faulty PEs; each cell draws maps with
+    /// [`FaultMap::random_faulty_pes`].
+    FaultyPes(Vec<usize>),
+    /// Square systolic-array size (replaces the context's grid per cell).
+    ArraySize(Vec<usize>),
+    /// Fixed retraining threshold voltage: makes the cell a retraining cell
+    /// running [`MitigationStrategy::FaPIT`] at this threshold with
+    /// [`Campaign::retrain_epochs`] epochs (which must be set — a plan with
+    /// a threshold axis and no epoch budget is rejected).
+    Threshold(Vec<f32>),
+    /// Mitigation strategy: makes the cell a retraining cell.
+    Mitigation(Vec<MitigationStrategy>),
+    /// Stuck-at polarity of the drawn faults (defaults to stuck-at-1).
+    Polarity(Vec<StuckAt>),
+    /// A closure axis for sweep dimensions the typed variants cannot
+    /// express: the closure edits the [`CellSpec`] for each value.
+    Custom {
+        /// Axis label used in coordinates and tables.
+        label: String,
+        /// The swept values.
+        values: Vec<f64>,
+        /// Spec editor applied per value.
+        apply: SpecEditor,
+    },
+}
+
+/// Shared spec-editing closure of an [`Axis::Custom`] axis.
+pub type SpecEditor = Arc<dyn Fn(&mut CellSpec, f64) + Send + Sync>;
+
+impl Axis {
+    /// Builds a closure axis (see [`Axis::Custom`]).
+    pub fn custom(
+        label: impl Into<String>,
+        values: Vec<f64>,
+        apply: impl Fn(&mut CellSpec, f64) + Send + Sync + 'static,
+    ) -> Self {
+        Axis::Custom {
+            label: label.into(),
+            values,
+            apply: Arc::new(apply),
+        }
+    }
+
+    /// The axis label used in coordinates and result tables.
+    pub fn label(&self) -> &str {
+        match self {
+            Axis::FaultRate(_) => "fault_rate",
+            Axis::BitPosition(_) => "bit",
+            Axis::FaultyPes(_) => "faulty_pes",
+            Axis::ArraySize(_) => "array_size",
+            Axis::Threshold(_) => "threshold",
+            Axis::Mitigation(_) => "strategy",
+            Axis::Polarity(_) => "polarity",
+            Axis::Custom { label, .. } => label,
+        }
+    }
+
+    /// Number of values on this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            Axis::FaultRate(v) => v.len(),
+            Axis::BitPosition(v) => v.len(),
+            Axis::FaultyPes(v) => v.len(),
+            Axis::ArraySize(v) => v.len(),
+            Axis::Threshold(v) => v.len(),
+            Axis::Mitigation(v) => v.len(),
+            Axis::Polarity(v) => v.len(),
+            Axis::Custom { values, .. } => values.len(),
+        }
+    }
+
+    /// `true` when the axis has no values (its campaign expands to zero
+    /// cells).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands `spec` along this axis: one edited spec per axis value, each
+    /// with a coordinate recorded.
+    fn expand(&self, spec: &CellSpec) -> Result<Vec<CellSpec>> {
+        let label = self.label().to_string();
+        let mut out = Vec::with_capacity(self.len());
+        match self {
+            Axis::FaultRate(values) => {
+                for &rate in values {
+                    let mut s = spec.clone();
+                    s.fault_rate = Some(rate);
+                    s.push_coord(&label, AxisValue::Rate(rate));
+                    out.push(s);
+                }
+            }
+            Axis::BitPosition(values) => {
+                for &bit in values {
+                    let mut s = spec.clone();
+                    s.bit = Some(bit);
+                    s.push_coord(&label, AxisValue::Bit(bit));
+                    out.push(s);
+                }
+            }
+            Axis::FaultyPes(values) => {
+                for &pes in values {
+                    let mut s = spec.clone();
+                    s.faulty_pes = Some(pes);
+                    s.push_coord(&label, AxisValue::Pes(pes));
+                    out.push(s);
+                }
+            }
+            Axis::ArraySize(values) => {
+                for &size in values {
+                    let mut s = spec.clone();
+                    s.systolic = SystolicConfig::square(size)?;
+                    s.push_coord(&label, AxisValue::Size(size));
+                    out.push(s);
+                }
+            }
+            Axis::Threshold(values) => {
+                for &threshold in values {
+                    let mut s = spec.clone();
+                    s.threshold = Some(threshold);
+                    s.push_coord(&label, AxisValue::Threshold(threshold));
+                    out.push(s);
+                }
+            }
+            Axis::Mitigation(values) => {
+                for &strategy in values {
+                    let mut s = spec.clone();
+                    s.strategy = Some(strategy);
+                    s.push_coord(&label, AxisValue::Strategy(strategy.label().to_string()));
+                    out.push(s);
+                }
+            }
+            Axis::Polarity(values) => {
+                for &polarity in values {
+                    let mut s = spec.clone();
+                    s.polarity = polarity;
+                    s.push_coord(&label, AxisValue::Polarity(polarity.to_string()));
+                    out.push(s);
+                }
+            }
+            Axis::Custom { values, apply, .. } => {
+                for &value in values {
+                    let mut s = spec.clone();
+                    apply(&mut s, value);
+                    s.push_coord(&label, AxisValue::Custom(value));
+                    out.push(s);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Custom { label, values, .. } => f
+                .debug_struct("Custom")
+                .field("label", label)
+                .field("values", values)
+                .finish_non_exhaustive(),
+            other => write!(f, "Axis::{}[{}]", other.label(), other.len()),
+        }
+    }
+}
+
+/// One swept value, typed per axis kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AxisValue {
+    /// A fault rate.
+    Rate(f64),
+    /// A bit position.
+    Bit(u32),
+    /// A faulty-PE count.
+    Pes(usize),
+    /// A square array size (side length).
+    Size(usize),
+    /// A fixed retraining threshold voltage.
+    Threshold(f32),
+    /// A mitigation-strategy label.
+    Strategy(String),
+    /// A stuck-at polarity label (`"sa0"` / `"sa1"`).
+    Polarity(String),
+    /// A custom-axis value.
+    Custom(f64),
+}
+
+impl AxisValue {
+    /// The value as an `f64` plotting coordinate (labels hash to `0.0`).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            AxisValue::Rate(v) | AxisValue::Custom(v) => *v,
+            AxisValue::Bit(v) => f64::from(*v),
+            AxisValue::Pes(v) | AxisValue::Size(v) => *v as f64,
+            AxisValue::Threshold(v) => f64::from(*v),
+            AxisValue::Strategy(_) | AxisValue::Polarity(_) => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisValue::Rate(v) | AxisValue::Custom(v) => write!(f, "{v}"),
+            AxisValue::Bit(v) => write!(f, "{v}"),
+            AxisValue::Pes(v) | AxisValue::Size(v) => write!(f, "{v}"),
+            AxisValue::Threshold(v) => write!(f, "{v}"),
+            AxisValue::Strategy(s) | AxisValue::Polarity(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One `(axis, value)` coordinate of a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// Axis label.
+    pub axis: String,
+    /// The cell's value on that axis.
+    pub value: AxisValue,
+}
+
+// ---------------------------------------------------------------------------
+// Cell specs
+// ---------------------------------------------------------------------------
+
+/// The fully resolved specification of one campaign cell: what the axes (and
+/// any custom closures) decided this cell sweeps.
+///
+/// Custom axes and seed mixers read and edit the public fields; the
+/// scheduler resolves defaults at draw time (`bit` falls back to the
+/// accumulator MSB of the cell's grid, the polarity defaults to stuck-at-1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// The systolic-array configuration this cell runs against.
+    pub systolic: SystolicConfig,
+    /// Fraction of faulty PEs to draw (wins over `faulty_pes` if both set).
+    pub fault_rate: Option<f64>,
+    /// Number of faulty PEs to draw.
+    pub faulty_pes: Option<usize>,
+    /// Stuck-at bit position (`None` = the accumulator MSB).
+    pub bit: Option<u32>,
+    /// Stuck-at polarity of drawn faults.
+    pub polarity: StuckAt,
+    /// Fixed retraining threshold (makes this a retraining cell).
+    pub threshold: Option<f32>,
+    /// Mitigation strategy (makes this a retraining cell).
+    pub strategy: Option<MitigationStrategy>,
+    coords: Vec<Coord>,
+}
+
+impl CellSpec {
+    fn base(systolic: SystolicConfig) -> Self {
+        Self {
+            systolic,
+            fault_rate: None,
+            faulty_pes: None,
+            bit: None,
+            polarity: StuckAt::One,
+            threshold: None,
+            strategy: None,
+            coords: Vec::new(),
+        }
+    }
+
+    fn push_coord(&mut self, axis: &str, value: AxisValue) {
+        self.coords.push(Coord {
+            axis: axis.to_string(),
+            value,
+        });
+    }
+
+    /// The cell's coordinates, one per axis in axis order.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// The coordinate value on the axis labelled `axis`, if any.
+    pub fn coord(&self, axis: &str) -> Option<&AxisValue> {
+        self.coords
+            .iter()
+            .find(|c| c.axis == axis)
+            .map(|c| &c.value)
+    }
+
+    /// The stuck-at bit this cell injects at: the explicit bit if a bit axis
+    /// set one, the accumulator MSB of the cell's grid otherwise.
+    pub fn resolved_bit(&self) -> u32 {
+        self.bit
+            .unwrap_or_else(|| self.systolic.accumulator_format().msb())
+    }
+
+    /// How this cell's scheduler executes it. A threshold combined with a
+    /// strategy that has no threshold knob is rejected rather than silently
+    /// ignored — the coordinate would otherwise label cells by a parameter
+    /// that had no effect.
+    fn payload(&self, default_epochs: Option<usize>) -> Result<CellPayload> {
+        Ok(match (self.strategy, self.threshold) {
+            (Some(MitigationStrategy::FaPIT { epochs, .. }), Some(threshold)) => {
+                CellPayload::Retrain(MitigationStrategy::FaPIT { epochs, threshold })
+            }
+            (Some(strategy), Some(_)) => {
+                return Err(crate::FalvoltError::invalid_config(format!(
+                    "a Threshold axis cannot combine with the {} strategy (only FaPIT retrains \
+                     at a fixed threshold)",
+                    strategy.label()
+                )));
+            }
+            (Some(strategy), None) => CellPayload::Retrain(strategy),
+            (None, Some(threshold)) => {
+                let Some(epochs) = default_epochs else {
+                    return Err(crate::FalvoltError::invalid_config(
+                        "a Threshold axis needs Campaign::retrain_epochs(..) — without it the \
+                         cells would silently run prune-only (0-epoch) FaPIT",
+                    ));
+                };
+                CellPayload::Retrain(MitigationStrategy::FaPIT { epochs, threshold })
+            }
+            (None, None) => CellPayload::Eval,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellPayload {
+    Eval,
+    Retrain(MitigationStrategy),
+}
+
+/// Pool identity: cells agreeing on every fault-drawing parameter *and* the
+/// mixed seed borrow the same sequentially drawn maps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PoolKey {
+    systolic: SystolicConfig,
+    rate_bits: Option<u64>,
+    faulty_pes: Option<usize>,
+    bit: u32,
+    polarity: StuckAt,
+    seed: u64,
+}
+
+impl PoolKey {
+    fn of(spec: &CellSpec, seed: u64) -> Self {
+        Self {
+            systolic: spec.systolic,
+            rate_bits: spec.fault_rate.map(f64::to_bits),
+            faulty_pes: spec.faulty_pes,
+            bit: spec.resolved_bit(),
+            polarity: spec.polarity,
+            seed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// The measured result of one campaign cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The resolved cell specification (including its coordinates).
+    pub spec: CellSpec,
+    /// Mean classification accuracy: over the drawn fault maps for
+    /// evaluation cells, over the per-map mitigation outcomes for
+    /// retraining cells.
+    pub accuracy: f32,
+    /// Number of fault scenarios averaged.
+    pub scenarios: usize,
+    /// Per-map mitigation outcomes (empty for evaluation cells).
+    pub outcomes: Vec<MitigationOutcome>,
+}
+
+impl CellResult {
+    /// The cell's coordinates, one per axis in axis order.
+    pub fn coords(&self) -> &[Coord] {
+        self.spec.coords()
+    }
+
+    /// The coordinate value on the axis labelled `axis`, if any.
+    pub fn coord(&self, axis: &str) -> Option<&AxisValue> {
+        self.spec.coord(axis)
+    }
+
+    /// The first (typically only) mitigation outcome of a retraining cell.
+    pub fn outcome(&self) -> Option<&MitigationOutcome> {
+        self.outcomes.first()
+    }
+}
+
+/// A finished campaign: the executed cells in plan order plus the context
+/// metadata the figure code needs.
+///
+/// Iterate it for streaming consumption (`for cell in &run`), or serialize
+/// the whole thing via [`CampaignRun::into_table`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    axes: Vec<String>,
+    baseline_accuracy: f32,
+    cells: Vec<CellResult>,
+}
+
+impl CampaignRun {
+    /// Axis labels, in plan order (outermost first).
+    pub fn axes(&self) -> &[String] {
+        &self.axes
+    }
+
+    /// Fault-free baseline accuracy of the context's trained network.
+    pub fn baseline_accuracy(&self) -> f32 {
+        self.baseline_accuracy
+    }
+
+    /// The executed cells, in plan (cartesian) order.
+    pub fn cells(&self) -> &[CellResult] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the plan expanded to zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Converts the run into the serde-serializable [`ResultTable`].
+    pub fn into_table(self) -> ResultTable {
+        ResultTable {
+            axes: self.axes,
+            baseline_accuracy: self.baseline_accuracy,
+            cells: self.cells,
+        }
+    }
+
+    /// Groups the cells into accuracy series over the axis labelled
+    /// `x_axis`: one [`SweepSeries`] per distinct combination of the
+    /// *other* coordinates (labelled by joining their values), with one
+    /// point per cell in plan order. Cells without an `x_axis` coordinate
+    /// are skipped.
+    pub fn mean_series(&self, x_axis: &str) -> Vec<SweepSeries> {
+        let mut series: Vec<SweepSeries> = Vec::new();
+        for cell in &self.cells {
+            let Some(x) = cell.coord(x_axis).map(AxisValue::as_f64) else {
+                continue;
+            };
+            let rest: Vec<String> = cell
+                .coords()
+                .iter()
+                .filter(|c| c.axis != x_axis)
+                .map(|c| c.value.to_string())
+                .collect();
+            let label = if rest.is_empty() {
+                x_axis.to_string()
+            } else {
+                rest.join("/")
+            };
+            let point = SweepPoint {
+                x,
+                accuracy: cell.accuracy,
+                iterations: cell.scenarios,
+            };
+            match series.iter_mut().find(|s| s.label == label) {
+                Some(s) => s.points.push(point),
+                None => series.push(SweepSeries {
+                    label,
+                    points: vec![point],
+                }),
+            }
+        }
+        series
+    }
+}
+
+impl IntoIterator for CampaignRun {
+    type Item = CellResult;
+    type IntoIter = std::vec::IntoIter<CellResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a CampaignRun {
+    type Item = &'a CellResult;
+    type IntoIter = std::slice::Iter<'a, CellResult>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+/// The serde-serializable flat view of a [`CampaignRun`] — what figure code
+/// and downstream tooling consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Axis labels, in plan order.
+    pub axes: Vec<String>,
+    /// Fault-free baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// One row per cell, in plan order.
+    pub cells: Vec<CellResult>,
+}
+
+// ---------------------------------------------------------------------------
+// The campaign builder and scheduler
+// ---------------------------------------------------------------------------
+
+/// Seed-mixing hook: `(campaign seed, cell spec) -> per-cell RNG seed`.
+pub type SeedMixer = Arc<dyn Fn(u64, &CellSpec) -> u64 + Send + Sync>;
+
+/// A declarative sweep plan over one prepared [`ExperimentContext`].
+///
+/// Build it with [`Campaign::new`], add [`Axis`] values (first axis
+/// outermost), tune the per-cell scenario count / seed / engine preset, and
+/// [`Campaign::run`] it. See the [module docs](crate::campaign) for what the
+/// scheduler owns.
+///
+/// # Example
+///
+/// ```no_run
+/// use falvolt::campaign::{Axis, Campaign};
+/// use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+/// use falvolt::mitigation::MitigationStrategy;
+///
+/// # fn main() -> Result<(), falvolt::FalvoltError> {
+/// let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, ExperimentScale::Tiny, 42)?;
+/// // Figures 6/7 as data: strategies × fault rates, one chip per rate.
+/// let run = Campaign::new(&mut ctx)
+///     .axis(Axis::FaultRate(vec![0.10, 0.30]))
+///     .axis(Axis::Mitigation(vec![
+///         MitigationStrategy::FaP,
+///         MitigationStrategy::fapit(8),
+///         MitigationStrategy::falvolt(8),
+///     ]))
+///     .run()?;
+/// for cell in &run {
+///     let outcome = cell.outcome().expect("retraining cell");
+///     println!("{:?} -> {:.1}%", cell.coords(), outcome.final_accuracy * 100.0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct Campaign<'a> {
+    ctx: &'a mut ExperimentContext,
+    axes: Vec<Axis>,
+    scenarios_per_cell: usize,
+    seed: u64,
+    mixer: SeedMixer,
+    preset: EnginePreset,
+    retrain_epochs: Option<usize>,
+    retrain_config: RetrainConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Starts a plan over `ctx` with no axes, one scenario per cell, the
+    /// context's seed, the default seed mixer, the full engine preset and
+    /// the paper's retraining configuration.
+    pub fn new(ctx: &'a mut ExperimentContext) -> Self {
+        let seed = ctx.seed();
+        Self {
+            ctx,
+            axes: Vec::new(),
+            scenarios_per_cell: 1,
+            seed,
+            mixer: Arc::new(default_seed_mix),
+            preset: EnginePreset::full(),
+            retrain_epochs: None,
+            retrain_config: RetrainConfig::paper_like(),
+        }
+    }
+
+    /// Adds a sweep axis (first added is outermost in the cell order).
+    pub fn axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Fault maps drawn (and averaged) per cell. The paper uses 8 for the
+    /// vulnerability sweeps; retraining sweeps typically use 1 chip.
+    pub fn scenarios_per_cell(mut self, scenarios: usize) -> Self {
+        self.scenarios_per_cell = scenarios;
+        self
+    }
+
+    /// Overrides the base seed cells mix from (default: the context seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a custom per-cell seed mixer. The default mixer hashes the
+    /// cell's fault-drawing parameters (grid, rate / PE count, bit,
+    /// polarity) — and deliberately *not* its payload (threshold,
+    /// strategy), so the payload cells of one fault configuration share a
+    /// once-per-configuration map pool.
+    pub fn seed_mixer(
+        mut self,
+        mixer: impl Fn(u64, &CellSpec) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.mixer = Arc::new(mixer);
+        self
+    }
+
+    /// Engine preset threaded through scenario views and backends
+    /// (default: [`EnginePreset::full`]). Presets are execution strategies —
+    /// results are bit-identical across them.
+    pub fn preset(mut self, preset: EnginePreset) -> Self {
+        self.preset = preset;
+        self
+    }
+
+    /// Retraining epochs used by [`Axis::Threshold`] cells (strategies from
+    /// an [`Axis::Mitigation`] carry their own epoch budget).
+    pub fn retrain_epochs(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = Some(epochs);
+        self
+    }
+
+    /// Overrides the retraining hyper-parameters (default:
+    /// [`RetrainConfig::paper_like`]).
+    pub fn retrain_config(mut self, config: RetrainConfig) -> Self {
+        self.retrain_config = config;
+        self
+    }
+
+    /// Executes the plan: expands the axes, mixes seeds, draws the fault-map
+    /// pools sequentially (so results are worker-count-independent), fans
+    /// evaluation cells out through the shared-cache scenario engine and
+    /// retraining cells across scenario views, and returns the cells in
+    /// plan order. The context's baseline is restored before and after.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FalvoltError`] for invalid plans (zero scenarios per
+    /// cell, invalid array sizes), fault-map draw failures and the first
+    /// cell error in plan order.
+    pub fn run(self) -> Result<CampaignRun> {
+        let Campaign {
+            ctx,
+            axes,
+            scenarios_per_cell,
+            seed,
+            mixer,
+            preset,
+            retrain_epochs,
+            retrain_config,
+        } = self;
+        if scenarios_per_cell == 0 {
+            return Err(crate::FalvoltError::invalid_config(
+                "a campaign needs at least one scenario per cell",
+            ));
+        }
+
+        // 1. Expand the axes into the cartesian cell-spec list.
+        let mut specs = vec![CellSpec::base(*ctx.systolic_config())];
+        for axis in &axes {
+            let mut next = Vec::with_capacity(specs.len() * axis.len().max(1));
+            for spec in &specs {
+                next.extend(axis.expand(spec)?);
+            }
+            specs = next;
+        }
+
+        // 2. Mix seeds and draw the fault-map pools sequentially, in cell
+        // order. Cells sharing every draw parameter and the mixed seed
+        // borrow one pool (e.g. the strategies of one fault rate).
+        let mut pools: Vec<(PoolKey, Arc<Vec<FaultMap>>)> = Vec::new();
+        let mut cell_pool = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let key = PoolKey::of(spec, mixer(seed, spec));
+            let index = match pools.iter().position(|(k, _)| *k == key) {
+                Some(index) => index,
+                None => {
+                    pools.push((
+                        key,
+                        Arc::new(draw_pool(spec, key.seed, scenarios_per_cell)?),
+                    ));
+                    pools.len() - 1
+                }
+            };
+            cell_pool.push(index);
+        }
+
+        // 3. Execute against the restored baseline.
+        let payloads: Vec<CellPayload> = specs
+            .iter()
+            .map(|s| s.payload(retrain_epochs))
+            .collect::<Result<_>>()?;
+        ctx.restore_baseline()?;
+
+        // Evaluation cells: one flat scenario list, fanned out through the
+        // preset-aware scenario engine with the context-owned caches (the
+        // ScenarioProducts batching groups scenarios per grid internally).
+        let eval_cells: Vec<usize> = payloads
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, CellPayload::Eval))
+            .map(|(i, _)| i)
+            .collect();
+        let mut eval_accuracies = Vec::new();
+        if !eval_cells.is_empty() {
+            let mut scenarios = Vec::with_capacity(eval_cells.len() * scenarios_per_cell);
+            for &cell in &eval_cells {
+                for map in pools[cell_pool[cell]].1.iter() {
+                    scenarios.push((specs[cell].systolic, map.clone()));
+                }
+            }
+            eval_accuracies = scenario_accuracies(
+                ctx.network(),
+                scenarios,
+                ctx.test_batches(),
+                ctx.caches(),
+                &preset,
+            )?;
+        }
+
+        // Retraining cells: scenario views of the baseline sharing one fresh
+        // sweep cache, one worker per cell, the Mitigator run per drawn map.
+        let retrain_cells: Vec<usize> = payloads
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, CellPayload::Retrain(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut retrain_outcomes: Vec<Vec<MitigationOutcome>> = Vec::new();
+        if !retrain_cells.is_empty() {
+            let mitigator = Mitigator::new(ctx.classes(), retrain_config);
+            let baseline = ctx.network();
+            let (train, test) = (ctx.train_batches(), ctx.test_batches());
+            let sweep_cache = Arc::new(SweepCache::new());
+            let results: Vec<Result<Vec<MitigationOutcome>>> = retrain_cells
+                .into_par_iter()
+                .map(|cell| {
+                    let CellPayload::Retrain(strategy) = payloads[cell] else {
+                        unreachable!("retrain_cells filters on the retrain payload");
+                    };
+                    pools[cell_pool[cell]]
+                        .1
+                        .iter()
+                        .map(|map| {
+                            let mut network = retrain_view(baseline, &sweep_cache, &preset);
+                            mitigator.run(&mut network, map, train, test, strategy)
+                        })
+                        .collect()
+                })
+                .collect();
+            retrain_outcomes = results.into_iter().collect::<Result<Vec<_>>>()?;
+        }
+
+        // 4. Assemble the cells back into plan order and restore the
+        // baseline (retraining mutates only scenario views, but symmetric
+        // restore keeps the contract simple).
+        ctx.restore_baseline()?;
+        let mut eval_iter = eval_accuracies.chunks(scenarios_per_cell);
+        let mut retrain_iter = retrain_outcomes.into_iter();
+        let cells: Vec<CellResult> = specs
+            .into_iter()
+            .zip(&payloads)
+            .map(|(spec, payload)| match payload {
+                CellPayload::Eval => {
+                    let chunk = eval_iter.next().expect("one chunk per eval cell");
+                    CellResult {
+                        spec,
+                        accuracy: chunk.iter().sum::<f32>() / chunk.len() as f32,
+                        scenarios: chunk.len(),
+                        outcomes: Vec::new(),
+                    }
+                }
+                CellPayload::Retrain(_) => {
+                    let outcomes = retrain_iter
+                        .next()
+                        .expect("one outcome set per retrain cell");
+                    CellResult {
+                        spec,
+                        accuracy: outcomes.iter().map(|o| o.final_accuracy).sum::<f32>()
+                            / outcomes.len() as f32,
+                        scenarios: outcomes.len(),
+                        outcomes,
+                    }
+                }
+            })
+            .collect();
+
+        Ok(CampaignRun {
+            axes: axes.iter().map(|a| a.label().to_string()).collect(),
+            baseline_accuracy: ctx.baseline_accuracy(),
+            cells,
+        })
+    }
+}
+
+/// Builds one retraining worker: a scenario view of the baseline with the
+/// shared sweep cache and the campaign preset installed.
+fn retrain_view(
+    baseline: &SpikingNetwork,
+    sweep_cache: &Arc<SweepCache>,
+    preset: &EnginePreset,
+) -> SpikingNetwork {
+    let mut network = baseline.scenario_view();
+    network.set_engine_preset(*preset);
+    network.set_sweep_cache(if preset.prefix_cache() {
+        Some(Arc::clone(sweep_cache))
+    } else {
+        None
+    });
+    network
+}
+
+/// Draws one cell pool: `scenarios` maps from a fresh RNG seeded with the
+/// cell's mixed seed.
+fn draw_pool(spec: &CellSpec, seed: u64, scenarios: usize) -> Result<Vec<FaultMap>> {
+    let bit = spec.resolved_bit();
+    let mut maps = Vec::with_capacity(scenarios);
+    if let Some(rate) = spec.fault_rate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..scenarios {
+            maps.push(FaultMap::random_with_rate(
+                &spec.systolic,
+                rate,
+                bit,
+                spec.polarity,
+                &mut rng,
+            )?);
+        }
+    } else if let Some(pes) = spec.faulty_pes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..scenarios {
+            maps.push(FaultMap::random_faulty_pes(
+                &spec.systolic,
+                pes,
+                bit,
+                spec.polarity,
+                &mut rng,
+            )?);
+        }
+    } else {
+        // No fault axis: the fault-free chip.
+        maps.resize(scenarios, FaultMap::new(spec.systolic));
+    }
+    Ok(maps)
+}
+
+/// The historical per-figure seed mixers of the pre-campaign drivers.
+///
+/// Pass one to [`Campaign::seed_mixer`] to reproduce exactly the fault maps
+/// a legacy driver drew — the deprecated `falvolt::experiment` wrappers, the
+/// figure benches and the `reproduce` binary all install these, and the
+/// campaign equivalence tests pin the formulas bit-for-bit. Plans that do
+/// not need continuity with recorded series should keep the default mixer.
+pub mod mixers {
+    use super::CellSpec;
+
+    /// Figure 2 (`threshold_sweep`): one chip per fault rate.
+    pub fn per_fault_rate(seed: u64, spec: &CellSpec) -> u64 {
+        seed ^ spec.fault_rate.unwrap_or(0.0).to_bits()
+    }
+
+    /// Figures 6/7 (`mitigation_comparison`): one chip per fault rate,
+    /// decorrelated from the Figure 2 pool by the rotation.
+    pub fn per_fault_rate_rotated(seed: u64, spec: &CellSpec) -> u64 {
+        seed ^ spec.fault_rate.unwrap_or(0.0).to_bits().rotate_left(13)
+    }
+
+    /// Figure 5a (`bit_position_experiment`): one pool per bit position,
+    /// shared by both polarities.
+    pub fn per_bit(seed: u64, spec: &CellSpec) -> u64 {
+        seed ^ u64::from(spec.bit.unwrap_or(0)) << 8
+    }
+
+    /// Figure 5b (`faulty_pe_experiment`): one pool per faulty-PE count.
+    pub fn per_faulty_pe_count(seed: u64, spec: &CellSpec) -> u64 {
+        seed ^ (spec.faulty_pes.unwrap_or(0) as u64) << 16
+    }
+
+    /// Figure 5c (`array_size_experiment`): one pool per array side length.
+    pub fn per_array_size(seed: u64, spec: &CellSpec) -> u64 {
+        seed ^ (spec.systolic.rows() as u64) << 24
+    }
+
+    /// Figure 8 (`convergence_experiment`): one fixed chip for every cell.
+    pub fn convergence(seed: u64, _spec: &CellSpec) -> u64 {
+        seed ^ 0xF168
+    }
+}
+
+/// The default seed mixer: a content hash of the fault-drawing parameters.
+/// The payload (threshold, strategy) is deliberately excluded so payload
+/// variants of one fault configuration retrain against the same chips.
+fn default_seed_mix(seed: u64, spec: &CellSpec) -> u64 {
+    let mut fp = falvolt_tensor::Fingerprint::new();
+    fp.write_str("campaign-cell");
+    fp.write_u64(seed);
+    fp.write_usize(spec.systolic.rows());
+    fp.write_usize(spec.systolic.cols());
+    fp.write_u64(spec.fault_rate.map_or(u64::MAX, f64::to_bits));
+    fp.write_u64(spec.faulty_pes.map_or(u64::MAX, |p| p as u64));
+    fp.write_u64(u64::from(spec.resolved_bit()));
+    fp.write_u64(match spec.polarity {
+        StuckAt::Zero => 0,
+        StuckAt::One => 1,
+    });
+    fp.finish() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{DatasetKind, ExperimentScale};
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext::prepare_untrained(DatasetKind::Mnist, ExperimentScale::Tiny, 9)
+            .expect("untrained context")
+    }
+
+    #[test]
+    fn axes_expand_cartesian_first_axis_outermost() {
+        let mut ctx = tiny_ctx();
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultRate(vec![0.1, 0.3]))
+            .axis(Axis::BitPosition(vec![0, 15]))
+            .run()
+            .unwrap();
+        assert_eq!(run.axes(), &["fault_rate".to_string(), "bit".to_string()]);
+        let coords: Vec<(f64, u32)> = run
+            .cells()
+            .iter()
+            .map(|c| (c.spec.fault_rate.unwrap(), c.spec.bit.unwrap()))
+            .collect();
+        assert_eq!(coords, vec![(0.1, 0), (0.1, 15), (0.3, 0), (0.3, 15)]);
+        for cell in &run {
+            assert_eq!(cell.scenarios, 1);
+            assert!(cell.outcomes.is_empty(), "eval cells have no outcomes");
+            assert!((0.0..=1.0).contains(&cell.accuracy));
+        }
+    }
+
+    #[test]
+    fn payload_cells_share_a_once_per_rate_pool_and_seeds_are_stable() {
+        // The default mixer excludes the payload, so the threshold cells of
+        // one rate must retrain against the same drawn chip; and rerunning
+        // the identical plan reproduces identical accuracies.
+        let mut ctx = tiny_ctx();
+        let plan = |ctx: &mut ExperimentContext| {
+            Campaign::new(ctx)
+                .axis(Axis::FaultRate(vec![0.4]))
+                .axis(Axis::Threshold(vec![0.6, 1.0]))
+                .retrain_epochs(1)
+                .run()
+                .unwrap()
+        };
+        let a = plan(&mut ctx);
+        let b = plan(&mut ctx);
+        assert_eq!(a.cells().len(), 2);
+        for cell in &a {
+            let outcome = cell.outcome().expect("retraining cell");
+            assert_eq!(outcome.strategy, "FaPIT");
+            assert_eq!(outcome.epochs_run, 1);
+        }
+        // Same chip for both thresholds: identical pruned fraction.
+        assert_eq!(
+            a.cells()[0].outcomes[0].pruned_weight_fraction,
+            a.cells()[1].outcomes[0].pruned_weight_fraction
+        );
+        assert_eq!(a, b, "a campaign plan is a pure function of its inputs");
+    }
+
+    #[test]
+    fn custom_axis_edits_the_spec_and_records_coords() {
+        let mut ctx = tiny_ctx();
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::custom("array_rows", vec![4.0, 8.0], |spec, rows| {
+                spec.systolic = SystolicConfig::new(rows as usize, 8).unwrap();
+            }))
+            .run()
+            .unwrap();
+        assert_eq!(run.cells()[0].spec.systolic.rows(), 4);
+        assert_eq!(run.cells()[1].spec.systolic.rows(), 8);
+        assert_eq!(
+            run.cells()[1].coord("array_rows"),
+            Some(&AxisValue::Custom(8.0))
+        );
+        assert_eq!(run.mean_series("array_rows").len(), 1);
+        assert_eq!(run.mean_series("array_rows")[0].points.len(), 2);
+    }
+
+    #[test]
+    fn mean_series_groups_by_remaining_coords() {
+        let mut ctx = tiny_ctx();
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::Polarity(vec![StuckAt::Zero, StuckAt::One]))
+            .axis(Axis::BitPosition(vec![0, 15]))
+            .axis(Axis::FaultyPes(vec![4]))
+            .scenarios_per_cell(2)
+            .run()
+            .unwrap();
+        assert_eq!(run.len(), 4);
+        let series = run.mean_series("bit");
+        assert_eq!(series.len(), 2, "one series per polarity");
+        assert_eq!(series[0].label, "sa0/4");
+        assert_eq!(series[1].label, "sa1/4");
+        assert!(series.iter().all(|s| s.points.len() == 2));
+        assert!(series
+            .iter()
+            .all(|s| s.points.iter().all(|p| p.iterations == 2)));
+        // The table serializes the same cells.
+        let table = run.into_table();
+        assert_eq!(table.cells.len(), 4);
+        assert_eq!(table.axes.len(), 3);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut ctx = tiny_ctx();
+        assert!(Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![1]))
+            .scenarios_per_cell(0)
+            .run()
+            .is_err());
+        assert!(Campaign::new(&mut ctx)
+            .axis(Axis::ArraySize(vec![0]))
+            .run()
+            .is_err());
+        // A threshold cannot silently ride along with a strategy that has no
+        // threshold knob — the coordinate would label cells by a parameter
+        // that had no effect.
+        assert!(Campaign::new(&mut ctx)
+            .axis(Axis::Threshold(vec![0.5]))
+            .axis(Axis::Mitigation(vec![MitigationStrategy::FaP]))
+            .run()
+            .is_err());
+        // A Threshold axis without an epoch budget would silently run
+        // prune-only FaPIT; the plan is rejected instead.
+        assert!(Campaign::new(&mut ctx)
+            .axis(Axis::Threshold(vec![0.5]))
+            .run()
+            .is_err());
+        // An empty axis expands to zero cells, not an error.
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultRate(Vec::new()))
+            .run()
+            .unwrap();
+        assert!(run.is_empty());
+        assert!(Axis::FaultRate(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn presets_are_execution_strategies_not_result_state() {
+        let mut ctx = tiny_ctx();
+        let plan = |ctx: &mut ExperimentContext, preset: EnginePreset| {
+            Campaign::new(ctx)
+                .axis(Axis::FaultyPes(vec![0, 6]))
+                .scenarios_per_cell(2)
+                .preset(preset)
+                .run()
+                .unwrap()
+        };
+        let full = plan(&mut ctx, EnginePreset::full());
+        let replay = plan(&mut ctx, EnginePreset::event_driven());
+        let seedlike = plan(&mut ctx, EnginePreset::seed_equivalent());
+        let accuracies =
+            |run: &CampaignRun| -> Vec<f32> { run.cells().iter().map(|c| c.accuracy).collect() };
+        assert_eq!(accuracies(&full), accuracies(&replay));
+        assert_eq!(accuracies(&full), accuracies(&seedlike));
+    }
+}

@@ -10,10 +10,9 @@
 //! substitution table in `DESIGN.md` §3), so absolute accuracies differ from
 //! the paper; the *shape* of every curve is what the reproduction targets.
 
-use crate::mitigation::{
-    EpochPoint, MitigationOutcome, MitigationStrategy, Mitigator, RetrainConfig,
-};
-use crate::vulnerability::{self, SweepCaches, SweepSeries, VulnerabilityConfig};
+use crate::campaign::{self, Axis, Campaign};
+use crate::mitigation::{EpochPoint, MitigationStrategy};
+use crate::vulnerability::{SweepCaches, SweepPoint, SweepSeries, VulnerabilityConfig};
 use crate::Result;
 use falvolt_datasets::{
     to_batches, Dataset, DatasetConfig, LabeledBatch, SyntheticDvsGesture, SyntheticMnist,
@@ -179,6 +178,27 @@ impl ExperimentContext {
     ///
     /// Propagates network-construction and training errors.
     pub fn prepare(kind: DatasetKind, scale: ExperimentScale, seed: u64) -> Result<Self> {
+        Self::prepare_with_epochs(kind, scale, seed, scale.baseline_epochs())
+    }
+
+    /// [`ExperimentContext::prepare`] with no baseline training: the
+    /// campaign unit tests exercise the sweep machinery, not the
+    /// classifier, and skipping the epochs keeps them cheap.
+    #[cfg(test)]
+    pub(crate) fn prepare_untrained(
+        kind: DatasetKind,
+        scale: ExperimentScale,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::prepare_with_epochs(kind, scale, seed, 0)
+    }
+
+    fn prepare_with_epochs(
+        kind: DatasetKind,
+        scale: ExperimentScale,
+        seed: u64,
+        baseline_epochs: usize,
+    ) -> Result<Self> {
         let data_config = scale.dataset_config();
         let architecture = kind.architecture();
         let (train_raw, test_raw) = generate_dataset(kind, &data_config, seed);
@@ -191,7 +211,7 @@ impl ExperimentContext {
 
         let mut network = architecture.build(seed)?;
         let mut trainer = Trainer::new(Adam::new(5e-3), MseRateLoss::new(), kind.classes());
-        for _ in 0..scale.baseline_epochs() {
+        for _ in 0..baseline_epochs {
             trainer.train_epoch(&mut network, &train)?;
         }
         let baseline_accuracy = falvolt_snn::trainer::evaluate(&mut network, &test)?;
@@ -225,6 +245,18 @@ impl ExperimentContext {
     /// The experiment scale.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The base seed this context was prepared with (campaigns mix their
+    /// per-cell seeds from it by default).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Shared access to the context's network (the trained baseline between
+    /// experiments; campaign workers carve scenario views off it).
+    pub fn network(&self) -> &SpikingNetwork {
+        &self.network
     }
 
     /// The network architecture.
@@ -355,7 +387,7 @@ pub struct SweepCell<'a> {
 }
 
 /// Runs one cell per `(fault rate, payload)` pair, in parallel, against the
-/// restored baseline — the boilerplate every figure-cell driver shares:
+/// restored baseline:
 ///
 /// 1. draw one fault map per rate into a pool (sequentially, from
 ///    `seed_mix(ctx seed, rate)`, so results are worker-count-independent),
@@ -365,8 +397,10 @@ pub struct SweepCell<'a> {
 ///    strategies of one rate at epoch 0 — share prefix work through it),
 /// 4. collect results in cell order and restore the baseline again.
 ///
-/// `threshold_sweep`, `mitigation_comparison` and the convergence driver are
-/// thin wrappers; future sweep-axis changes stay single-sited here.
+/// The [`crate::campaign`] scheduler has absorbed this boilerplate (its
+/// retraining path is the generalisation of steps 1–4); this function stays
+/// as the pre-campaign **reference implementation** that the campaign
+/// equivalence tests replay the legacy drivers against, bit for bit.
 ///
 /// # Errors
 ///
@@ -461,48 +495,38 @@ pub struct ThresholdSweepReport {
 /// voltages and fault rates, demonstrating that the best threshold depends on
 /// both the dataset and the fault rate — the motivation for learning it.
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (fault-rate ×
+/// threshold axes, the historical per-rate seed mixer), bit-identical to the
+/// pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates mitigation errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn threshold_sweep(
     ctx: &mut ExperimentContext,
     thresholds: &[f32],
     fault_rates: &[f64],
     epochs: usize,
 ) -> Result<ThresholdSweepReport> {
-    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    // One retraining cell per (fault rate, threshold); cells of one rate
-    // borrow the same pooled fault map and share epoch-0 prefix work through
-    // the sweep cache until retraining diverges them.
-    let rows = run_fault_rate_cells(
-        ctx,
-        fault_rates,
-        |seed, rate| seed ^ rate.to_bits(),
-        thresholds,
-        |cell, fault_rate, fault_map, &threshold| {
-            let SweepCell {
-                mut network,
-                train,
-                test,
-            } = cell;
-            let outcome = mitigator.run(
-                &mut network,
-                fault_map,
-                train,
-                test,
-                MitigationStrategy::FaPIT { epochs, threshold },
-            )?;
-            Ok(ThresholdSweepRow {
-                threshold,
-                fault_rate,
-                accuracy: outcome.final_accuracy,
-            })
-        },
-    )?;
+    let run = Campaign::new(ctx)
+        .axis(Axis::FaultRate(fault_rates.to_vec()))
+        .axis(Axis::Threshold(thresholds.to_vec()))
+        .retrain_epochs(epochs)
+        .seed_mixer(campaign::mixers::per_fault_rate)
+        .run()?;
     Ok(ThresholdSweepReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
-        rows,
+        rows: run
+            .cells()
+            .iter()
+            .map(|cell| ThresholdSweepRow {
+                threshold: cell.spec.threshold.expect("threshold axis set"),
+                fault_rate: cell.spec.fault_rate.expect("fault-rate axis set"),
+                accuracy: cell.accuracy,
+            })
+            .collect(),
     })
 }
 
@@ -522,27 +546,44 @@ pub struct BitPositionReport {
 
 /// Figure 5a: accuracy vs accumulator fault-bit position.
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (polarity × bit ×
+/// fixed-PE-count axes, the historical per-bit seed mixer), bit-identical to
+/// the pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates sweep errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn bit_position_experiment(
     ctx: &mut ExperimentContext,
     bits: &[u32],
     faulty_pes: usize,
 ) -> Result<BitPositionReport> {
-    ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
-    let systolic = ctx.systolic;
-    let caches = ctx.caches.clone();
-    let series = vulnerability::bit_position_sweep(
-        &mut ctx.network,
-        systolic,
-        &ctx.test,
-        bits,
-        faulty_pes,
-        &config,
-        &caches,
-    )?;
+    let run = Campaign::new(ctx)
+        .axis(Axis::Polarity(StuckAt::ALL.to_vec()))
+        .axis(Axis::BitPosition(bits.to_vec()))
+        .axis(Axis::FaultyPes(vec![faulty_pes]))
+        .scenarios_per_cell(config.iterations)
+        .seed(config.seed)
+        .seed_mixer(campaign::mixers::per_bit)
+        .run()?;
+    // One series per polarity, cells bit-minor within each polarity.
+    let series = StuckAt::ALL
+        .iter()
+        .zip(run.cells().chunks(bits.len()))
+        .map(|(kind, chunk)| SweepSeries {
+            label: kind.to_string(),
+            points: chunk
+                .iter()
+                .map(|cell| SweepPoint {
+                    x: f64::from(cell.spec.bit.expect("bit axis set")),
+                    accuracy: cell.accuracy,
+                    iterations: cell.scenarios,
+                })
+                .collect(),
+        })
+        .collect();
     Ok(BitPositionReport {
         dataset: ctx.kind.label().to_string(),
         series,
@@ -562,29 +603,40 @@ pub struct FaultyPeReport {
 
 /// Figure 5b: accuracy vs number of faulty PEs (worst-case MSB stuck-at-1).
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (one faulty-PE-count
+/// axis, the historical per-count seed mixer), bit-identical to the
+/// pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates sweep errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn faulty_pe_experiment(
     ctx: &mut ExperimentContext,
     pe_counts: &[usize],
 ) -> Result<FaultyPeReport> {
-    ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
-    let systolic = ctx.systolic;
-    let caches = ctx.caches.clone();
-    let series = vulnerability::faulty_pe_sweep(
-        &mut ctx.network,
-        systolic,
-        &ctx.test,
-        pe_counts,
-        &config,
-        &caches,
-    )?;
+    let run = Campaign::new(ctx)
+        .axis(Axis::FaultyPes(pe_counts.to_vec()))
+        .scenarios_per_cell(config.iterations)
+        .seed(config.seed)
+        .seed_mixer(campaign::mixers::per_faulty_pe_count)
+        .run()?;
     Ok(FaultyPeReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
-        series,
+        series: SweepSeries {
+            label: "msb-sa1".to_string(),
+            points: run
+                .cells()
+                .iter()
+                .map(|cell| SweepPoint {
+                    x: cell.spec.faulty_pes.expect("faulty-PE axis set") as f64,
+                    accuracy: cell.accuracy,
+                    iterations: cell.scenarios,
+                })
+                .collect(),
+        },
     })
 }
 
@@ -601,29 +653,42 @@ pub struct ArraySizeReport {
 
 /// Figure 5c: accuracy vs array size for a fixed number of faulty PEs.
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (array-size ×
+/// fixed-PE-count axes, the historical per-size seed mixer), bit-identical
+/// to the pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates sweep errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn array_size_experiment(
     ctx: &mut ExperimentContext,
     sizes: &[usize],
     faulty_pes: usize,
 ) -> Result<ArraySizeReport> {
-    ctx.restore_baseline()?;
     let config = ctx.scale.vulnerability_config();
-    let caches = ctx.caches.clone();
-    let series = vulnerability::array_size_sweep(
-        &mut ctx.network,
-        sizes,
-        &ctx.test,
-        faulty_pes,
-        &config,
-        &caches,
-    )?;
+    let run = Campaign::new(ctx)
+        .axis(Axis::ArraySize(sizes.to_vec()))
+        .axis(Axis::FaultyPes(vec![faulty_pes]))
+        .scenarios_per_cell(config.iterations)
+        .seed(config.seed)
+        .seed_mixer(campaign::mixers::per_array_size)
+        .run()?;
     Ok(ArraySizeReport {
         dataset: ctx.kind.label().to_string(),
         faulty_pes,
-        series,
+        series: SweepSeries {
+            label: "fixed-fault-count".to_string(),
+            points: run
+                .cells()
+                .iter()
+                .map(|cell| SweepPoint {
+                    x: (cell.spec.systolic.rows() * cell.spec.systolic.cols()) as f64,
+                    accuracy: cell.accuracy,
+                    iterations: cell.scenarios,
+                })
+                .collect(),
+        },
     })
 }
 
@@ -659,47 +724,47 @@ pub struct MitigationComparisonReport {
 /// Figures 6 and 7: compares FaP, FaPIT and FalVolt at the given fault rates
 /// and records the per-layer threshold voltages FalVolt learns.
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (fault-rate ×
+/// strategy axes, the historical per-rate seed mixer; the three strategies
+/// of one rate retrain against the same pooled chip), bit-identical to the
+/// pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates mitigation errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn mitigation_comparison(
     ctx: &mut ExperimentContext,
     fault_rates: &[f64],
     epochs: usize,
 ) -> Result<MitigationComparisonReport> {
-    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    let strategies = [
-        MitigationStrategy::FaP,
-        MitigationStrategy::fapit(epochs),
-        MitigationStrategy::falvolt(epochs),
-    ];
-    // One retraining cell per (fault rate, strategy); the three strategies
-    // of one rate prune to the same weights, so their epoch-0 evaluations
-    // share prefix outputs through the common sweep cache.
-    let rows = run_fault_rate_cells(
-        ctx,
-        fault_rates,
-        |seed, rate| seed ^ rate.to_bits().rotate_left(13),
-        &strategies,
-        |cell, fault_rate, fault_map, &strategy| {
-            let SweepCell {
-                mut network,
-                train,
-                test,
-            } = cell;
-            let outcome = mitigator.run(&mut network, fault_map, train, test, strategy)?;
-            Ok(MitigationRow {
-                fault_rate,
-                strategy: outcome.strategy.clone(),
-                accuracy: outcome.final_accuracy,
-                thresholds: outcome.thresholds.clone(),
-            })
-        },
-    )?;
+    let run = Campaign::new(ctx)
+        .axis(Axis::FaultRate(fault_rates.to_vec()))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::FaP,
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .seed_mixer(campaign::mixers::per_fault_rate_rotated)
+        .run()?;
     Ok(MitigationComparisonReport {
         dataset: ctx.kind.label().to_string(),
         baseline_accuracy: ctx.baseline_accuracy,
-        rows,
+        rows: run
+            .cells()
+            .iter()
+            .map(|cell| {
+                let outcome = cell
+                    .outcome()
+                    .expect("strategy axis makes retraining cells");
+                MitigationRow {
+                    fault_rate: cell.spec.fault_rate.expect("fault-rate axis set"),
+                    strategy: outcome.strategy.clone(),
+                    accuracy: outcome.final_accuracy,
+                    thresholds: outcome.thresholds.clone(),
+                }
+            })
+            .collect(),
     })
 }
 
@@ -729,59 +794,50 @@ impl ConvergenceReport {
     /// FalVolt number is about half the FaPIT number.
     pub fn epochs_to_fraction_of_baseline(&self, fraction: f32) -> (Option<usize>, Option<usize>) {
         let target = self.baseline_accuracy * fraction;
-        let find = |history: &[EpochPoint]| {
-            history
-                .iter()
-                .find(|p| p.test_accuracy >= target)
-                .map(|p| p.epoch)
-        };
-        (find(&self.fapit), find(&self.falvolt))
+        (
+            crate::mitigation::epochs_to_reach(&self.fapit, target),
+            crate::mitigation::epochs_to_reach(&self.falvolt, target),
+        )
     }
 }
 
 /// Figure 8: records per-epoch test accuracy of FaPIT and FalVolt while
 /// retraining under `fault_rate` faulty PEs.
 ///
+/// A thin plan over the [`crate::campaign`] scheduler (a one-rate
+/// fault-rate axis × the FaPIT/FalVolt strategy axis; both strategies
+/// retrain against the same pooled chip drawn from the historical fixed
+/// seed), bit-identical to the pre-campaign driver.
+///
 /// # Errors
 ///
 /// Propagates mitigation errors.
+#[deprecated(note = "use falvolt::campaign")]
 pub fn convergence_experiment(
     ctx: &mut ExperimentContext,
     fault_rate: f64,
     epochs: usize,
 ) -> Result<ConvergenceReport> {
-    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
-    // The two strategies are the payload axis of a one-rate cell sweep: each
-    // retrains its own scenario view of the baseline (weights shared until
-    // the first optimizer step diverges them), sharing epoch-0 prefix work
-    // through the common sweep cache.
-    let strategies = [
-        MitigationStrategy::fapit(epochs),
-        MitigationStrategy::falvolt(epochs),
-    ];
-    let mut outcomes: Vec<MitigationOutcome> = run_fault_rate_cells(
-        ctx,
-        &[fault_rate],
-        |seed, _| seed ^ 0xF168,
-        &strategies,
-        |cell, _, fault_map, &strategy| {
-            let SweepCell {
-                mut network,
-                train,
-                test,
-            } = cell;
-            mitigator.run(&mut network, fault_map, train, test, strategy)
-        },
-    )?;
-    let falvolt = outcomes.pop().expect("two strategy cells");
-    let fapit = outcomes.pop().expect("two strategy cells");
-
+    let run = Campaign::new(ctx)
+        .axis(Axis::FaultRate(vec![fault_rate]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .seed_mixer(campaign::mixers::convergence)
+        .run()?;
+    let history = |cell: &crate::campaign::CellResult| {
+        cell.outcome()
+            .expect("strategy axis makes retraining cells")
+            .history
+            .clone()
+    };
     Ok(ConvergenceReport {
         dataset: ctx.kind.label().to_string(),
         fault_rate,
         baseline_accuracy: ctx.baseline_accuracy,
-        fapit: fapit.history,
-        falvolt: falvolt.history,
+        fapit: history(&run.cells()[0]),
+        falvolt: history(&run.cells()[1]),
     })
 }
 

@@ -17,8 +17,13 @@
 //!   (Algorithm 1),
 //! * [`vulnerability`] implements the stuck-at fault vulnerability sweeps of
 //!   Figure 5 (bit position, number of faulty PEs, array size),
+//! * [`campaign`] is the declarative sweep engine: every figure-style sweep
+//!   is a [`Campaign`] plan built from typed [`Axis`] values, executed by
+//!   one scheduler that owns seed mixing, fault-map pools, scenario-view
+//!   fan-out, cache sharing and multi-map batching,
 //! * [`experiment`] packages everything into figure-level experiment runners
-//!   used by the benchmark harness and the `reproduce` binary.
+//!   used by the benchmark harness and the `reproduce` binary (the legacy
+//!   drivers are deprecated thin plans over [`campaign`]).
 //!
 //! # Example: mitigate a faulty chip
 //!
@@ -55,12 +60,14 @@
 mod error;
 
 pub mod backend;
+pub mod campaign;
 pub mod experiment;
 pub mod mitigation;
 pub mod prune;
 pub mod vulnerability;
 
-pub use backend::{ScenarioProducts, SystolicBackend};
+pub use backend::{ScenarioProducts, SystolicBackend, SystolicBackendBuilder};
+pub use campaign::{Axis, Campaign, CampaignRun, CellResult, ResultTable};
 pub use error::FalvoltError;
 pub use vulnerability::SweepCaches;
 

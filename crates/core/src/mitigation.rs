@@ -152,11 +152,18 @@ impl MitigationOutcome {
     /// The first epoch at which the test accuracy reached `target`, if any —
     /// the convergence metric behind the paper's "2x faster" claim.
     pub fn epochs_to_reach(&self, target: f32) -> Option<usize> {
-        self.history
-            .iter()
-            .find(|p| p.test_accuracy >= target)
-            .map(|p| p.epoch)
+        epochs_to_reach(&self.history, target)
     }
+}
+
+/// The first epoch of `history` whose test accuracy reached `target`, if any
+/// — the shared convergence criterion behind
+/// [`MitigationOutcome::epochs_to_reach`] and the Figure 8 consumers.
+pub fn epochs_to_reach(history: &[EpochPoint], target: f32) -> Option<usize> {
+    history
+        .iter()
+        .find(|p| p.test_accuracy >= target)
+        .map(|p| p.epoch)
 }
 
 /// Runs mitigation strategies against faulty chips.

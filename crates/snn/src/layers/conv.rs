@@ -252,11 +252,14 @@ impl Layer for Conv2d {
         // Prefix products are scenario-invariant by construction: tell the
         // backend, so sweep-batched backends evaluate every fault scenario
         // in one pass on the first request.
-        let rows = if ctx.shareable_input {
-            ctx.backend.matmul_scenario_shared(cols, weight_t, hint)?
-        } else {
-            ctx.backend.matmul_hinted(cols, weight_t, hint)?
-        };
+        let rows = ctx
+            .backend
+            .matmul_request(
+                crate::backend::MatmulRequest::new(cols, weight_t)
+                    .with_hint(hint)
+                    .scenario_shared(ctx.shareable_input),
+            )?
+            .into_tensor();
         let mut feature_map = ops::rows_to_feature_map(&rows, &dims)?;
         ops::add_channel_bias(&mut feature_map, self.bias.value())?;
         if ctx.mode.is_train() {

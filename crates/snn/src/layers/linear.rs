@@ -126,11 +126,14 @@ impl Layer for Linear {
         };
         // Prefix (scenario-invariant) products announce themselves so
         // sweep-batched backends can evaluate every scenario in one pass.
-        let mut output = if ctx.shareable_input {
-            ctx.backend.matmul_scenario_shared(input, weight_t, hint)?
-        } else {
-            ctx.backend.matmul_hinted(input, weight_t, hint)?
-        };
+        let mut output = ctx
+            .backend
+            .matmul_request(
+                crate::backend::MatmulRequest::new(input, weight_t)
+                    .with_hint(hint)
+                    .scenario_shared(ctx.shareable_input),
+            )?
+            .into_tensor();
         // Add the bias to every row.
         let bias = self.bias.value().data().to_vec();
         let out_features = self.out_features;

@@ -15,7 +15,7 @@
 //! * a [`SpikingNetwork`] container driving multi-time-step forward and BPTT
 //!   backward passes ([`network`]),
 //! * rate-coded MSE loss ([`loss`]), SGD / Adam optimizers ([`optim`]), a
-//!   [`Trainer`] ([`trainer`]), metrics ([`metrics`]) and input encoders
+//!   [`Trainer`](trainer::Trainer) ([`trainer`]), metrics ([`metrics`]) and input encoders
 //!   ([`encoding`]),
 //! * the paper's network architectures, scaled for CPU-only experimentation
 //!   ([`config`]).
@@ -60,10 +60,10 @@ pub mod surrogate;
 pub mod sweep_cache;
 pub mod trainer;
 
-pub use backend::{FloatBackend, MatmulBackend};
+pub use backend::{FloatBackend, MatmulBackend, MatmulOutput, MatmulRequest};
 pub use error::SnnError;
 pub use layers::{ForwardContext, Layer, Mode};
-pub use network::{EngineConfig, SpikingNetwork};
+pub use network::{EnginePreset, SpikingNetwork};
 pub use param::Param;
 pub use sweep_cache::{SweepCache, SweepDecision};
 

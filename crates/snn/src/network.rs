@@ -9,46 +9,150 @@ use falvolt_tensor::{reduce, Fingerprint, Tensor};
 use std::borrow::Cow;
 use std::sync::Arc;
 
-/// Switches of the event-driven inference engine.
+/// One named execution-engine configuration, threaded uniformly through the
+/// network container, the systolic backends and the campaign scheduler.
 ///
-/// Both default to on; the off position reproduces the fully dense, uncached
-/// execution and exists for baselines, benchmarks and equivalence tests.
+/// The preset replaces the former grab-bag of independent booleans
+/// (`EngineConfig { prefix_cache, spike_kernels, csr_spikes }`,
+/// `set_event_driven`, `SystolicExecutor::set_composed_mask_chains`) with one
+/// builder-style value: pick a named preset, then override individual
+/// switches with the `with_*` builders when an experiment needs a hybrid.
+/// Every switch is an execution strategy, never result state — all presets
+/// produce bit-identical outputs for the same inputs and fault maps.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_snn::EnginePreset;
+///
+/// // The PR 2 engine: event-driven kernels, but mask chains fully replayed.
+/// let preset = EnginePreset::event_driven();
+/// assert!(preset.spike_kernels() && !preset.composed_mask_chains());
+/// // A hybrid for an ablation: full engine minus the prefix cache.
+/// let ablation = EnginePreset::full().with_prefix_cache(false);
+/// assert!(!ablation.prefix_cache() && ablation.scenario_batching());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EngineConfig {
-    /// Temporal prefix cache: for static inputs in evaluation mode, the
-    /// stateless layer prefix ahead of the first spiking layer is computed
-    /// once and reused for all `T` time steps.
-    pub prefix_cache: bool,
-    /// Spike-sparsity kernels: layers probe their activations and pass
-    /// operand-structure hints to the backend so binary/sparse products take
-    /// the event-driven gather-accumulate kernel.
-    pub spike_kernels: bool,
-    /// CSR spike tensors: evaluation-mode spiking layers attach a compressed
-    /// event index ([`falvolt_tensor::SpikeIndex`]) to their outputs, which
-    /// flows through flatten/pool/im2col as an index transform and lets the
-    /// kernels and the systolic executor walk events instead of probing.
-    /// Off reproduces the probe-based engine bit-for-bit.
-    pub csr_spikes: bool,
+pub struct EnginePreset {
+    prefix_cache: bool,
+    spike_kernels: bool,
+    csr_spikes: bool,
+    composed_mask_chains: bool,
+    scenario_batching: bool,
 }
 
-impl Default for EngineConfig {
+impl Default for EnginePreset {
     fn default() -> Self {
-        Self {
-            prefix_cache: true,
-            spike_kernels: true,
-            csr_spikes: true,
-        }
+        Self::full()
     }
 }
 
-impl EngineConfig {
-    /// Everything off: dense kernels, no caching (the seed's behaviour).
-    pub fn disabled() -> Self {
+impl EnginePreset {
+    /// Everything off: dense kernels, no caching, fully replayed mask
+    /// chains, no sweep batching — the seed's behaviour, kept for baselines
+    /// and equivalence tests.
+    pub fn seed_equivalent() -> Self {
         Self {
             prefix_cache: false,
             spike_kernels: false,
             csr_spikes: false,
+            composed_mask_chains: false,
+            scenario_batching: false,
         }
+    }
+
+    /// The event-driven single-network engine: temporal prefix cache,
+    /// spike-sparsity kernels and CSR spike tensors on; the scenario-axis
+    /// machinery (composed mask chains, multi-map batching) off.
+    pub fn event_driven() -> Self {
+        Self {
+            prefix_cache: true,
+            spike_kernels: true,
+            csr_spikes: true,
+            composed_mask_chains: false,
+            scenario_batching: false,
+        }
+    }
+
+    /// Everything on (the default): the event-driven engine plus composed
+    /// mask chains and multi-map scenario batching.
+    pub fn full() -> Self {
+        Self {
+            prefix_cache: true,
+            spike_kernels: true,
+            csr_spikes: true,
+            composed_mask_chains: true,
+            scenario_batching: true,
+        }
+    }
+
+    /// Overrides the temporal prefix cache: for static inputs in evaluation
+    /// mode, the stateless layer prefix ahead of the first spiking layer is
+    /// computed once and reused for all `T` time steps.
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.prefix_cache = enabled;
+        self
+    }
+
+    /// Overrides the spike-sparsity kernels: layers probe their activations
+    /// and pass operand-structure hints to the backend so binary/sparse
+    /// products take the event-driven gather-accumulate kernel.
+    pub fn with_spike_kernels(mut self, enabled: bool) -> Self {
+        self.spike_kernels = enabled;
+        self
+    }
+
+    /// Overrides CSR spike tensors: evaluation-mode spiking layers attach a
+    /// compressed event index ([`falvolt_tensor::SpikeIndex`]) to their
+    /// outputs, which flows through flatten/pool/im2col as an index
+    /// transform and lets the kernels and the systolic executor walk events
+    /// instead of probing. Off reproduces the probe-based engine
+    /// bit-for-bit.
+    pub fn with_csr_spikes(mut self, enabled: bool) -> Self {
+        self.csr_spikes = enabled;
+        self
+    }
+
+    /// Overrides composed mask chains in the systolic executor: faulty
+    /// columns walk merged nonzero/masked events on composed stuck-at masks
+    /// instead of replaying the full per-element chain. Off is the replay
+    /// reference engine.
+    pub fn with_composed_mask_chains(mut self, enabled: bool) -> Self {
+        self.composed_mask_chains = enabled;
+        self
+    }
+
+    /// Overrides multi-map scenario batching: sweep workers sharing a
+    /// scenario set evaluate products against scenario-invariant operands
+    /// for every fault map in one event walk.
+    pub fn with_scenario_batching(mut self, enabled: bool) -> Self {
+        self.scenario_batching = enabled;
+        self
+    }
+
+    /// Whether the temporal prefix cache is enabled.
+    pub fn prefix_cache(&self) -> bool {
+        self.prefix_cache
+    }
+
+    /// Whether spike-sparsity kernels are enabled.
+    pub fn spike_kernels(&self) -> bool {
+        self.spike_kernels
+    }
+
+    /// Whether CSR spike tensors are enabled.
+    pub fn csr_spikes(&self) -> bool {
+        self.csr_spikes
+    }
+
+    /// Whether systolic mask chains are composed (vs fully replayed).
+    pub fn composed_mask_chains(&self) -> bool {
+        self.composed_mask_chains
+    }
+
+    /// Whether multi-map scenario batching is enabled.
+    pub fn scenario_batching(&self) -> bool {
+        self.scenario_batching
     }
 }
 
@@ -93,7 +197,7 @@ pub struct SpikingNetwork {
     layers: Vec<Box<dyn Layer>>,
     time_steps: usize,
     backend: Arc<dyn MatmulBackend>,
-    engine: EngineConfig,
+    engine: EnginePreset,
     sweep_cache: Option<Arc<SweepCache>>,
 }
 
@@ -113,7 +217,7 @@ impl SpikingNetwork {
             layers: Vec::new(),
             time_steps,
             backend: FloatBackend::shared(),
-            engine: EngineConfig::default(),
+            engine: EnginePreset::default(),
             sweep_cache: None,
         }
     }
@@ -168,23 +272,26 @@ impl SpikingNetwork {
         self.backend = backend;
     }
 
-    /// The event-driven engine configuration.
-    pub fn engine(&self) -> EngineConfig {
+    /// The engine preset this network executes under.
+    pub fn engine_preset(&self) -> EnginePreset {
         self.engine
     }
 
-    /// Replaces the event-driven engine configuration.
-    pub fn set_engine(&mut self, engine: EngineConfig) {
-        self.engine = engine;
+    /// Installs an engine preset. Only the network-level switches (prefix
+    /// cache, spike kernels, CSR spikes) act here; the systolic switches
+    /// (composed mask chains, scenario batching) ride along for backend
+    /// builders and the campaign scheduler to read.
+    pub fn set_engine_preset(&mut self, preset: EnginePreset) {
+        self.engine = preset;
     }
 
-    /// Convenience switch: turns the whole event-driven engine (prefix cache
-    /// and spike-sparsity kernels) on or off.
+    /// Convenience switch: turns the whole event-driven engine on or off.
+    #[deprecated(note = "use set_engine_preset(EnginePreset::full() / ::seed_equivalent())")]
     pub fn set_event_driven(&mut self, enabled: bool) {
         self.engine = if enabled {
-            EngineConfig::default()
+            EnginePreset::full()
         } else {
-            EngineConfig::disabled()
+            EnginePreset::seed_equivalent()
         };
     }
 
@@ -394,20 +501,20 @@ impl SpikingNetwork {
         // and since cache keys are O(1) content ids a suffix miss costs a
         // hash lookup, not an operand hash.
         let ctx = ForwardContext::new(mode, backend.as_ref())
-            .with_spike_hints(self.engine.spike_kernels)
-            .with_csr_spikes(self.engine.csr_spikes)
+            .with_spike_hints(self.engine.spike_kernels())
+            .with_csr_spikes(self.engine.csr_spikes())
             .with_cache(sweep_cache.as_deref());
         // The prefix sees the raw batch input — scenario-invariant across
         // sweep workers by construction — so its layers may promote their
         // input-derived cache keys on first sighting.
         let prefix_ctx = ForwardContext::new(mode, backend.as_ref())
-            .with_spike_hints(self.engine.spike_kernels)
-            .with_csr_spikes(self.engine.csr_spikes)
+            .with_spike_hints(self.engine.spike_kernels())
+            .with_csr_spikes(self.engine.csr_spikes())
             .with_cache(sweep_cache.as_deref())
             .with_shareable_input(true);
 
         let static_input = matches!(input.ndim(), 2 | 4);
-        let prefix_len = if self.engine.prefix_cache && static_input && !mode.is_train() {
+        let prefix_len = if self.engine.prefix_cache() && static_input && !mode.is_train() {
             self.layers
                 .iter()
                 .position(|l| l.is_stateful(mode))
@@ -433,7 +540,8 @@ impl SpikingNetwork {
                 // defensively — its outputs are bit-identical by contract,
                 // but cached index-carrying tensors stay with CSR runs.
                 fp.write_u64(
-                    u64::from(self.engine.spike_kernels) | (u64::from(self.engine.csr_spikes) << 1),
+                    u64::from(self.engine.spike_kernels())
+                        | (u64::from(self.engine.csr_spikes()) << 1),
                 );
                 fp.write_u64(backend.fingerprint());
                 for layer in &self.layers[..n] {
@@ -761,19 +869,26 @@ mod tests {
     }
 
     #[test]
-    fn engine_config_defaults_on_and_toggles() {
+    fn engine_preset_defaults_on_and_toggles() {
         let mut network = tiny_network();
-        assert_eq!(network.engine(), EngineConfig::default());
-        assert!(network.engine().prefix_cache && network.engine().spike_kernels);
-        network.set_event_driven(false);
-        assert_eq!(network.engine(), EngineConfig::disabled());
-        network.set_engine(EngineConfig {
-            prefix_cache: true,
-            spike_kernels: false,
-            csr_spikes: false,
-        });
-        assert!(network.engine().prefix_cache);
-        assert!(!network.engine().spike_kernels);
+        assert_eq!(network.engine_preset(), EnginePreset::full());
+        assert!(network.engine_preset().prefix_cache() && network.engine_preset().spike_kernels());
+        network.set_engine_preset(EnginePreset::seed_equivalent());
+        assert_eq!(network.engine_preset(), EnginePreset::seed_equivalent());
+        network.set_engine_preset(
+            EnginePreset::seed_equivalent()
+                .with_prefix_cache(true)
+                .with_spike_kernels(false),
+        );
+        assert!(network.engine_preset().prefix_cache());
+        assert!(!network.engine_preset().spike_kernels());
+        // The named presets order their capabilities.
+        assert!(!EnginePreset::event_driven().composed_mask_chains());
+        assert!(!EnginePreset::event_driven().scenario_batching());
+        assert!(EnginePreset::full().composed_mask_chains());
+        assert!(EnginePreset::full().scenario_batching());
+        assert!(!EnginePreset::seed_equivalent().csr_spikes());
+        assert!(EnginePreset::event_driven().csr_spikes());
     }
 
     #[test]
@@ -793,10 +908,7 @@ mod tests {
         let input = Tensor::from_fn(&[3, 1, 6, 6], |i| ((i % 11) as f32 - 3.0) * 0.4);
         let mut cached = build();
         let mut uncached = build();
-        uncached.set_engine(EngineConfig {
-            prefix_cache: false,
-            ..EngineConfig::default()
-        });
+        uncached.set_engine_preset(EnginePreset::full().with_prefix_cache(false));
         let a = cached.forward(&input, Mode::Eval).unwrap();
         let b = uncached.forward(&input, Mode::Eval).unwrap();
         assert_eq!(a.data(), b.data(), "prefix cache must not change outputs");
@@ -814,7 +926,7 @@ mod tests {
         let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 5) as f32 * 0.3);
         let mut cached = build();
         let mut uncached = build();
-        uncached.set_event_driven(false);
+        uncached.set_engine_preset(EnginePreset::seed_equivalent());
         let a = cached.forward(&input, Mode::Eval).unwrap();
         let b = uncached.forward(&input, Mode::Eval).unwrap();
         assert_eq!(a.data(), b.data());
@@ -826,7 +938,7 @@ mod tests {
         // its own BPTT caches. With the engine on, backward still works and
         // gradients flow.
         let mut network = tiny_network();
-        assert_eq!(network.engine(), EngineConfig::default());
+        assert_eq!(network.engine_preset(), EnginePreset::full());
         let input = Tensor::from_fn(&[2, 1, 2, 4], |i| (i % 3) as f32);
         network.forward(&input, Mode::Train).unwrap();
         assert!(network.backward(&Tensor::ones(&[2, 3])).is_ok());

@@ -128,9 +128,7 @@ proptest! {
         let config = ArchitectureConfig::tiny_test().with_time_steps(time_steps);
         let mut cached = config.build(13).unwrap();
         let mut uncached = config.build(13).unwrap();
-        let mut engine = cached.engine();
-        engine.prefix_cache = false;
-        uncached.set_engine(engine);
+        uncached.set_engine_preset(cached.engine_preset().with_prefix_cache(false));
         let mut rng = StdRng::seed_from_u64(seed);
         let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, amplitude, &mut rng);
         let a = cached.forward(&input, Mode::Eval).unwrap();
@@ -145,7 +143,7 @@ proptest! {
         let config = ArchitectureConfig::tiny_test().with_time_steps(3);
         let mut cached = config.build(17).unwrap();
         let mut uncached = config.build(17).unwrap();
-        uncached.set_event_driven(false);
+        uncached.set_engine_preset(falvolt_snn::EnginePreset::seed_equivalent());
         let mut rng = StdRng::seed_from_u64(seed);
         let input = falvolt_tensor::init::uniform(&[2, 3, 1, 8, 8], 0.0, 1.0, &mut rng);
         let a = cached.forward(&input, Mode::Eval).unwrap();

@@ -21,7 +21,7 @@
 //! * a [`SystolicExecutor`] that runs im2col-lowered matrix products through
 //!   the faulty array ([`executor`]), and a cycle-style [`SystolicArray`]
 //!   used to validate the executor against a structural simulation
-//!   ([`array`]).
+//!   ([`mod@array`]).
 //!
 //! # Example
 //!

@@ -1,8 +1,11 @@
 //! End-to-end pipeline on the neuromorphic DVS-Gesture-like workload: the
 //! event-stream dataset the paper finds most fault-sensitive.
 //!
-//! Trains the 5-conv-block PLIF-SNN on synthetic gesture events, measures the
-//! stuck-at fault impact, and repairs the accelerator with FalVolt.
+//! Trains the 5-conv-block PLIF-SNN on synthetic gesture events, then runs
+//! two campaign plans over the same fault-rate axis: an evaluation campaign
+//! (stuck-at impact, unmitigated) and a FalVolt retraining campaign. The
+//! shared seed mixing means each rate's repair targets exactly the chip the
+//! evaluation measured.
 //!
 //! Run with:
 //!
@@ -10,12 +13,9 @@
 //! cargo run --release --example dvs_gesture_pipeline
 //! ```
 
+use falvolt::campaign::{Axis, Campaign};
 use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
-use falvolt::mitigation::{MitigationStrategy, Mitigator, RetrainConfig};
-use falvolt::vulnerability::accuracy_under_faults;
-use falvolt_systolic::{FaultMap, StuckAt};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use falvolt::mitigation::MitigationStrategy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== DVS-Gesture pipeline ==");
@@ -28,33 +28,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctx.classes()
     );
 
-    let systolic = *ctx.systolic_config();
-    let msb = systolic.accumulator_format().msb();
-    let mut rng = StdRng::seed_from_u64(3);
-    let test = ctx.test_batches().to_vec();
-    let train = ctx.train_batches().to_vec();
+    let rates = vec![0.10f64, 0.30];
+    let unmitigated = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(rates.clone()))
+        .run()?;
+    let repaired = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(rates))
+        .axis(Axis::Mitigation(vec![MitigationStrategy::falvolt(
+            ExperimentScale::Tiny.retrain_epochs(),
+        )]))
+        .run()?;
 
-    for &rate in &[0.10f64, 0.30] {
-        let fault_map = FaultMap::random_with_rate(&systolic, rate, msb, StuckAt::One, &mut rng)?;
-
-        ctx.restore_baseline()?;
-        let unmitigated =
-            accuracy_under_faults(ctx.network_mut(), systolic, fault_map.clone(), &test)?;
-
-        ctx.restore_baseline()?;
-        let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::quick());
-        let outcome = mitigator.run(
-            ctx.network_mut(),
-            &fault_map,
-            &train,
-            &test,
-            MitigationStrategy::falvolt(ExperimentScale::Tiny.retrain_epochs()),
-        )?;
-
+    for (vulnerable, fixed) in unmitigated.cells().iter().zip(repaired.cells()) {
+        let outcome = fixed.outcome().expect("retraining cell");
         println!(
             "fault rate {:>3.0}%: unmitigated {:>5.1}%  ->  FalVolt {:>5.1}%  (pruned {:.1}% of weights)",
-            rate * 100.0,
-            unmitigated * 100.0,
+            vulnerable.spec.fault_rate.unwrap_or(0.0) * 100.0,
+            vulnerable.accuracy * 100.0,
             outcome.final_accuracy * 100.0,
             outcome.pruned_weight_fraction * 100.0
         );

@@ -1,4 +1,7 @@
-//! Mitigation comparison: FaP vs FaPIT vs FalVolt (the paper's Figures 6-8).
+//! Mitigation comparison: FaP vs FaPIT vs FalVolt (the paper's Figures 6-8),
+//! expressed as declarative campaign plans — the strategy axis is data, and
+//! the three strategies of one fault rate retrain against the same pooled
+//! chip.
 //!
 //! Run with:
 //!
@@ -6,9 +9,9 @@
 //! cargo run --release --example mitigation_comparison
 //! ```
 
-use falvolt::experiment::{
-    convergence_experiment, mitigation_comparison, DatasetKind, ExperimentContext, ExperimentScale,
-};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+use falvolt::mitigation::MitigationStrategy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Fault mitigation comparison (Figures 6, 7, 8) ==");
@@ -22,43 +25,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 7 (and 6): accuracy of each strategy at several fault rates,
     // plus the per-layer thresholds FalVolt learns.
-    let fault_rates = [0.10, 0.30];
     let epochs = scale.retrain_epochs();
-    let report = mitigation_comparison(&mut ctx, &fault_rates, epochs)?;
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.10, 0.30]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::FaP,
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .run()?;
     println!("\n-- Figure 7: accuracy after mitigation --");
     println!("  fault rate | strategy | accuracy");
-    for row in &report.rows {
+    for cell in &run {
+        let outcome = cell.outcome().expect("retraining cell");
         println!(
             "  {:>9.0}% | {:<8} | {:>5.1}%",
-            row.fault_rate * 100.0,
-            row.strategy,
-            row.accuracy * 100.0
+            cell.spec.fault_rate.unwrap_or(0.0) * 100.0,
+            outcome.strategy,
+            cell.accuracy * 100.0
         );
     }
     println!("\n-- Figure 6: per-layer thresholds learned by FalVolt --");
-    for row in report.rows.iter().filter(|r| r.strategy == "FalVolt") {
-        println!("  fault rate {:.0}%:", row.fault_rate * 100.0);
-        for (layer, v) in &row.thresholds {
+    for cell in &run {
+        let outcome = cell.outcome().expect("retraining cell");
+        if outcome.strategy != "FalVolt" {
+            continue;
+        }
+        println!(
+            "  fault rate {:.0}%:",
+            cell.spec.fault_rate.unwrap_or(0.0) * 100.0
+        );
+        for (layer, v) in &outcome.thresholds {
             println!("    {layer:12} V = {v:.3}");
         }
     }
 
     // Figure 8: convergence speed of FaPIT vs FalVolt at 30% faulty PEs.
-    let convergence = convergence_experiment(&mut ctx, 0.30, epochs)?;
+    let convergence = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .run()?;
+    let fapit = &convergence.cells()[0]
+        .outcome()
+        .expect("FaPIT cell")
+        .history;
+    let falvolt = &convergence.cells()[1]
+        .outcome()
+        .expect("FalVolt cell")
+        .history;
     println!("\n-- Figure 8: accuracy vs retraining epochs (30% faulty PEs) --");
     println!("  epoch |  FaPIT  | FalVolt");
-    for (fapit, falvolt) in convergence.fapit.iter().zip(&convergence.falvolt) {
+    for (fa, fv) in fapit.iter().zip(falvolt) {
         println!(
             "  {:>5} | {:>6.1}% | {:>6.1}%",
-            fapit.epoch,
-            fapit.test_accuracy * 100.0,
-            falvolt.test_accuracy * 100.0
+            fa.epoch,
+            fa.test_accuracy * 100.0,
+            fv.test_accuracy * 100.0
         );
     }
-    let (fapit_epochs, falvolt_epochs) = convergence.epochs_to_fraction_of_baseline(0.95);
+    let target = convergence.baseline_accuracy() * 0.95;
     println!(
         "  epochs to reach 95% of baseline: FaPIT {:?}, FalVolt {:?}",
-        fapit_epochs, falvolt_epochs
+        falvolt::mitigation::epochs_to_reach(fapit, target),
+        falvolt::mitigation::epochs_to_reach(falvolt, target)
     );
     Ok(())
 }

@@ -1,5 +1,8 @@
 //! Quickstart: train a small spiking network, break the accelerator with
-//! stuck-at faults, and repair it with FalVolt.
+//! stuck-at faults, and repair it with FalVolt — in two campaign plans.
+//!
+//! The two plans share the same fault-drawing parameters and seed mixing, so
+//! the chip FalVolt repairs is exactly the chip the evaluation measured.
 //!
 //! Run with:
 //!
@@ -7,12 +10,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use falvolt::campaign::{Axis, Campaign};
 use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
-use falvolt::mitigation::{MitigationStrategy, Mitigator, RetrainConfig};
-use falvolt::vulnerability::accuracy_under_faults;
-use falvolt_systolic::{FaultMap, StuckAt};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use falvolt::mitigation::MitigationStrategy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== FalVolt quickstart ==");
@@ -24,41 +24,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A chip whose post-fabrication test found stuck-at-1 faults in the
-    // accumulator MSB of 30% of its PEs.
-    let systolic = *ctx.systolic_config();
-    let mut rng = StdRng::seed_from_u64(7);
-    let fault_map = FaultMap::random_with_rate(
-        &systolic,
-        0.30,
-        systolic.accumulator_format().msb(),
-        StuckAt::One,
-        &mut rng,
-    )?;
-    println!("2. injecting faults: {fault_map}");
-
-    // Faulty inference without any mitigation.
-    ctx.restore_baseline()?;
-    let test = ctx.test_batches().to_vec();
-    let faulty_accuracy =
-        accuracy_under_faults(ctx.network_mut(), systolic, fault_map.clone(), &test)?;
+    // accumulator MSB of 30% of its PEs: a one-cell evaluation campaign
+    // measures inference accuracy with the faults active and unmitigated.
+    println!("2. injecting faults (30% of PEs, MSB stuck-at-1)...");
+    let vulnerable = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .run()?;
     println!(
         "   accuracy with faults active and unmitigated: {:.1}%",
-        faulty_accuracy * 100.0
+        vulnerable.cells()[0].accuracy * 100.0
     );
 
     // FalVolt: prune the weights mapped to faulty PEs, retrain with per-layer
-    // learnable threshold voltages.
+    // learnable threshold voltages. Adding the strategy axis turns the cell
+    // into a retraining cell; the default seed mixer excludes the payload,
+    // so the drawn chip is the same one measured above.
     println!("3. running FalVolt mitigation (Algorithm 1)...");
-    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::quick());
-    ctx.restore_baseline()?;
-    let train = ctx.train_batches().to_vec();
-    let outcome = mitigator.run(
-        ctx.network_mut(),
-        &fault_map,
-        &train,
-        &test,
-        MitigationStrategy::falvolt(ExperimentScale::Tiny.retrain_epochs()),
-    )?;
+    let mitigated = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .axis(Axis::Mitigation(vec![MitigationStrategy::falvolt(
+            ExperimentScale::Tiny.retrain_epochs(),
+        )]))
+        .run()?;
+    let outcome = mitigated.cells()[0].outcome().expect("retraining cell");
 
     println!(
         "   accuracy right after fault-aware pruning: {:.1}%",

@@ -202,7 +202,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     pub trait SizeRange {
         /// Draws a concrete length.

@@ -1,0 +1,365 @@
+//! Campaign equivalence: every deprecated legacy driver wrapper must be
+//! **bit-identical** to its pre-redesign implementation — same series
+//! points, same drawn fault maps (seeds), same accuracies.
+//!
+//! The references below are the pre-campaign driver bodies, replayed through
+//! the machinery they were thin wrappers over (`run_fault_rate_cells` for
+//! the retraining drivers, the `vulnerability` sweep functions for the
+//! Figure 5 drivers) — that machinery is kept in-tree exactly as the
+//! reference for these tests. Coverage spans both backends: the retraining
+//! drivers run on the FloatBackend, the Figure 5 drivers evaluate through
+//! the faulty SystolicBackend. Every comparison runs at 1 and at 4 rayon
+//! workers — results must not depend on worker count.
+//!
+//! This file is the only place the expected deprecation warnings are
+//! silenced.
+#![allow(deprecated)]
+
+use falvolt::experiment::{
+    array_size_experiment, bit_position_experiment, convergence_experiment, faulty_pe_experiment,
+    mitigation_comparison, run_fault_rate_cells, threshold_sweep, ArraySizeReport,
+    BitPositionReport, ConvergenceReport, DatasetKind, ExperimentContext, ExperimentScale,
+    FaultyPeReport, MitigationComparisonReport, MitigationRow, SweepCell, ThresholdSweepReport,
+    ThresholdSweepRow,
+};
+use falvolt::mitigation::{MitigationOutcome, MitigationStrategy, Mitigator, RetrainConfig};
+use falvolt::vulnerability;
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+/// One shared trained context: preparing it trains the Tiny baseline once
+/// for the whole file; the mutex serialises the drivers (which mutate and
+/// restore the context's network).
+fn ctx() -> &'static Mutex<ExperimentContext> {
+    static CTX: OnceLock<Mutex<ExperimentContext>> = OnceLock::new();
+    CTX.get_or_init(|| {
+        Mutex::new(
+            ExperimentContext::prepare(DatasetKind::Mnist, ExperimentScale::Tiny, 42)
+                .expect("equivalence context must prepare"),
+        )
+    })
+}
+
+/// Runs `f` under a fixed rayon worker count (cleared on drop, even on
+/// panic) — the override is process-global, and every computation under
+/// test is worker-count-independent, which is exactly the invariant here.
+fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
+    struct ClearOverride;
+    impl Drop for ClearOverride {
+        fn drop(&mut self) {
+            rayon::set_thread_count_override(0);
+        }
+    }
+    let _guard = ClearOverride;
+    rayon::set_thread_count_override(workers);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Pre-redesign reference drivers
+// ---------------------------------------------------------------------------
+
+fn reference_threshold_sweep(
+    ctx: &mut ExperimentContext,
+    thresholds: &[f32],
+    fault_rates: &[f64],
+    epochs: usize,
+) -> ThresholdSweepReport {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let rows = run_fault_rate_cells(
+        ctx,
+        fault_rates,
+        |seed, rate| seed ^ rate.to_bits(),
+        thresholds,
+        |cell, fault_rate, fault_map, &threshold| {
+            let SweepCell {
+                mut network,
+                train,
+                test,
+            } = cell;
+            let outcome = mitigator.run(
+                &mut network,
+                fault_map,
+                train,
+                test,
+                MitigationStrategy::FaPIT { epochs, threshold },
+            )?;
+            Ok(ThresholdSweepRow {
+                threshold,
+                fault_rate,
+                accuracy: outcome.final_accuracy,
+            })
+        },
+    )
+    .expect("reference threshold sweep");
+    ThresholdSweepReport {
+        dataset: ctx.kind().label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy(),
+        rows,
+    }
+}
+
+fn reference_mitigation_comparison(
+    ctx: &mut ExperimentContext,
+    fault_rates: &[f64],
+    epochs: usize,
+) -> MitigationComparisonReport {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let strategies = [
+        MitigationStrategy::FaP,
+        MitigationStrategy::fapit(epochs),
+        MitigationStrategy::falvolt(epochs),
+    ];
+    let rows = run_fault_rate_cells(
+        ctx,
+        fault_rates,
+        |seed, rate| seed ^ rate.to_bits().rotate_left(13),
+        &strategies,
+        |cell, fault_rate, fault_map, &strategy| {
+            let SweepCell {
+                mut network,
+                train,
+                test,
+            } = cell;
+            let outcome = mitigator.run(&mut network, fault_map, train, test, strategy)?;
+            Ok(MitigationRow {
+                fault_rate,
+                strategy: outcome.strategy.clone(),
+                accuracy: outcome.final_accuracy,
+                thresholds: outcome.thresholds.clone(),
+            })
+        },
+    )
+    .expect("reference mitigation comparison");
+    MitigationComparisonReport {
+        dataset: ctx.kind().label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy(),
+        rows,
+    }
+}
+
+fn reference_convergence(
+    ctx: &mut ExperimentContext,
+    fault_rate: f64,
+    epochs: usize,
+) -> ConvergenceReport {
+    let mitigator = Mitigator::new(ctx.classes(), RetrainConfig::paper_like());
+    let strategies = [
+        MitigationStrategy::fapit(epochs),
+        MitigationStrategy::falvolt(epochs),
+    ];
+    let mut outcomes: Vec<MitigationOutcome> = run_fault_rate_cells(
+        ctx,
+        &[fault_rate],
+        |seed, _| seed ^ 0xF168,
+        &strategies,
+        |cell, _, fault_map, &strategy| {
+            let SweepCell {
+                mut network,
+                train,
+                test,
+            } = cell;
+            mitigator.run(&mut network, fault_map, train, test, strategy)
+        },
+    )
+    .expect("reference convergence");
+    let falvolt = outcomes.pop().expect("two strategy cells");
+    let fapit = outcomes.pop().expect("two strategy cells");
+    ConvergenceReport {
+        dataset: ctx.kind().label().to_string(),
+        fault_rate,
+        baseline_accuracy: ctx.baseline_accuracy(),
+        fapit: fapit.history,
+        falvolt: falvolt.history,
+    }
+}
+
+fn reference_bit_position(
+    ctx: &mut ExperimentContext,
+    bits: &[u32],
+    faulty_pes: usize,
+) -> BitPositionReport {
+    ctx.restore_baseline().expect("restore");
+    let config = ctx.scale().vulnerability_config();
+    let systolic = *ctx.systolic_config();
+    let caches = ctx.caches().clone();
+    let test = ctx.test_batches().to_vec();
+    let series = vulnerability::bit_position_sweep(
+        ctx.network_mut(),
+        systolic,
+        &test,
+        bits,
+        faulty_pes,
+        &config,
+        &caches,
+    )
+    .expect("reference bit-position sweep");
+    BitPositionReport {
+        dataset: ctx.kind().label().to_string(),
+        series,
+    }
+}
+
+fn reference_faulty_pe(ctx: &mut ExperimentContext, pe_counts: &[usize]) -> FaultyPeReport {
+    ctx.restore_baseline().expect("restore");
+    let config = ctx.scale().vulnerability_config();
+    let systolic = *ctx.systolic_config();
+    let caches = ctx.caches().clone();
+    let test = ctx.test_batches().to_vec();
+    let series = vulnerability::faulty_pe_sweep(
+        ctx.network_mut(),
+        systolic,
+        &test,
+        pe_counts,
+        &config,
+        &caches,
+    )
+    .expect("reference faulty-PE sweep");
+    FaultyPeReport {
+        dataset: ctx.kind().label().to_string(),
+        baseline_accuracy: ctx.baseline_accuracy(),
+        series,
+    }
+}
+
+fn reference_array_size(
+    ctx: &mut ExperimentContext,
+    sizes: &[usize],
+    faulty_pes: usize,
+) -> ArraySizeReport {
+    ctx.restore_baseline().expect("restore");
+    let config = ctx.scale().vulnerability_config();
+    let caches = ctx.caches().clone();
+    let test = ctx.test_batches().to_vec();
+    let series = vulnerability::array_size_sweep(
+        ctx.network_mut(),
+        sizes,
+        &test,
+        faulty_pes,
+        &config,
+        &caches,
+    )
+    .expect("reference array-size sweep");
+    ArraySizeReport {
+        dataset: ctx.kind().label().to_string(),
+        faulty_pes,
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retraining drivers (FloatBackend cells)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threshold_sweep_wrapper_is_bit_identical_at_1_and_4_workers() {
+    let mut ctx = ctx().lock().unwrap();
+    let (thresholds, rates, epochs) = (vec![0.6f32, 1.0], vec![0.35f64], 2usize);
+    let reference = reference_threshold_sweep(&mut ctx, &thresholds, &rates, epochs);
+    for workers in [1usize, 4] {
+        let wrapped = with_workers(workers, || {
+            threshold_sweep(&mut ctx, &thresholds, &rates, epochs).unwrap()
+        });
+        assert_eq!(
+            wrapped, reference,
+            "threshold_sweep diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn mitigation_comparison_wrapper_is_bit_identical_at_1_and_4_workers() {
+    let mut ctx = ctx().lock().unwrap();
+    let (rates, epochs) = (vec![0.30f64], 2usize);
+    let reference = reference_mitigation_comparison(&mut ctx, &rates, epochs);
+    for workers in [1usize, 4] {
+        let wrapped = with_workers(workers, || {
+            mitigation_comparison(&mut ctx, &rates, epochs).unwrap()
+        });
+        assert_eq!(
+            wrapped, reference,
+            "mitigation_comparison diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn convergence_wrapper_is_bit_identical_at_1_and_4_workers() {
+    let mut ctx = ctx().lock().unwrap();
+    let (rate, epochs) = (0.30f64, 2usize);
+    let reference = reference_convergence(&mut ctx, rate, epochs);
+    for workers in [1usize, 4] {
+        let wrapped = with_workers(workers, || {
+            convergence_experiment(&mut ctx, rate, epochs).unwrap()
+        });
+        assert_eq!(
+            wrapped, reference,
+            "convergence_experiment diverged at {workers} workers"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 drivers (faulty SystolicBackend cells), proptested over the
+// sweep parameters
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn bit_position_wrapper_is_bit_identical(faulty_pes in 1usize..9, high_bit in 10u32..16) {
+        let mut ctx = ctx().lock().unwrap();
+        let bits = vec![0, high_bit];
+        let reference = reference_bit_position(&mut ctx, &bits, faulty_pes);
+        for workers in [1usize, 4] {
+            let wrapped = with_workers(workers, || {
+                bit_position_experiment(&mut ctx, &bits, faulty_pes).unwrap()
+            });
+            prop_assert_eq!(
+                &wrapped,
+                &reference,
+                "bit_position_experiment diverged at {} workers",
+                workers
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_pe_wrapper_is_bit_identical(count in 1usize..33) {
+        let mut ctx = ctx().lock().unwrap();
+        let counts = vec![0, count];
+        let reference = reference_faulty_pe(&mut ctx, &counts);
+        for workers in [1usize, 4] {
+            let wrapped = with_workers(workers, || {
+                faulty_pe_experiment(&mut ctx, &counts).unwrap()
+            });
+            prop_assert_eq!(
+                &wrapped,
+                &reference,
+                "faulty_pe_experiment diverged at {} workers",
+                workers
+            );
+        }
+    }
+
+    #[test]
+    fn array_size_wrapper_is_bit_identical(faulty_pes in 1usize..6, large in 3usize..5) {
+        let mut ctx = ctx().lock().unwrap();
+        // 4x4 vs 12x12 / 16x16: distinct grids exercise the per-config
+        // scenario grouping of the campaign's evaluation fan-out.
+        let sizes = vec![4, large * 4];
+        let reference = reference_array_size(&mut ctx, &sizes, faulty_pes);
+        for workers in [1usize, 4] {
+            let wrapped = with_workers(workers, || {
+                array_size_experiment(&mut ctx, &sizes, faulty_pes).unwrap()
+            });
+            prop_assert_eq!(
+                &wrapped,
+                &reference,
+                "array_size_experiment diverged at {} workers",
+                workers
+            );
+        }
+    }
+}

@@ -1,11 +1,11 @@
 //! End-to-end experiment-flow integration test: dataset generation, baseline
 //! training, fault injection, and all three mitigation strategies, exercised
-//! exactly the way the benchmark harness drives them (at the Tiny scale).
+//! through the declarative Campaign API exactly the way the benchmark
+//! harness drives them (at the Tiny scale).
 
-use falvolt::experiment::{
-    convergence_experiment, faulty_pe_experiment, mitigation_comparison, DatasetKind,
-    ExperimentContext, ExperimentScale,
-};
+use falvolt::campaign::{Axis, Campaign};
+use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+use falvolt::mitigation::MitigationStrategy;
 
 #[test]
 fn mnist_like_experiment_flow_reproduces_the_papers_shape() {
@@ -24,9 +24,16 @@ fn mnist_like_experiment_flow_reproduces_the_papers_shape() {
 
     // Figure 5b shape: more faulty PEs (MSB stuck-at-1) never help, and a
     // substantial number of faulty PEs causes a visible drop.
-    let report = faulty_pe_experiment(&mut ctx, &[0, 32]).expect("faulty-PE sweep");
-    let clean = report.series.points[0].accuracy;
-    let heavy = report.series.points[1].accuracy;
+    let iterations = scale.vulnerability_config().iterations;
+    let run = Campaign::new(&mut ctx)
+        .axis(Axis::FaultyPes(vec![0, 32]))
+        .scenarios_per_cell(iterations)
+        .run()
+        .expect("faulty-PE campaign");
+    assert_eq!(run.len(), 2);
+    assert!(run.cells().iter().all(|c| c.scenarios == iterations));
+    let clean = run.cells()[0].accuracy;
+    let heavy = run.cells()[1].accuracy;
     assert!(
         heavy <= clean + 0.05,
         "32 faulty PEs ({heavy}) should not beat the clean array ({clean})"
@@ -35,14 +42,21 @@ fn mnist_like_experiment_flow_reproduces_the_papers_shape() {
     // Figures 6/7 shape: FalVolt >= FaPIT >= FaP (within a small tolerance)
     // and FalVolt recovers most of the baseline at a 30% fault rate.
     let epochs = scale.retrain_epochs();
-    let comparison =
-        mitigation_comparison(&mut ctx, &[0.30], epochs).expect("mitigation comparison");
+    let comparison = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::FaP,
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .run()
+        .expect("mitigation campaign");
     let accuracy_of = |strategy: &str| {
         comparison
-            .rows
+            .cells()
             .iter()
-            .find(|r| r.strategy == strategy)
-            .map(|r| r.accuracy)
+            .find(|c| c.outcome().map(|o| o.strategy.as_str()) == Some(strategy))
+            .map(|c| c.accuracy)
             .expect("strategy present")
     };
     let fap = accuracy_of("FaP");
@@ -62,28 +76,46 @@ fn mnist_like_experiment_flow_reproduces_the_papers_shape() {
     );
 
     // Figure 6 shape: FalVolt actually learned per-layer thresholds (at least
-    // one layer moved away from the initial 1.0).
-    let falvolt_row = comparison
-        .rows
+    // one layer moved away from the initial 1.0), and the run serializes into
+    // a result table the figure code can consume.
+    let falvolt_outcome = comparison
+        .cells()
         .iter()
-        .find(|r| r.strategy == "FalVolt")
-        .unwrap();
+        .filter_map(|c| c.outcome())
+        .find(|o| o.strategy == "FalVolt")
+        .unwrap()
+        .clone();
     assert!(
-        falvolt_row
+        falvolt_outcome
             .thresholds
             .iter()
             .any(|(_, v)| (*v - 1.0).abs() > 1e-3),
         "FalVolt should adapt at least one layer threshold, got {:?}",
-        falvolt_row.thresholds
+        falvolt_outcome.thresholds
     );
+    let table = comparison.into_table();
+    assert_eq!(
+        table.axes,
+        vec!["fault_rate".to_string(), "strategy".to_string()]
+    );
+    assert_eq!(table.cells.len(), 3);
 
     // Figure 8 shape: per-epoch histories exist for both strategies and
     // FalVolt's final point is at least as good as FaPIT's.
-    let convergence = convergence_experiment(&mut ctx, 0.30, epochs).expect("convergence");
-    assert_eq!(convergence.fapit.len(), epochs + 1);
-    assert_eq!(convergence.falvolt.len(), epochs + 1);
-    let fapit_final = convergence.fapit.last().unwrap().test_accuracy;
-    let falvolt_final = convergence.falvolt.last().unwrap().test_accuracy;
+    let convergence = Campaign::new(&mut ctx)
+        .axis(Axis::FaultRate(vec![0.30]))
+        .axis(Axis::Mitigation(vec![
+            MitigationStrategy::fapit(epochs),
+            MitigationStrategy::falvolt(epochs),
+        ]))
+        .run()
+        .expect("convergence campaign");
+    let fapit_history = &convergence.cells()[0].outcome().unwrap().history;
+    let falvolt_history = &convergence.cells()[1].outcome().unwrap().history;
+    assert_eq!(fapit_history.len(), epochs + 1);
+    assert_eq!(falvolt_history.len(), epochs + 1);
+    let fapit_final = fapit_history.last().unwrap().test_accuracy;
+    let falvolt_final = falvolt_history.last().unwrap().test_accuracy;
     assert!(
         falvolt_final + 0.1 >= fapit_final,
         "FalVolt convergence ({falvolt_final}) should keep up with FaPIT ({fapit_final})"

@@ -128,7 +128,7 @@ proptest! {
         let mut engine_off = tiny_network(1.0);
         engine_on.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
         engine_off.set_backend(SystolicBackend::shared(systolic, fault_map));
-        engine_off.set_event_driven(false);
+        engine_off.set_engine_preset(falvolt_snn::EnginePreset::seed_equivalent());
 
         let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.5, &mut rng);
         let on = engine_on.forward(&input, Mode::Eval).unwrap();
@@ -219,17 +219,14 @@ proptest! {
         // non-empty FaultMap (index-fed event walk vs per-row scratch
         // rebuild on the faulty path).
         use falvolt::SystolicBackend;
-        use falvolt_snn::EngineConfig;
+        use falvolt_snn::EnginePreset;
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(9000));
         let input = falvolt_tensor::init::uniform(&[3, 1, 8, 8], 0.0, 1.6, &mut rng);
-        let probe_engine = EngineConfig {
-            csr_spikes: false,
-            ..EngineConfig::default()
-        };
+        let probe_engine = EnginePreset::full().with_csr_spikes(false);
 
         let mut csr = tiny_network(1.0);
         let mut probe = tiny_network(1.0);
-        probe.set_engine(probe_engine);
+        probe.set_engine_preset(probe_engine);
         let a = csr.forward(&input, Mode::Eval).unwrap();
         let b = probe.forward(&input, Mode::Eval).unwrap();
         prop_assert_eq!(a.data(), b.data(), "float backend diverged");
@@ -243,7 +240,7 @@ proptest! {
         let mut probe = tiny_network(1.0);
         csr.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
         probe.set_backend(SystolicBackend::shared(systolic, fault_map));
-        probe.set_engine(probe_engine);
+        probe.set_engine_preset(probe_engine);
         let a = csr.forward(&input, Mode::Eval).unwrap();
         let b = probe.forward(&input, Mode::Eval).unwrap();
         prop_assert_eq!(a.data(), b.data(), "faulty systolic backend diverged");
@@ -254,7 +251,7 @@ proptest! {
         // Same bar, isolating the prefix cache: only the caching switch
         // differs, the kernels stay hinted on both sides.
         use falvolt::SystolicBackend;
-        use falvolt_snn::EngineConfig;
+        use falvolt_snn::EnginePreset;
         let systolic = SystolicConfig::new(4, 4).unwrap();
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000));
         let fault_map =
@@ -264,10 +261,7 @@ proptest! {
         let mut uncached = tiny_network(1.0);
         cached.set_backend(SystolicBackend::shared(systolic, fault_map.clone()));
         uncached.set_backend(SystolicBackend::shared(systolic, fault_map));
-        uncached.set_engine(EngineConfig {
-            prefix_cache: false,
-            ..EngineConfig::default()
-        });
+        uncached.set_engine_preset(EnginePreset::full().with_prefix_cache(false));
 
         let input = falvolt_tensor::init::uniform(&[2, 1, 8, 8], 0.0, 1.2, &mut rng);
         let a = cached.forward(&input, Mode::Eval).unwrap();
