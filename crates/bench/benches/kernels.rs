@@ -168,8 +168,9 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// A [`MatmulBackend`] that records, for every product, the measured lhs
-/// density and whether the dispatcher's 25% cutoff would route it to the
-/// event-driven kernel — the instrumentation behind the kernel-choice sweep.
+/// density and whether the dispatcher's ISA-aware cutoff would route it to
+/// the event-driven kernel — the instrumentation behind the kernel-choice
+/// sweep.
 #[derive(Debug, Default)]
 struct RecordingBackend {
     inner: FloatBackend,
@@ -275,6 +276,12 @@ fn kernel_choice_sweep() -> Vec<(String, Vec<LayerChoiceRow>)> {
 /// workspace root.
 fn kernel_comparison(c: &mut Criterion) {
     use falvolt_tensor::kernels;
+    use falvolt_tensor::simd;
+
+    // Every timed entry below records the ISA the SIMD dispatcher resolved
+    // to, so `bench_gate` can refuse to compare runs recorded on different
+    // hardware (an AVX-512 baseline is meaningless on a NEON runner).
+    let isa = simd::active().name();
 
     // --- matmul: naive vs blocked-parallel at 512^3 -----------------------
     let (m, k, n) = (512usize, 512usize, 512usize);
@@ -315,8 +322,10 @@ fn kernel_comparison(c: &mut Criterion) {
 
     // --- sparse spike matmul: event-driven vs dense blocked kernel --------
     // Binary lhs at paper-typical spike densities (<= 20%) plus the dense
-    // fallback region; the dispatcher switches kernels at the 25% cutoff, so
-    // a "speedup" field is only recorded where the event kernel engages.
+    // fallback region; the dispatcher's cutoff is ISA-aware (25% scalar,
+    // 15% on vector levels where the SIMD dense tile moved the crossover),
+    // so a "speedup" field is only recorded where the event kernel engages
+    // under the ISA this run dispatched to.
     let (sm, sk, sn) = (1024usize, 512usize, 64usize);
     let sb: Vec<f32> = (0..sk * sn)
         .map(|i| ((i * 2246822519 + 13) % 1000) as f32 / 500.0 - 1.0)
@@ -334,7 +343,7 @@ fn kernel_comparison(c: &mut Criterion) {
         let event_s = best_of(5, || {
             kernels::matmul_dispatch(&sa, &sb, sm, sk, sn, kernels::MatmulHint::Spikes)
         });
-        let speedup_field = if measured <= kernels::SPARSE_DENSITY_CUTOFF {
+        let speedup_field = if measured <= kernels::sparse_density_cutoff() {
             format!(",\n      \"speedup\": {:.3}", dense_s / event_s)
         } else {
             // Dense fallback: the dispatcher picks the blocked kernel, the
@@ -342,7 +351,7 @@ fn kernel_comparison(c: &mut Criterion) {
             String::new()
         };
         sparse_entries.push(format!(
-            "    {{\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"event_ms\": {:.3}{}\n    }}",
+            "    {{\n      \"isa\": \"{isa}\",\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"event_ms\": {:.3}{}\n    }}",
             density,
             measured,
             dense_s * 1e3,
@@ -374,7 +383,7 @@ fn kernel_comparison(c: &mut Criterion) {
             kernels::matmul_spikes_indexed(&index, &sb, sm, sk, sn)
         });
         csr_entries.push(format!(
-            "    {{\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"probe_event_ms\": {:.3},\n      \"csr_ms\": {:.3},\n      \"speedup\": {:.3}\n    }}",
+            "    {{\n      \"isa\": \"{isa}\",\n      \"density\": {:.2},\n      \"measured_density\": {:.4},\n      \"dense_ms\": {:.3},\n      \"probe_event_ms\": {:.3},\n      \"csr_ms\": {:.3},\n      \"speedup\": {:.3}\n    }}",
             density,
             measured,
             dense_s * 1e3,
@@ -569,6 +578,83 @@ fn kernel_comparison(c: &mut Criterion) {
             .unwrap()
     });
 
+    // --- SIMD kernel layer: forced-scalar vs runtime-dispatched lanes -----
+    // The three lifted hot loops, each timed with the dispatcher pinned to
+    // the scalar reference kernels and again on the detected ISA. Outputs
+    // are checked for equivalence before anything is timed: the dense tile
+    // uses fused multiply-add, so it gets the documented 1e-5 relative
+    // tolerance; spike row-adds and the quantized fault chains are
+    // bit-identical by contract.
+    let simd_scalar_dense_s;
+    let scalar_dense = {
+        let _scalar = simd::force(Some(simd::Isa::Scalar));
+        let out = kernels::matmul(&a, &b, m, k, n);
+        simd_scalar_dense_s = best_of(5, || kernels::matmul(&a, &b, m, k, n));
+        out
+    };
+    let simd_dense = kernels::matmul(&a, &b, m, k, n);
+    for (i, (s, v)) in scalar_dense.iter().zip(&simd_dense).enumerate() {
+        let tol = 1e-5f32 * s.abs().max(v.abs()).max(1.0);
+        assert!(
+            (s - v).abs() <= tol,
+            "dense element {i} diverged: scalar {s} vs {isa} {v}"
+        );
+    }
+    let simd_dense_s = best_of(5, || kernels::matmul(&a, &b, m, k, n));
+
+    let simd_csr_a: Vec<f32> = (0..sm * sk)
+        .map(|i| {
+            let r = ((i * 2654435761 + 41) % 100_000) as f32 / 100_000.0;
+            (r < 0.10) as u8 as f32
+        })
+        .collect();
+    let simd_csr_index = SpikeIndex::from_dense(&simd_csr_a, sk).expect("binary spike matrix");
+    let simd_scalar_csr_s;
+    let scalar_csr = {
+        let _scalar = simd::force(Some(simd::Isa::Scalar));
+        let out = kernels::matmul_spikes_indexed(&simd_csr_index, &sb, sm, sk, sn);
+        simd_scalar_csr_s = best_of(5, || {
+            kernels::matmul_spikes_indexed(&simd_csr_index, &sb, sm, sk, sn)
+        });
+        out
+    };
+    let simd_csr = kernels::matmul_spikes_indexed(&simd_csr_index, &sb, sm, sk, sn);
+    assert_eq!(
+        scalar_csr, simd_csr,
+        "CSR spike row-adds must be bit-identical across ISAs"
+    );
+    let simd_csr_s = best_of(5, || {
+        kernels::matmul_spikes_indexed(&simd_csr_index, &sb, sm, sk, sn)
+    });
+
+    let simd_scalar_exec_s;
+    let scalar_exec = {
+        let _scalar = simd::force(Some(simd::Isa::Scalar));
+        let out = executor.matmul(&acts, &wts).unwrap();
+        simd_scalar_exec_s = best_of(3, || executor.matmul(&acts, &wts).unwrap());
+        out
+    };
+    let simd_exec = executor.matmul(&acts, &wts).unwrap();
+    assert_eq!(
+        scalar_exec.data(),
+        simd_exec.data(),
+        "quantized fault chains must be bit-identical across ISAs"
+    );
+    let simd_exec_s = best_of(3, || executor.matmul(&acts, &wts).unwrap());
+
+    let simd_section = format!(
+        "  \"simd_kernels\": {{\n    \"dense_matmul_512x512x512\": {{\n      \"isa\": \"{isa}\",\n      \"scalar_ms\": {:.3},\n      \"simd_ms\": {:.3},\n      \"speedup\": {:.3}\n    }},\n    \"csr_matmul_1024x512x64_density_0.10\": {{\n      \"isa\": \"{isa}\",\n      \"bit_identical\": true,\n      \"scalar_ms\": {:.3},\n      \"simd_ms\": {:.3},\n      \"speedup\": {:.3}\n    }},\n    \"executor_faulty_16x16_m128_k256_n256\": {{\n      \"isa\": \"{isa}\",\n      \"bit_identical\": true,\n      \"scalar_ms\": {:.3},\n      \"simd_ms\": {:.3},\n      \"speedup\": {:.3}\n    }}\n  }}",
+        simd_scalar_dense_s * 1e3,
+        simd_dense_s * 1e3,
+        simd_scalar_dense_s / simd_dense_s,
+        simd_scalar_csr_s * 1e3,
+        simd_csr_s * 1e3,
+        simd_scalar_csr_s / simd_csr_s,
+        simd_scalar_exec_s * 1e3,
+        simd_exec_s * 1e3,
+        simd_scalar_exec_s / simd_exec_s,
+    );
+
     // --- kernel-choice frequency across the paper's architectures ---------
     let choice_report = kernel_choice_sweep();
     let choice_sections: Vec<String> = choice_report
@@ -591,7 +677,7 @@ fn kernel_comparison(c: &mut Criterion) {
 
     let threads = rayon::current_num_threads();
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"csr_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"campaign_fig5_eval_32maps_T8_conv16k5_pool_32x32\": {{\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_reference_ms\": {:.3},\n    \"campaign_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"matmul_scenarios_32maps_16x16_m2048_k48_n32\": {{\n    \"scenarios\": {},\n    \"bit_identical\": true,\n    \"per_map_ms\": {:.3},\n    \"batched_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{}\n}}\n",
+        "{{\n  \"bench\": \"kernels\",\n  \"command\": \"cargo bench -p falvolt-bench --bench kernels\",\n  \"threads\": {threads},\n  \"matmul_512x512x512\": {{\n    \"isa\": \"{isa}\",\n    \"naive_ms\": {:.3},\n    \"blocked_parallel_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_faulty_16x16_m128_k256_n256\": {{\n    \"isa\": \"{isa}\",\n    \"seed_loop_ms\": {:.3},\n    \"foldplan_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"executor_fault_free_16x16_m128_k256_n256\": {{\n    \"isa\": \"{isa}\",\n    \"seed_loop_ms\": {:.3},\n    \"clean_fast_path_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"sparse_matmul_1024x512x64\": [\n{}\n  ],\n  \"csr_matmul_1024x512x64\": [\n{}\n  ],\n  \"network_forward_prefix_cache_T8_conv16k5_pool_32x32\": {{\n    \"isa\": \"{isa}\",\n    \"time_steps\": {time_steps},\n    \"spike_density\": {:.4},\n    \"uncached_dense_ms\": {:.3},\n    \"event_engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"scenario_sweep_fig5_32maps_T8_conv16k5_pool_32x32\": {{\n    \"isa\": \"{isa}\",\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_baseline_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"campaign_fig5_eval_32maps_T8_conv16k5_pool_32x32\": {{\n    \"isa\": \"{isa}\",\n    \"scenarios\": {},\n    \"time_steps\": {time_steps},\n    \"bit_identical\": true,\n    \"per_clone_reference_ms\": {:.3},\n    \"campaign_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n  \"matmul_scenarios_32maps_16x16_m2048_k48_n32\": {{\n    \"isa\": \"{isa}\",\n    \"scenarios\": {},\n    \"bit_identical\": true,\n    \"per_map_ms\": {:.3},\n    \"batched_ms\": {:.3},\n    \"speedup\": {:.3}\n  }},\n{simd_section},\n{}\n}}\n",
         naive_s * 1e3,
         blocked_s * 1e3,
         matmul_speedup,

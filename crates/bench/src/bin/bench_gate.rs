@@ -25,6 +25,14 @@
 //! `BENCH_GATE_MIN_SPEEDUP` overrides the absolute threshold for noisy
 //! shared runners.
 //!
+//! Entries may carry a sibling `"isa"` string recording which SIMD level the
+//! kernel dispatcher resolved to when the entry was measured (`scalar`,
+//! `avx2`, `avx512`, `neon`). When both the baseline and the current file
+//! record an ISA for an entry and they differ, the baseline comparison for
+//! that entry is **skipped with a log line** instead of failing: an AVX-512
+//! baseline says nothing about a NEON or scalar runner. The absolute
+//! threshold still applies to every current entry regardless of ISA.
+//!
 //! Array elements are labelled positionally (`[0]`, `[1]`, …), so the
 //! baseline must come from the same bench structure as the current file —
 //! which CI guarantees by snapshotting the committed `BENCH_kernels.json`
@@ -42,17 +50,36 @@ use std::process::ExitCode;
 /// offending token).
 type LabeledSpeedup = (String, Result<f64, String>);
 
-/// Scans `text` for every `"speedup": <value>` occurrence, labelling each
-/// with the path of enclosing object keys / array indices. The scanner
-/// understands exactly the JSON shape the bench emits (string keys, nested
-/// objects and arrays, scalar values without embedded braces).
-fn extract_labeled_speedups(text: &str) -> Vec<LabeledSpeedup> {
+/// Everything the gate reads out of one bench JSON file: the labelled
+/// speedups plus, keyed by the same `/`-joined paths, any `"isa"` strings
+/// recording the SIMD level an entry was measured on.
+#[derive(Debug, Default)]
+struct BenchMetrics {
+    speedups: Vec<LabeledSpeedup>,
+    isas: BTreeMap<String, String>,
+}
+
+impl BenchMetrics {
+    /// The recorded ISA for the entry containing the given speedup label
+    /// (`a/b/speedup` -> value of `a/b/isa`), if any.
+    fn isa_for(&self, speedup_label: &str) -> Option<&str> {
+        let prefix = speedup_label.strip_suffix("speedup")?;
+        self.isas.get(&format!("{prefix}isa")).map(String::as_str)
+    }
+}
+
+/// Scans `text` for every `"speedup": <value>` and `"isa": "<name>"`
+/// occurrence, labelling each with the path of enclosing object keys / array
+/// indices. The scanner understands exactly the JSON shape the bench emits
+/// (string keys, nested objects and arrays, scalar values without embedded
+/// braces).
+fn extract_metrics(text: &str) -> BenchMetrics {
     #[derive(Debug)]
     enum Frame {
         Object,
         Array(usize),
     }
-    let mut results = Vec::new();
+    let mut metrics = BenchMetrics::default();
     let mut stack: Vec<(String, Frame)> = Vec::new();
     let mut pending_key: Option<String> = None;
     let mut chars = text.chars().peekable();
@@ -83,8 +110,8 @@ fn extract_labeled_speedups(text: &str) -> Vec<LabeledSpeedup> {
                 if matches!(chars.peek(), Some(':')) {
                     chars.next();
                     pending_key = Some(s);
-                } else {
-                    pending_key = None;
+                } else if pending_key.take().as_deref() == Some("isa") {
+                    metrics.isas.insert(path_of(&stack, "isa"), s);
                 }
             }
             '{' => {
@@ -126,14 +153,14 @@ fn extract_labeled_speedups(text: &str) -> Vec<LabeledSpeedup> {
                             Ok(v) if v.is_finite() => Ok(v),
                             _ => Err(token.clone()),
                         };
-                        results.push((label, value));
+                        metrics.speedups.push((label, value));
                     }
                 }
             }
             _ => {}
         }
     }
-    results
+    metrics
 }
 
 fn main() -> ExitCode {
@@ -161,15 +188,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let speedups = extract_labeled_speedups(&text);
-    if speedups.is_empty() {
+    let metrics = extract_metrics(&text);
+    if metrics.speedups.is_empty() {
         eprintln!("bench gate: {path} records no \"speedup\" entries — bench output is broken");
         return ExitCode::FAILURE;
     }
 
     let mut ok = true;
     let mut current = BTreeMap::new();
-    for (label, entry) in &speedups {
+    for (label, entry) in &metrics.speedups {
         match entry {
             Ok(v) => {
                 let verdict = if *v >= threshold { "ok" } else { "REGRESSION" };
@@ -190,9 +217,24 @@ fn main() -> ExitCode {
         match std::fs::read_to_string(&baseline_path) {
             Ok(baseline_text) => {
                 let floor = 1.0 - max_regression;
-                for (label, entry) in extract_labeled_speedups(&baseline_text) {
-                    let Ok(base) = entry else { continue };
-                    match current.get(&label) {
+                let baseline = extract_metrics(&baseline_text);
+                for (label, entry) in &baseline.speedups {
+                    let Ok(base) = *entry else { continue };
+                    // An entry measured on a different SIMD level than the
+                    // baseline is not comparable — skip it loudly rather
+                    // than flagging a phantom regression (or blessing a
+                    // phantom improvement).
+                    if let (Some(base_isa), Some(now_isa)) =
+                        (baseline.isa_for(label), metrics.isa_for(label))
+                    {
+                        if base_isa != now_isa {
+                            println!(
+                                "{label}: skipped — baseline ISA \"{base_isa}\" != current ISA \"{now_isa}\""
+                            );
+                            continue;
+                        }
+                    }
+                    match current.get(label) {
                         Some(&now) if now >= base * floor => {
                             println!(
                                 "{label}: {now:.3} vs baseline {base:.3} (ok, floor {:.3})",
@@ -225,7 +267,7 @@ fn main() -> ExitCode {
     if ok {
         println!(
             "bench gate: all {} recorded speedups >= {threshold} (and within {:.0}% of baseline where one was given)",
-            speedups.len(),
+            metrics.speedups.len(),
             max_regression * 100.0
         );
         ExitCode::SUCCESS
@@ -237,12 +279,12 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::extract_labeled_speedups;
+    use super::extract_metrics;
 
     #[test]
     fn extracts_and_labels_all_speedup_values() {
         let json = r#"{ "a": { "speedup": 1.417 }, "b": [ { "speedup": 0.93 }, { "x": 1 } ] }"#;
-        let values = extract_labeled_speedups(json);
+        let values = extract_metrics(json).speedups;
         assert_eq!(values.len(), 2);
         assert_eq!(values[0], ("a/speedup".to_string(), Ok(1.417)));
         assert_eq!(values[1], ("b/[0]/speedup".to_string(), Ok(0.93)));
@@ -251,7 +293,8 @@ mod tests {
     #[test]
     fn array_indices_advance_per_element() {
         let json = r#"{ "s": [ { "speedup": 1.0 }, { "speedup": 2.0 }, { "speedup": 3.0 } ] }"#;
-        let labels: Vec<String> = extract_labeled_speedups(json)
+        let labels: Vec<String> = extract_metrics(json)
+            .speedups
             .into_iter()
             .map(|(l, _)| l)
             .collect();
@@ -264,27 +307,29 @@ mod tests {
     #[test]
     fn handles_whitespace_and_exponents() {
         let json = "{ \"x\": { \"speedup\":   2.5e1 } }";
-        let values = extract_labeled_speedups(json);
+        let values = extract_metrics(json).speedups;
         assert_eq!(values[0].1, Ok(25.0));
     }
 
     #[test]
     fn unparseable_values_are_reported_not_dropped() {
         let json = "{ \"a\": { \"speedup\": inf }, \"b\": { \"speedup\": NaN } }";
-        let values = extract_labeled_speedups(json);
+        let values = extract_metrics(json).speedups;
         assert_eq!(values.len(), 2);
         assert!(values.iter().all(|(_, v)| v.is_err()));
     }
 
     #[test]
     fn empty_input_yields_no_values() {
-        assert!(extract_labeled_speedups("{}").is_empty());
+        let metrics = extract_metrics("{}");
+        assert!(metrics.speedups.is_empty());
+        assert!(metrics.isas.is_empty());
     }
 
     #[test]
     fn string_values_with_spaces_do_not_confuse_the_scanner() {
         let json = r#"{ "command": "cargo bench -p x --bench y", "k": { "speedup": 1.2 } }"#;
-        let values = extract_labeled_speedups(json);
+        let values = extract_metrics(json).speedups;
         assert_eq!(values, vec![("k/speedup".to_string(), Ok(1.2))]);
     }
 
@@ -292,7 +337,32 @@ mod tests {
     fn string_valued_members_do_not_leak_their_key_onto_the_next_element() {
         // A stale "note" key must not relabel the next array element.
         let json = r#"{ "arr": [ { "note": "x" }, { "speedup": 1.2 } ] }"#;
-        let values = extract_labeled_speedups(json);
+        let values = extract_metrics(json).speedups;
         assert_eq!(values, vec![("arr/[1]/speedup".to_string(), Ok(1.2))]);
+    }
+
+    #[test]
+    fn isa_strings_are_captured_per_entry() {
+        let json = r#"{
+            "a": { "isa": "avx512", "speedup": 1.4 },
+            "b": [ { "isa": "avx2", "speedup": 2.0 }, { "speedup": 3.0 } ]
+        }"#;
+        let metrics = extract_metrics(json);
+        assert_eq!(metrics.isa_for("a/speedup"), Some("avx512"));
+        assert_eq!(metrics.isa_for("b/[0]/speedup"), Some("avx2"));
+        assert_eq!(metrics.isa_for("b/[1]/speedup"), None);
+    }
+
+    #[test]
+    fn isa_lookup_matches_only_the_sibling_entry() {
+        // An "isa" on a parent object must not be attributed to a nested
+        // entry's speedup.
+        let json = r#"{ "outer": { "isa": "avx2", "inner": { "speedup": 1.5 } } }"#;
+        let metrics = extract_metrics(json);
+        assert_eq!(
+            metrics.isas.get("outer/isa").map(String::as_str),
+            Some("avx2")
+        );
+        assert_eq!(metrics.isa_for("outer/inner/speedup"), None);
     }
 }

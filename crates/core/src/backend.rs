@@ -3,7 +3,8 @@
 use falvolt_snn::{EnginePreset, MatmulBackend, MatmulOutput, MatmulRequest};
 use falvolt_systolic::executor::BypassPolicy;
 use falvolt_systolic::{
-    FaultMap, ProductCache, SharedStore, StoreDecision, SystolicConfig, SystolicExecutor,
+    FaultMap, ProductCache, ScenarioMatrices, SharedStore, StoreDecision, SystolicConfig,
+    SystolicExecutor,
 };
 use falvolt_tensor::{Fingerprint, MatmulHint, Tensor, TensorError};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -249,7 +250,7 @@ pub struct ScenarioProducts {
     maps: Vec<FaultMap>,
     product_cache: Arc<ProductCache>,
     batch_executor: SystolicExecutor,
-    store: SharedStore<Vec<Tensor>>,
+    store: SharedStore<ScenarioMatrices>,
     batches: AtomicUsize,
 }
 
@@ -342,11 +343,11 @@ impl ScenarioProducts {
     /// scenario-invariant (every member will request this product) and batch
     /// on first sighting instead of letting one worker pay the single-map
     /// path first.
-    fn lookup(&self, key: u128, eager: bool) -> StoreDecision<Vec<Tensor>> {
+    fn lookup(&self, key: u128, eager: bool) -> StoreDecision<ScenarioMatrices> {
         self.store.lookup(key, SCENARIO_BATCH_CAPACITY, eager)
     }
 
-    fn fulfill(&self, key: u128, outputs: Arc<Vec<Tensor>>) {
+    fn fulfill(&self, key: u128, outputs: Arc<ScenarioMatrices>) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.store.fulfill(key, outputs);
     }
@@ -391,17 +392,21 @@ impl ScenarioMemberBackend {
         let key = fp.finish();
         match self.set.lookup(key, eager) {
             StoreDecision::Skip => None,
-            StoreDecision::Hit(outputs) => Some(Ok(outputs[self.index].clone())),
+            // Members gather their scenario straight out of the interleaved
+            // batch view — only the requested matrix is ever materialised.
+            StoreDecision::Hit(outputs) => {
+                Some(outputs.tensor(self.index).map_err(as_tensor_error))
+            }
             StoreDecision::Compute => {
                 match self
                     .set
                     .batch_executor
-                    .matmul_scenarios_hinted(a, b, &self.set.maps, hint)
+                    .matmul_scenarios_view(a, b, &self.set.maps, hint)
                 {
                     Ok(outputs) => {
                         let outputs = Arc::new(outputs);
                         self.set.fulfill(key, Arc::clone(&outputs));
-                        Some(Ok(outputs[self.index].clone()))
+                        Some(outputs.tensor(self.index).map_err(as_tensor_error))
                     }
                     Err(e) => {
                         // Release the in-flight slot so the key is not dead for

@@ -39,6 +39,7 @@ pub struct EnginePreset {
     csr_spikes: bool,
     composed_mask_chains: bool,
     scenario_batching: bool,
+    simd_kernels: bool,
 }
 
 impl Default for EnginePreset {
@@ -58,6 +59,11 @@ impl EnginePreset {
             csr_spikes: false,
             composed_mask_chains: false,
             scenario_batching: false,
+            // The lane engines are a property of the kernel layer, not of
+            // the engine generation being reproduced: every preset keeps
+            // them on (each lifted kernel's `Isa::Scalar` branch runs the
+            // exact pre-SIMD code, so forcing scalar recovers old timings).
+            simd_kernels: true,
         }
     }
 
@@ -71,6 +77,7 @@ impl EnginePreset {
             csr_spikes: true,
             composed_mask_chains: false,
             scenario_batching: false,
+            simd_kernels: true,
         }
     }
 
@@ -83,6 +90,7 @@ impl EnginePreset {
             csr_spikes: true,
             composed_mask_chains: true,
             scenario_batching: true,
+            simd_kernels: true,
         }
     }
 
@@ -130,6 +138,17 @@ impl EnginePreset {
         self
     }
 
+    /// Overrides the runtime-dispatched SIMD kernel layer
+    /// ([`falvolt_tensor::simd`]): off forces [`SpikingNetwork::forward`]
+    /// onto the scalar engines (the exact pre-SIMD loops) for the duration
+    /// of the call — the ablation/baseline switch. Results are equivalent
+    /// either way: integer fault chains are bit-identical across ISAs, and
+    /// float kernels stay within the documented 1e-5 tolerance.
+    pub fn with_simd_kernels(mut self, enabled: bool) -> Self {
+        self.simd_kernels = enabled;
+        self
+    }
+
     /// Whether the temporal prefix cache is enabled.
     pub fn prefix_cache(&self) -> bool {
         self.prefix_cache
@@ -153,6 +172,11 @@ impl EnginePreset {
     /// Whether multi-map scenario batching is enabled.
     pub fn scenario_batching(&self) -> bool {
         self.scenario_batching
+    }
+
+    /// Whether the runtime-dispatched SIMD kernel layer is enabled.
+    pub fn simd_kernels(&self) -> bool {
+        self.simd_kernels
     }
 }
 
@@ -491,6 +515,11 @@ impl SpikingNetwork {
         if self.layers.is_empty() {
             return Err(SnnError::invalid_config("network has no layers"));
         }
+        // Scoped, not set at preset time: a global override installed in
+        // `set_engine_preset` would leak into unrelated work on this
+        // process (e.g. a bench's SIMD leg timed after a scalar ablation).
+        let _simd_scope = (!self.engine.simd_kernels())
+            .then(|| falvolt_tensor::simd::force(Some(falvolt_tensor::simd::Isa::Scalar)));
         self.reset_state();
         let time_steps = self.time_steps;
         let backend = Arc::clone(&self.backend);
@@ -889,10 +918,42 @@ mod tests {
         assert!(EnginePreset::full().scenario_batching());
         assert!(!EnginePreset::seed_equivalent().csr_spikes());
         assert!(EnginePreset::event_driven().csr_spikes());
+        // The SIMD kernel layer is a kernel-layer property, on everywhere.
+        assert!(EnginePreset::seed_equivalent().simd_kernels());
+        assert!(EnginePreset::event_driven().simd_kernels());
+        assert!(EnginePreset::full().simd_kernels());
+        assert!(!EnginePreset::full().with_simd_kernels(false).simd_kernels());
+    }
+
+    #[test]
+    fn scalar_forced_forward_matches_simd_and_restores_dispatch() {
+        use falvolt_tensor::simd;
+        // Serialise against anything else touching the process-global
+        // dispatch override.
+        let _lock = simd::test_override_lock();
+        let input = Tensor::from_fn(&[3, 8], |i| ((i % 7) as f32 - 2.0) * 0.5);
+        let mut network = tiny_network();
+        let simd_out = network.forward(&input, Mode::Eval).unwrap();
+        let prev = simd::active();
+        let mut scalar_network = tiny_network();
+        scalar_network.set_engine_preset(EnginePreset::full().with_simd_kernels(false));
+        let scalar_out = scalar_network.forward(&input, Mode::Eval).unwrap();
+        // The forced-scalar scope must not leak past forward().
+        assert_eq!(simd::active(), prev, "forward leaked its scalar override");
+        assert_eq!(simd_out.shape(), scalar_out.shape());
+        for (a, b) in simd_out.data().iter().zip(scalar_out.data()) {
+            assert!(
+                (a - b).abs() <= 1e-5,
+                "scalar ablation diverged: {a} vs {b}"
+            );
+        }
     }
 
     #[test]
     fn prefix_cached_forward_is_bit_identical_to_uncached() {
+        // Dispatch-sensitive: float outputs are compared bit-for-bit, so
+        // hold off any concurrent test forcing a different dispatch ISA.
+        let _lock = falvolt_tensor::simd::test_override_lock();
         use crate::layers::Conv2d;
         // Conv -> spiking -> flatten -> linear -> spiking: the conv is the
         // stateless prefix that the engine computes once per forward.
@@ -916,6 +977,9 @@ mod tests {
 
     #[test]
     fn prefix_cache_covers_fully_stateless_networks() {
+        // Dispatch-sensitive: float outputs are compared bit-for-bit, so
+        // hold off any concurrent test forcing a different dispatch ISA.
+        let _lock = falvolt_tensor::simd::test_override_lock();
         // No spiking layer at all: the whole network is the prefix.
         let build = || {
             let mut network = SpikingNetwork::new(4);
@@ -946,6 +1010,9 @@ mod tests {
 
     #[test]
     fn scenario_views_share_weights_copy_on_write() {
+        // Dispatch-sensitive: float outputs are compared bit-for-bit, so
+        // hold off any concurrent test forcing a different dispatch ISA.
+        let _lock = falvolt_tensor::simd::test_override_lock();
         let mut base = tiny_network();
         let mut view = base.scenario_view();
         // Every parameter buffer is shared, not copied.
@@ -972,6 +1039,9 @@ mod tests {
 
     #[test]
     fn sweep_cache_hits_across_calls_and_stays_bit_identical() {
+        // Dispatch-sensitive: float outputs are compared bit-for-bit, so
+        // hold off any concurrent test forcing a different dispatch ISA.
+        let _lock = falvolt_tensor::simd::test_override_lock();
         use crate::layers::Conv2d;
         use crate::sweep_cache::SweepCache;
         let build = || {

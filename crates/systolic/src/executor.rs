@@ -31,6 +31,7 @@ use crate::fault_map::PeMasks;
 use crate::product_cache::{CacheDecision, ProductCache};
 use crate::{FaultMap, Result, SystolicConfig, SystolicError, WeightMapping};
 use falvolt_fixedpoint::{Fixed, QFormat};
+use falvolt_tensor::simd::{self, Isa, SimdLevel, SimdOp};
 use falvolt_tensor::{Fingerprint, MatmulHint, SpikeIndex, Tensor, TensorError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -303,6 +304,12 @@ impl SystolicExecutor {
             cache,
         );
         let (min_raw, max_raw) = (i64::from(format.min_raw()), i64::from(format.max_raw()));
+        let cols = self.config.cols();
+        let qw_slice: Option<&[i32]> = qweights.as_deref().map(Vec::as_slice);
+        // Lane engine: only the composed walk vectorises — the replay engine
+        // stays scalar as the bit-identity reference — and `Isa::Scalar`
+        // keeps the legacy per-column loop exactly.
+        let use_lanes = self.composed_chains && !matches!(simd::active(), Isa::Scalar);
         let compute_row =
             |i: usize, a_row: &[f32], out_row: &mut [f32], nz: &mut Vec<(usize, f32)>| {
                 let clean_row = clean_shared.as_ref().map(|v| &v[i * n..(i + 1) * n]);
@@ -312,6 +319,38 @@ impl SystolicExecutor {
                 // caller-owned scratch, reused across the rows of a panel —
                 // served from the CSR index when the activations carry one.
                 fill_nonzeros(nz, spike_index, i, a_row);
+                if use_lanes {
+                    // Fill the whole row with the maskless chain (a copy when
+                    // the sweep cache shares one), then overwrite the columns
+                    // of corruptible folds with the composed lane walk.
+                    match clean_row {
+                        Some(clean) => out_row.copy_from_slice(clean),
+                        None => simd::dispatch(CleanRowOp {
+                            nz,
+                            w,
+                            qw: qw_slice,
+                            out_row: &mut *out_row,
+                            n,
+                            format,
+                            min_raw,
+                            max_raw,
+                        }),
+                    }
+                    simd::dispatch(FaultyFoldsOp {
+                        plan: &plan,
+                        nz,
+                        w,
+                        qw: qw_slice,
+                        out_row,
+                        n,
+                        cols,
+                        format,
+                        min_raw,
+                        max_raw,
+                        bypass,
+                    });
+                    return;
+                }
                 for (j, out_elem) in out_row.iter_mut().enumerate() {
                     if plan.column_is_clean(j) {
                         if let Some(clean) = clean_row {
@@ -412,6 +451,28 @@ impl SystolicExecutor {
         maps: &[FaultMap],
         hint: MatmulHint,
     ) -> Result<Vec<Tensor>> {
+        self.matmul_scenarios_view(activations, weights, maps, hint)?
+            .into_tensors()
+    }
+
+    /// [`SystolicExecutor::matmul_scenarios_hinted`] without the per-map
+    /// materialisation: the batched walk's interleaved buffer is returned as
+    /// a [`ScenarioMatrices`] view. Callers that consume rows (or a subset
+    /// of scenarios) skip the O(maps · m · n) de-interleave copy entirely;
+    /// [`ScenarioMatrices::tensor`] materialises any single scenario on
+    /// demand, bit-identical to the eager API.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error for non-matrix inputs or mismatched inner
+    /// dimensions.
+    pub fn matmul_scenarios_view(
+        &self,
+        activations: &Tensor,
+        weights: &Tensor,
+        maps: &[FaultMap],
+        hint: MatmulHint,
+    ) -> Result<ScenarioMatrices> {
         let (m, k) = matrix_dims(activations)?;
         let (k2, n) = matrix_dims(weights)?;
         if k != k2 {
@@ -421,7 +482,13 @@ impl SystolicExecutor {
             }));
         }
         if maps.is_empty() {
-            return Ok(Vec::new());
+            return Ok(ScenarioMatrices {
+                m,
+                n,
+                lanes: 0,
+                inter: Vec::new(),
+                lane_of: Vec::new(),
+            });
         }
         let a = activations.data();
         let w = weights.data();
@@ -430,24 +497,26 @@ impl SystolicExecutor {
             .iter()
             .map(|map| FoldPlan::without_replay_chains(&self.config, map, k))
             .collect();
-        let mut outputs: Vec<Option<Tensor>> = vec![None; maps.len()];
+        let mut lane_of: Vec<Option<ScenarioLane>> = vec![None; maps.len()];
 
         // Fault-free maps cannot corrupt anything: they share one fast-path
-        // product (identical to the single-map fast path, cache included).
-        let mut fast: Option<Vec<f32>> = None;
+        // product (identical to the single-map fast path, cache included) —
+        // one tensor, shared by reference across every fault-free scenario.
+        let mut fast: Option<Arc<Tensor>> = None;
         for (s, plan) in plans.iter().enumerate() {
             if plan.any_fault() {
                 continue;
             }
-            let value = match &fast {
-                Some(value) => value.clone(),
+            let shared = match &fast {
+                Some(t) => Arc::clone(t),
                 None => {
                     let value = fault_free_product(activations, weights, m, k, n, hint, cache);
-                    fast = Some(value.clone());
-                    value
+                    let t = Arc::new(Tensor::from_vec(vec![m, n], value)?);
+                    fast = Some(Arc::clone(&t));
+                    t
                 }
             };
-            outputs[s] = Some(Tensor::from_vec(vec![m, n], value)?);
+            lane_of[s] = Some(ScenarioLane::Shared(shared));
         }
 
         let faulty: Vec<usize> = plans
@@ -457,10 +526,16 @@ impl SystolicExecutor {
             .map(|(s, _)| s)
             .collect();
         if faulty.is_empty() || m == 0 || n == 0 {
-            for &s in &faulty {
-                outputs[s] = Some(Tensor::from_vec(vec![m, n], Vec::new())?);
+            for (fi, &s) in faulty.iter().enumerate() {
+                lane_of[s] = Some(ScenarioLane::Lane(fi));
             }
-            return Ok(outputs.into_iter().map(|o| o.expect("filled")).collect());
+            return Ok(ScenarioMatrices {
+                m,
+                n,
+                lanes: faulty.len(),
+                inter: Vec::new(),
+                lane_of: lane_of.into_iter().map(|o| o.expect("filled")).collect(),
+            });
         }
 
         let format = self.config.accumulator_format();
@@ -524,10 +599,68 @@ impl SystolicExecutor {
         // Interleaved output: row-major, all scenarios of one row contiguous,
         // so the row walk stays embarrassingly parallel across threads.
         let mut inter = vec![0.0f32; m * row_stride];
+        let qw_slice: Option<&[i32]> = qweights.as_deref().map(Vec::as_slice);
+        // Per-fold `(scenario lane, masked list)` pairs, resolved once for
+        // the lane engine (the scenario plans are always composed).
+        let fold_user_masked: Vec<FoldLaneMasks<'_>> = fold_users
+            .iter()
+            .enumerate()
+            .map(|(fold, users)| {
+                users
+                    .iter()
+                    .map(|&fi| (fi, plans[faulty[fi]].fold_masked(fold)))
+                    .collect()
+            })
+            .collect();
+        let use_lanes = !matches!(simd::active(), Isa::Scalar);
         let compute_row =
             |i: usize, row_chunk: &mut [f32], nz: &mut Vec<(usize, f32)>, q: &mut Vec<i64>| {
                 fill_nonzeros(nz, spike_index, i, &a[i * k..(i + 1) * k]);
                 let shared_row = shared_clean.as_ref().map(|v| &v[i * n..(i + 1) * n]);
+                if use_lanes {
+                    // Seed every scenario lane with the maskless chain (and
+                    // derive it into the clean lane when the sweep cache does
+                    // not share one), then overwrite the columns of each
+                    // corruptible fold with the shared-q lane walk.
+                    match shared_row {
+                        Some(row) => {
+                            for fi in 0..fcount {
+                                row_chunk[fi * n..(fi + 1) * n].copy_from_slice(row);
+                            }
+                        }
+                        None => {
+                            simd::dispatch(CleanRowOp {
+                                nz,
+                                w,
+                                qw: qw_slice,
+                                out_row: &mut row_chunk[fcount * n..(fcount + 1) * n],
+                                n,
+                                format,
+                                min_raw,
+                                max_raw,
+                            });
+                            let (user_lanes, clean_lane) = row_chunk.split_at_mut(fcount * n);
+                            for fi in 0..fcount {
+                                user_lanes[fi * n..(fi + 1) * n].copy_from_slice(&clean_lane[..n]);
+                            }
+                        }
+                    }
+                    simd::dispatch(ScenarioFoldsOp {
+                        folds: &fold_user_masked,
+                        nz,
+                        w,
+                        qw: qw_slice,
+                        row_chunk,
+                        q,
+                        n,
+                        cols,
+                        format,
+                        min_raw,
+                        max_raw,
+                        bypass,
+                    });
+                    return;
+                }
                 for j in 0..n {
                     let users = &fold_users[j % cols];
                     // The quantized contribution sequence of this (row, column)
@@ -595,14 +728,10 @@ impl SystolicExecutor {
                 });
         }
 
-        // De-interleave into per-map tensors (and the fulfilled clean lane).
+        // No de-interleave: faulty scenarios keep their lane in the
+        // interleaved buffer and materialise on demand through the view.
         for (fi, &s) in faulty.iter().enumerate() {
-            let mut data = vec![0.0f32; m * n];
-            for i in 0..m {
-                let src = &inter[i * row_stride + fi * n..i * row_stride + (fi + 1) * n];
-                data[i * n..(i + 1) * n].copy_from_slice(src);
-            }
-            outputs[s] = Some(Tensor::from_vec(vec![m, n], data)?);
+            lane_of[s] = Some(ScenarioLane::Lane(fi));
         }
         if let (Some(key), Some(cache)) = (fulfil_clean, cache) {
             let mut data = vec![0.0f32; m * n];
@@ -612,7 +741,13 @@ impl SystolicExecutor {
             }
             cache.fulfill(key, Arc::new(data));
         }
-        Ok(outputs.into_iter().map(|o| o.expect("filled")).collect())
+        Ok(ScenarioMatrices {
+            m,
+            n,
+            lanes,
+            inter,
+            lane_of: lane_of.into_iter().map(|o| o.expect("filled")).collect(),
+        })
     }
 
     /// Reference clean product computed in floating point (no quantization,
@@ -1030,6 +1165,350 @@ fn faulty_column_from_q(
     format.dequantize(acc as i32)
 }
 
+// ---------------------------------------------------------------------------
+// Lane engines: the same quantized chains, vectorised across columns. Every
+// per-column accumulator chain is independent and its add/clamp/mask order is
+// untouched, so each lane is bit-identical to its scalar reference — the lane
+// engines only change *which columns* advance together.
+// ---------------------------------------------------------------------------
+
+/// One fold's worth of batched-scenario work: the `(scenario lane, masked
+/// column list)` pairs of every scenario whose plan corrupts that fold.
+type FoldLaneMasks<'a> = Vec<(usize, &'a [(u32, PeMasks)])>;
+
+/// One row of the maskless quantized chain across `I64_LANES` contiguous
+/// columns at a time; each lane bit-identical to [`quantized_clean_element`]
+/// (or the `_tab` variant), which also handle the column tail.
+struct CleanRowOp<'a> {
+    nz: &'a [(usize, f32)],
+    w: &'a [f32],
+    qw: Option<&'a [i32]>,
+    out_row: &'a mut [f32],
+    n: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+}
+
+impl SimdOp for CleanRowOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        let Self {
+            nz,
+            w,
+            qw,
+            out_row,
+            n,
+            format,
+            min_raw,
+            max_raw,
+        } = self;
+        let lanes = S::I64_LANES;
+        let scale = (1i64 << format.frac_bits()) as f32;
+        let (min_f, max_f) = (format.min_raw() as f32, format.max_raw() as f32);
+        let resolution = format.resolution();
+        let mut j = 0usize;
+        while j + lanes <= n {
+            let mut acc = S::i64_zero();
+            match qw {
+                Some(qw) => {
+                    for &(p, _) in nz {
+                        let q = S::i64_load_i32(&qw[p * n + j..]);
+                        acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+                    }
+                }
+                None => {
+                    for &(p, v) in nz {
+                        let x = S::f32h_scale(S::f32h_load(&w[p * n + j..]), v);
+                        let q = S::f32h_quantize(x, scale, min_f, max_f);
+                        acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+                    }
+                }
+            }
+            S::i64_dequantize_store(acc, resolution, &mut out_row[j..]);
+            j += lanes;
+        }
+        for (j, o) in out_row.iter_mut().enumerate().take(n).skip(j) {
+            *o = match qw {
+                Some(qw) => quantized_clean_element_tab(nz, qw, n, j, format, min_raw, max_raw),
+                None => quantized_clean_element(nz, w, n, j, format, min_raw, max_raw),
+            };
+        }
+    }
+}
+
+/// The quantized contributions of activation event `(p, v)` for `I64_LANES`
+/// same-fold columns (`stride` apart): exactly `quantize(v * w[p, j])` per
+/// lane, or a table read for binary activations.
+#[inline(always)]
+fn strided_q<S: SimdLevel>(
+    qw: Option<&[i32]>,
+    w: &[f32],
+    v: f32,
+    base: usize,
+    stride: usize,
+    format: QFormat,
+) -> S::I64 {
+    match qw {
+        Some(qw) => S::i64_from_fn(|lane| i64::from(qw[base + lane * stride])),
+        None => S::i64_from_fn(|lane| i64::from(format.quantize(v * w[base + lane * stride]))),
+    }
+}
+
+/// The corruptible folds of one output row: all columns of a fold share one
+/// masked list, so `I64_LANES` of them walk the composed event stream
+/// together — each lane bit-identical to [`faulty_column_composed`] (or the
+/// `_tab` variant), which also handle the per-fold column tail.
+struct FaultyFoldsOp<'a> {
+    plan: &'a FoldPlan,
+    nz: &'a [(usize, f32)],
+    w: &'a [f32],
+    qw: Option<&'a [i32]>,
+    out_row: &'a mut [f32],
+    n: usize,
+    cols: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+}
+
+impl SimdOp for FaultyFoldsOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        let Self {
+            plan,
+            nz,
+            w,
+            qw,
+            out_row,
+            n,
+            cols,
+            format,
+            min_raw,
+            max_raw,
+            bypass,
+        } = self;
+        let lanes = S::I64_LANES;
+        for fold in 0..cols.min(n) {
+            if plan.column_is_clean(fold) {
+                continue;
+            }
+            let masked = plan.fold_masked(fold);
+            let count = (n - fold).div_ceil(cols);
+            let mut g = 0usize;
+            while g + lanes <= count {
+                let base = fold + g * cols;
+                let mut acc = S::i64_zero();
+                let mut mi = 0usize;
+                if bypass {
+                    for &(p, v) in nz {
+                        while mi < masked.len() && (masked[mi].0 as usize) < p {
+                            mi += 1;
+                        }
+                        if mi < masked.len() && masked[mi].0 as usize == p {
+                            continue;
+                        }
+                        let q = strided_q::<S>(qw, w, v, p * n + base, cols, format);
+                        acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+                    }
+                } else {
+                    for &(p, v) in nz {
+                        if mi < masked.len() && (masked[mi].0 as usize) < p {
+                            let mut composed = masked[mi].1;
+                            mi += 1;
+                            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                                composed = composed.then(masked[mi].1);
+                                mi += 1;
+                            }
+                            acc = S::i64_map(acc, |raw| apply_masks_raw(raw, composed, format));
+                        }
+                        let q = strided_q::<S>(qw, w, v, p * n + base, cols, format);
+                        acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+                    }
+                    if mi < masked.len() {
+                        let mut composed = masked[mi].1;
+                        mi += 1;
+                        while mi < masked.len() {
+                            composed = composed.then(masked[mi].1);
+                            mi += 1;
+                        }
+                        acc = S::i64_map(acc, |raw| apply_masks_raw(raw, composed, format));
+                    }
+                }
+                for lane in 0..lanes {
+                    out_row[base + lane * cols] =
+                        format.dequantize(S::i64_extract(acc, lane) as i32);
+                }
+                g += lanes;
+            }
+            while g < count {
+                let j = fold + g * cols;
+                out_row[j] = match qw {
+                    Some(qw) => faulty_column_composed_tab(
+                        masked, nz, qw, n, j, format, min_raw, max_raw, bypass,
+                    ),
+                    None => faulty_column_composed(
+                        masked, nz, w, n, j, format, min_raw, max_raw, bypass,
+                    ),
+                };
+                g += 1;
+            }
+        }
+    }
+}
+
+/// The batched scenario walk: per fold, the strided q block (event-major,
+/// `I64_LANES` same-fold columns per event) is built once and replayed under
+/// every scenario that corrupts the fold — each lane bit-identical to
+/// [`faulty_column_from_q`], which also handles the per-fold column tail.
+struct ScenarioFoldsOp<'a> {
+    folds: &'a [FoldLaneMasks<'a>],
+    nz: &'a [(usize, f32)],
+    w: &'a [f32],
+    qw: Option<&'a [i32]>,
+    row_chunk: &'a mut [f32],
+    q: &'a mut Vec<i64>,
+    n: usize,
+    cols: usize,
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+}
+
+impl SimdOp for ScenarioFoldsOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        let Self {
+            folds,
+            nz,
+            w,
+            qw,
+            row_chunk,
+            q,
+            n,
+            cols,
+            format,
+            min_raw,
+            max_raw,
+            bypass,
+        } = self;
+        let lanes = S::I64_LANES;
+        for (fold, users) in folds.iter().enumerate() {
+            if users.is_empty() || fold >= n {
+                continue;
+            }
+            let count = (n - fold).div_ceil(cols);
+            let mut g = 0usize;
+            while g + lanes <= count {
+                let base = fold + g * cols;
+                q.clear();
+                match qw {
+                    Some(qw) => {
+                        for &(p, _) in nz {
+                            q.extend(
+                                (0..lanes).map(|lane| i64::from(qw[p * n + base + lane * cols])),
+                            );
+                        }
+                    }
+                    None => {
+                        for &(p, v) in nz {
+                            q.extend((0..lanes).map(|lane| {
+                                i64::from(format.quantize(v * w[p * n + base + lane * cols]))
+                            }));
+                        }
+                    }
+                }
+                for &(fi, masked) in users.iter() {
+                    let acc = walk_q_block::<S>(masked, nz, q, format, min_raw, max_raw, bypass);
+                    for lane in 0..lanes {
+                        row_chunk[fi * n + base + lane * cols] =
+                            format.dequantize(S::i64_extract(acc, lane) as i32);
+                    }
+                }
+                g += lanes;
+            }
+            while g < count {
+                let j = fold + g * cols;
+                q.clear();
+                match qw {
+                    Some(qw) => q.extend(nz.iter().map(|&(p, _)| i64::from(qw[p * n + j]))),
+                    None => q.extend(
+                        nz.iter()
+                            .map(|&(p, v)| i64::from(format.quantize(v * w[p * n + j]))),
+                    ),
+                }
+                for &(fi, masked) in users.iter() {
+                    row_chunk[fi * n + j] =
+                        faulty_column_from_q(masked, nz, q, format, min_raw, max_raw, bypass);
+                }
+                g += 1;
+            }
+        }
+    }
+}
+
+/// [`faulty_column_from_q`] across `I64_LANES` columns at once: `q_block` is
+/// event-major (`I64_LANES` words per nonzero event). Same merged walk, same
+/// composed masks, same per-lane order.
+#[inline(always)]
+fn walk_q_block<S: SimdLevel>(
+    masked: &[(u32, PeMasks)],
+    nonzero: &[(usize, f32)],
+    q_block: &[i64],
+    format: QFormat,
+    min_raw: i64,
+    max_raw: i64,
+    bypass: bool,
+) -> S::I64 {
+    let lanes = S::I64_LANES;
+    let mut acc = S::i64_zero();
+    let mut mi = 0usize;
+    if bypass {
+        for (e, &(p, _)) in nonzero.iter().enumerate() {
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                mi += 1;
+            }
+            if mi < masked.len() && masked[mi].0 as usize == p {
+                continue;
+            }
+            let q = S::i64_load(&q_block[e * lanes..]);
+            acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+        }
+        return acc;
+    }
+    for (e, &(p, _)) in nonzero.iter().enumerate() {
+        if mi < masked.len() && (masked[mi].0 as usize) < p {
+            let mut composed = masked[mi].1;
+            mi += 1;
+            while mi < masked.len() && (masked[mi].0 as usize) < p {
+                composed = composed.then(masked[mi].1);
+                mi += 1;
+            }
+            acc = S::i64_map(acc, |raw| apply_masks_raw(raw, composed, format));
+        }
+        let q = S::i64_load(&q_block[e * lanes..]);
+        acc = S::i64_clamp(S::i64_add(acc, q), min_raw, max_raw);
+    }
+    if mi < masked.len() {
+        let mut composed = masked[mi].1;
+        mi += 1;
+        while mi < masked.len() {
+            composed = composed.then(masked[mi].1);
+            mi += 1;
+        }
+        acc = S::i64_map(acc, |raw| apply_masks_raw(raw, composed, format));
+    }
+    acc
+}
+
 /// Faulty column via the full `k`-step replay (the pre-composition engine):
 /// every accumulation step looks up and applies its mask, zero activations
 /// included. Kept as the reference for bit-identity tests and benchmarks.
@@ -1210,6 +1689,103 @@ impl FoldPlan {
     /// The sparse masked positions of output column `j`, in increasing `p`.
     pub fn fold_masked(&self, j: usize) -> &[(u32, PeMasks)] {
         &self.masked[j % self.cols]
+    }
+}
+
+/// Where one scenario's matrix lives inside a [`ScenarioMatrices`] batch.
+#[derive(Debug, Clone)]
+enum ScenarioLane {
+    /// Faulty scenario: lane `fi` of the interleaved buffer.
+    Lane(usize),
+    /// Fault-free scenario: the shared fast-path product.
+    Shared(Arc<Tensor>),
+}
+
+/// Scenario-major view over the batched walk's interleaved output buffer.
+///
+/// [`SystolicExecutor::matmul_scenarios_view`] returns the buffer as-is
+/// (row-major, all scenario lanes of one output row contiguous) instead of
+/// de-interleaving it into one tensor per map — an O(maps · m · n) memcpy
+/// that dominated short batched products. Rows are read in place with
+/// [`ScenarioMatrices::row`]; a full tensor for one scenario is gathered on
+/// demand with [`ScenarioMatrices::tensor`], bit-identical to the eager
+/// [`SystolicExecutor::matmul_scenarios_hinted`] output.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrices {
+    m: usize,
+    n: usize,
+    /// Interleaved lane count: faulty scenarios plus the derived-clean lane
+    /// when no sweep-shared clean product was available.
+    lanes: usize,
+    /// `m * lanes * n` interleaved values (empty when every scenario is
+    /// fault-free or a dimension is zero).
+    inter: Vec<f32>,
+    /// Per-scenario location, in input map order.
+    lane_of: Vec<ScenarioLane>,
+}
+
+impl ScenarioMatrices {
+    /// Number of scenarios in the batch (the input map count).
+    pub fn scenarios(&self) -> usize {
+        self.lane_of.len()
+    }
+
+    /// Output dimensions `(m, n)` shared by every scenario.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Output row `i` of scenario `s`, read in place (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` or `i` is out of range.
+    pub fn row(&self, s: usize, i: usize) -> &[f32] {
+        assert!(i < self.m, "row {i} out of range for {} rows", self.m);
+        match &self.lane_of[s] {
+            ScenarioLane::Shared(t) => &t.data()[i * self.n..(i + 1) * self.n],
+            ScenarioLane::Lane(fi) => {
+                let start = i * self.lanes * self.n + fi * self.n;
+                &self.inter[start..start + self.n]
+            }
+        }
+    }
+
+    /// Materialises scenario `s` as an `[m, n]` tensor — the single-scenario
+    /// gather the eager API performed for every scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the gathered buffer cannot form an
+    /// `[m, n]` tensor (cannot happen for a view built by the executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `s` is out of range.
+    pub fn tensor(&self, s: usize) -> Result<Tensor> {
+        match &self.lane_of[s] {
+            ScenarioLane::Shared(t) => Ok(t.as_ref().clone()),
+            ScenarioLane::Lane(fi) => {
+                let mut data = vec![0.0f32; self.m * self.n];
+                let row_stride = self.lanes * self.n;
+                for i in 0..self.m {
+                    let start = i * row_stride + fi * self.n;
+                    data[i * self.n..(i + 1) * self.n]
+                        .copy_from_slice(&self.inter[start..start + self.n]);
+                }
+                Ok(Tensor::from_vec(vec![self.m, self.n], data)?)
+            }
+        }
+    }
+
+    /// Materialises every scenario in input order (the eager API's output).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when a gather cannot form an `[m, n]` tensor
+    /// (cannot happen for a view built by the executor).
+    pub fn into_tensors(self) -> Result<Vec<Tensor>> {
+        (0..self.scenarios()).map(|s| self.tensor(s)).collect()
     }
 }
 

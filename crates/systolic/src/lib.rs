@@ -65,7 +65,7 @@ pub mod shared_store;
 pub use array::SystolicArray;
 pub use config::SystolicConfig;
 pub use error::SystolicError;
-pub use executor::{FoldPlan, SystolicExecutor};
+pub use executor::{FoldPlan, ScenarioMatrices, SystolicExecutor};
 pub use fault::{Fault, PeCoord, StuckAt};
 pub use fault_map::{FaultMap, PeMasks};
 pub use mapping::WeightMapping;

@@ -270,3 +270,151 @@ proptest! {
         prop_assert!(msb_err + 1e-3 >= lsb_err, "msb {} < lsb {}", msb_err, lsb_err);
     }
 }
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch properties: the executor's quantized accumulator chains are
+// integer add/clamp/mask sequences whose per-column order the lane engines
+// never change, so every forced ISA must reproduce the forced-scalar output
+// *bit for bit* — single-map and batched, with and without bypass, odd
+// column counts included. The override is process-global; each test holds
+// the shared lock for its whole body.
+// ---------------------------------------------------------------------------
+
+fn hashed_act(i: usize, salt: u64, density_pct: usize) -> f32 {
+    let r = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(salt) % 100;
+    if (r as usize) < density_pct {
+        ((r % 7) as f32 - 3.0) * 0.4
+    } else {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn faulty_products_are_bit_identical_on_every_isa(
+        config in small_grid(),
+        m in 1usize..5,
+        k in 1usize..12,
+        n in 1usize..30,
+        density_pct in 0usize..80,
+        bypass_choice in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        use falvolt_tensor::simd;
+        let _lock = simd::test_override_lock();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let faulty = 1 + config.pe_count() / 4;
+        let map = FaultMap::random_faulty_pes(&config, faulty, 9, StuckAt::One, &mut rng).unwrap();
+        let bypass = if bypass_choice == 0 {
+            BypassPolicy::None
+        } else {
+            BypassPolicy::SkipFaulty
+        };
+        let executor = SystolicExecutor::with_bypass(config, map, bypass);
+        let a = Tensor::from_fn(&[m, k], |i| hashed_act(i, seed, density_pct));
+        let b = Tensor::from_fn(&[k, n], |i| ((i % 11) as f32 - 5.0) * 0.21);
+        let scalar = {
+            let _g = simd::force(Some(simd::Isa::Scalar));
+            executor.matmul(&a, &b).unwrap()
+        };
+        for isa in simd::available() {
+            let _g = simd::force(Some(isa));
+            let out = executor.matmul(&a, &b).unwrap();
+            prop_assert_eq!(out.data(), scalar.data(), "isa {}", isa);
+        }
+    }
+
+    #[test]
+    fn batched_scenarios_are_bit_identical_on_every_isa(
+        config in small_grid(),
+        m in 1usize..4,
+        k in 1usize..10,
+        n in 1usize..30,
+        density_pct in 0usize..80,
+        scenarios in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use falvolt_tensor::simd;
+        let _lock = simd::test_override_lock();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(3));
+        let maps: Vec<FaultMap> = (0..scenarios)
+            .map(|_| {
+                let faulty = 1 + config.pe_count() / 5;
+                FaultMap::random_faulty_pes(&config, faulty, 12, StuckAt::Zero, &mut rng).unwrap()
+            })
+            .collect();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let a = Tensor::from_fn(&[m, k], |i| hashed_act(i, seed, density_pct));
+        let b = Tensor::from_fn(&[k, n], |i| ((i % 13) as f32 - 6.0) * 0.17);
+        let scalar = {
+            let _g = simd::force(Some(simd::Isa::Scalar));
+            executor.matmul_scenarios(&a, &b, &maps).unwrap()
+        };
+        for isa in simd::available() {
+            let _g = simd::force(Some(isa));
+            // The batched walk must agree with the single-map path on this
+            // ISA *and* with the scalar batched walk bit for bit.
+            let batched = executor.matmul_scenarios(&a, &b, &maps).unwrap();
+            prop_assert_eq!(batched.len(), maps.len());
+            for (s, out) in batched.iter().enumerate() {
+                prop_assert_eq!(out.data(), scalar[s].data(), "isa {} scenario {}", isa, s);
+                let mut single = SystolicExecutor::new(config, maps[s].clone());
+                single.set_composed_mask_chains(true);
+                let direct = single.matmul(&a, &b).unwrap();
+                if maps[s].is_empty() {
+                    continue; // fault-free lanes take the float fast path
+                }
+                prop_assert_eq!(out.data(), direct.data(), "isa {} single {}", isa, s);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_view_rows_match_materialised_tensors(
+        config in small_grid(),
+        m in 1usize..4,
+        k in 1usize..8,
+        n in 1usize..20,
+        scenarios in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use falvolt_tensor::MatmulHint;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(41).wrapping_add(7));
+        // Mix fault-free (shared fast-path lane) and faulty (interleaved
+        // lane) scenarios so both arms of the view are exercised.
+        let maps: Vec<FaultMap> = (0..scenarios)
+            .map(|s| {
+                if s % 2 == 0 {
+                    FaultMap::new(config)
+                } else {
+                    let faulty = 1 + config.pe_count() / 5;
+                    FaultMap::random_faulty_pes(&config, faulty, 10, StuckAt::One, &mut rng)
+                        .unwrap()
+                }
+            })
+            .collect();
+        let executor = SystolicExecutor::new(config, FaultMap::new(config));
+        let a = Tensor::from_fn(&[m, k], |i| hashed_act(i, seed, 50));
+        let b = Tensor::from_fn(&[k, n], |i| ((i % 9) as f32 - 4.0) * 0.3);
+        let view = executor
+            .matmul_scenarios_view(&a, &b, &maps, MatmulHint::Auto)
+            .unwrap();
+        prop_assert_eq!(view.scenarios(), maps.len());
+        prop_assert_eq!(view.dims(), (m, n));
+        let eager = executor.matmul_scenarios(&a, &b, &maps).unwrap();
+        for s in 0..maps.len() {
+            let materialised = view.tensor(s).unwrap();
+            prop_assert_eq!(materialised.shape(), &[m, n]);
+            for i in 0..m {
+                prop_assert_eq!(view.row(s, i), &materialised.data()[i * n..(i + 1) * n]);
+            }
+        }
+        // And the eager wrapper is exactly the per-scenario gather.
+        let gathered = view.into_tensors().unwrap();
+        for (s, t) in gathered.iter().enumerate() {
+            prop_assert_eq!(t.data(), eager[s].data(), "scenario {}", s);
+        }
+    }
+}

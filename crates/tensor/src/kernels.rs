@@ -26,13 +26,16 @@
 //! nearly all of its FLOPs. [`matmul_dispatch`] probes the left operand
 //! ([`OperandProfile`], optionally short-circuited by a caller-supplied
 //! [`MatmulHint`]) and routes products whose lhs density is at most
-//! [`SPARSE_DENSITY_CUTOFF`] to [`matmul_sparse`], a gather-accumulate kernel
+//! [`sparse_density_cutoff`] (ISA-aware: [`SPARSE_DENSITY_CUTOFF`] under the
+//! scalar reference kernels, [`SPARSE_DENSITY_CUTOFF_SIMD`] once the dense
+//! tile runs vectorised) to [`matmul_sparse`], a gather-accumulate kernel
 //! that walks only the nonzero activations and turns binary entries into
 //! plain row additions (no multiply at all). [`im2col_sparse_into`] is the
 //! matching lowering for convolutions: it scatters only the nonzero input
 //! pixels into the (pre-zeroed) im2col matrix instead of copying every
 //! window cell.
 
+use crate::simd::{self, Isa, SimdLevel, SimdOp};
 use crate::spikes::SpikeIndex;
 use rayon::prelude::*;
 
@@ -115,8 +118,202 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 }
 
 /// Serial blocked product of one row panel: `a_panel` is `rows x k`,
-/// `out_panel` is `rows x n`.
+/// `out_panel` is `rows x n`. Dispatched to the active SIMD level
+/// ([`crate::simd`]); [`Isa::Scalar`] runs the original scalar tile
+/// unchanged.
 fn matmul_panel(
+    a_panel: &[f32],
+    b: &[f32],
+    out_panel: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    match simd::active() {
+        Isa::Scalar => matmul_panel_scalar(a_panel, b, out_panel, rows, k, n),
+        _ => simd::dispatch(PanelOp {
+            a_panel,
+            b,
+            out_panel,
+            rows,
+            k,
+            n,
+        }),
+    }
+}
+
+struct PanelOp<'a> {
+    a_panel: &'a [f32],
+    b: &'a [f32],
+    out_panel: &'a mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+}
+
+impl SimdOp for PanelOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        matmul_panel_blocks::<S>(
+            self.a_panel,
+            self.b,
+            self.out_panel,
+            self.rows,
+            self.k,
+            self.n,
+        );
+    }
+}
+
+/// The blocked panel product in lane-block form: same k-blocking and MR-row
+/// tiling as the scalar kernel, with the NR strip widened to the level's
+/// vector width (two blocks per row) and FMA accumulation. Differs from the
+/// scalar tile only by fused-multiply rounding (within the dense kernels'
+/// 1e-5 tolerance).
+#[inline(always)]
+fn matmul_panel_blocks<S: SimdLevel>(
+    a_panel: &[f32],
+    b: &[f32],
+    out_panel: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < k {
+        let kb_end = (kb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= rows {
+            row_tile_blocks::<S>(a_panel, b, out_panel, i, kb, kb_end, k, n);
+            i += MR;
+        }
+        // Remaining rows: vector axpy walk of the same k-block.
+        while i < rows {
+            row_axpy_blocks::<S>(
+                &a_panel[i * k..(i + 1) * k],
+                b,
+                &mut out_panel[i * n..(i + 1) * n],
+                kb,
+                kb_end,
+                n,
+            );
+            i += 1;
+        }
+        kb = kb_end;
+    }
+}
+
+/// Updates MR output rows for one k-block at level `S`: double-width vector
+/// strips (2 accumulator blocks per row live across the block), then a
+/// single-width strip, then scalar column tails.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn row_tile_blocks<S: SimdLevel>(
+    a_panel: &[f32],
+    b: &[f32],
+    out_panel: &mut [f32],
+    i: usize,
+    kb: usize,
+    kb_end: usize,
+    k: usize,
+    n: usize,
+) {
+    let w = S::F32_LANES;
+    let a0 = &a_panel[i * k..(i + 1) * k];
+    let a1 = &a_panel[(i + 1) * k..(i + 2) * k];
+    let a2 = &a_panel[(i + 2) * k..(i + 3) * k];
+    let a3 = &a_panel[(i + 3) * k..(i + 4) * k];
+
+    let mut jc = 0;
+    while jc + 2 * w <= n {
+        let mut acc = [[S::f32_zero(); 2]; MR];
+        for p in kb..kb_end {
+            let b_row = &b[p * n + jc..];
+            let b0 = S::f32_load(b_row);
+            let b1 = S::f32_load(&b_row[w..]);
+            let av = [a0[p], a1[p], a2[p], a3[p]];
+            for (acc_row, &a_rp) in acc.iter_mut().zip(&av) {
+                let s = S::f32_splat(a_rp);
+                acc_row[0] = S::f32_muladd(s, b0, acc_row[0]);
+                acc_row[1] = S::f32_muladd(s, b1, acc_row[1]);
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            let out_row = &mut out_panel[(i + r) * n + jc..];
+            S::f32_accum(out_row, acc_row[0]);
+            S::f32_accum(&mut out_row[w..], acc_row[1]);
+        }
+        jc += 2 * w;
+    }
+    while jc + w <= n {
+        let mut acc = [S::f32_zero(); MR];
+        for p in kb..kb_end {
+            let bv = S::f32_load(&b[p * n + jc..]);
+            let av = [a0[p], a1[p], a2[p], a3[p]];
+            for (acc_r, &a_rp) in acc.iter_mut().zip(&av) {
+                *acc_r = S::f32_muladd(S::f32_splat(a_rp), bv, *acc_r);
+            }
+        }
+        for (r, &acc_r) in acc.iter().enumerate() {
+            S::f32_accum(&mut out_panel[(i + r) * n + jc..], acc_r);
+        }
+        jc += w;
+    }
+    // Column tail (n % lane width): scalar accumulators per remaining column.
+    if jc < n {
+        for p in kb..kb_end {
+            let b_row = &b[p * n..(p + 1) * n];
+            let av = [a0[p], a1[p], a2[p], a3[p]];
+            for (r, &a_rp) in av.iter().enumerate() {
+                if a_rp == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out_panel[(i + r) * n..(i + r) * n + n];
+                for j in jc..n {
+                    out_row[j] += a_rp * b_row[j];
+                }
+            }
+        }
+    }
+}
+
+/// Tail rows (fewer than MR) of one k-block: vector axpy per nonzero
+/// activation (fused like the tile), scalar column tail.
+#[inline(always)]
+fn row_axpy_blocks<S: SimdLevel>(
+    a_row: &[f32],
+    b: &[f32],
+    out_row: &mut [f32],
+    kb: usize,
+    kb_end: usize,
+    n: usize,
+) {
+    let w = S::F32_LANES;
+    for p in kb..kb_end {
+        let a_ip = a_row[p];
+        if a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        let s = S::f32_splat(a_ip);
+        let mut j = 0;
+        while j + w <= n {
+            let acc = S::f32_muladd(s, S::f32_load(&b_row[j..]), S::f32_load(&out_row[j..]));
+            S::f32_store(acc, &mut out_row[j..]);
+            j += w;
+        }
+        while j < n {
+            out_row[j] += a_ip * b_row[j];
+            j += 1;
+        }
+    }
+}
+
+/// The original scalar panel product, kept verbatim as the [`Isa::Scalar`]
+/// engine (forced-scalar runs execute exactly the pre-SIMD code).
+fn matmul_panel_scalar(
     a_panel: &[f32],
     b: &[f32],
     out_panel: &mut [f32],
@@ -223,12 +420,38 @@ fn check_dims(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
 // ---------------------------------------------------------------------------
 
 /// Lhs density at or below which [`matmul_dispatch`] selects the
-/// gather-accumulate kernel. The row-walk kernel does `density * k` row
-/// updates where the blocked kernel always does `k`; with the blocked
-/// kernel's register tiling worth roughly a 1.5-2x constant factor, the
-/// crossover sits well above 25%, so this cutoff only ever picks the sparse
-/// kernel where it clearly wins. Paper-typical spike densities are <= 20%.
+/// gather-accumulate kernel **when the scalar reference kernels are
+/// active**. The row-walk kernel does `density * k` row updates where the
+/// blocked kernel always does `k`; with the scalar blocked kernel's register
+/// tiling worth roughly a 1.5-2x constant factor, the crossover sits well
+/// above 25%, so this cutoff only ever picks the sparse kernel where it
+/// clearly wins. Paper-typical spike densities are <= 20%.
 pub const SPARSE_DENSITY_CUTOFF: f32 = 0.25;
+
+/// Event-kernel cutoff when a vector SIMD level is active. The SIMD dense
+/// tile is ~3x faster than the scalar blocked kernel, which drags the probe
+/// kernel's measured crossover down to ~10-15% lhs density (see the
+/// `sparse_matmul` sweep in `BENCH_kernels.json` on AVX-512), so the
+/// dispatchers tighten the cutoff rather than route break-even densities to
+/// the event walk. Real spiking-layer operands sit at or below ~11% density
+/// (the `kernel_choice` sweeps), so in practice this changes no layer's
+/// routing — it only stops mid-density operands from losing to the faster
+/// dense tile.
+pub const SPARSE_DENSITY_CUTOFF_SIMD: f32 = 0.15;
+
+/// The event-kernel density cutoff under the currently active SIMD level:
+/// [`SPARSE_DENSITY_CUTOFF`] for [`Isa::Scalar`] (the pre-SIMD behaviour,
+/// unchanged under `FALVOLT_SIMD=scalar`), [`SPARSE_DENSITY_CUTOFF_SIMD`]
+/// for every vector level. Both dispatchers ([`matmul_dispatch`] and
+/// [`matmul_dispatch_indexed`]) consult this single function, so the probe
+/// and CSR paths always agree on routing — the foundation of their
+/// bit-identity contract.
+pub fn sparse_density_cutoff() -> f32 {
+    match simd::active() {
+        Isa::Scalar => SPARSE_DENSITY_CUTOFF,
+        _ => SPARSE_DENSITY_CUTOFF_SIMD,
+    }
+}
 
 /// Measured structure of a matmul operand (one `O(len)` pass — negligible
 /// next to the `O(len * n)` product it steers).
@@ -250,11 +473,25 @@ impl OperandProfile {
         }
     }
 
-    /// Scans `data` once, counting nonzeros and checking binariness.
+    /// Scans `data` once, counting nonzeros and checking binariness. The
+    /// counts are exact on every SIMD level, so the measured profile is
+    /// identical to the scalar scan by construction.
     pub fn measure(data: &[f32]) -> Self {
         if data.is_empty() {
             return Self::dense();
         }
+        let (nonzero, binary) = match simd::active() {
+            Isa::Scalar => Self::count_scalar(data),
+            _ => simd::dispatch(MeasureOp { data }),
+        };
+        Self {
+            density: nonzero as f32 / data.len() as f32,
+            binary,
+        }
+    }
+
+    /// The original branchy scalar scan — the [`Isa::Scalar`] reference.
+    fn count_scalar(data: &[f32]) -> (usize, bool) {
         let mut nonzero = 0usize;
         let mut binary = true;
         for &v in data {
@@ -263,15 +500,49 @@ impl OperandProfile {
                 binary &= v == 1.0;
             }
         }
-        Self {
-            density: nonzero as f32 / data.len() as f32,
-            binary,
-        }
+        (nonzero, binary)
     }
 
-    /// `true` when the operand is sparse enough for the event-driven kernel.
+    /// `true` when the operand is sparse enough for the event-driven kernel
+    /// under the active SIMD level (see [`sparse_density_cutoff`]).
     pub fn is_event_sparse(&self) -> bool {
-        self.density <= SPARSE_DENSITY_CUTOFF
+        self.density <= sparse_density_cutoff()
+    }
+}
+
+/// Lane-parallel operand scan: per-lane nonzero counters and a per-lane
+/// non-binariness flag, reduced after the pass. Counting is exact, so the
+/// result matches the scalar scan bit-for-bit; the fixed 16-wide stripes
+/// vectorise under whichever `#[target_feature]` trampoline dispatch picks.
+struct MeasureOp<'a> {
+    data: &'a [f32],
+}
+
+impl SimdOp for MeasureOp<'_> {
+    type Output = (usize, bool);
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) -> (usize, bool) {
+        const STRIPE: usize = 16;
+        let mut nonzero_lanes = [0u64; STRIPE];
+        let mut nonbinary_lanes = [0u32; STRIPE];
+        let mut chunks = self.data.chunks_exact(STRIPE);
+        for chunk in chunks.by_ref() {
+            for j in 0..STRIPE {
+                let v = chunk[j];
+                nonzero_lanes[j] += u64::from(v != 0.0);
+                nonbinary_lanes[j] |= u32::from(v != 0.0 && v != 1.0);
+            }
+        }
+        let mut nonzero = nonzero_lanes.iter().sum::<u64>() as usize;
+        let mut binary = nonbinary_lanes.iter().all(|&flag| flag == 0);
+        for &v in chunks.remainder() {
+            if v != 0.0 {
+                nonzero += 1;
+                binary &= v == 1.0;
+            }
+        }
+        (nonzero, binary)
     }
 }
 
@@ -349,9 +620,7 @@ pub fn matmul_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<
     }
     let threads = rayon::current_num_threads();
     if threads <= 1 || m * n * k < PARALLEL_FLOP_THRESHOLD {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            sparse_row(&a[i * k..(i + 1) * k], b, out_row, n);
-        }
+        sparse_panel(a, b, &mut out, k, n);
         return out;
     }
     let rows_per_panel = m.div_ceil(threads * 2).max(1);
@@ -359,11 +628,201 @@ pub fn matmul_sparse(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<
         .enumerate()
         .for_each(|(panel, out_panel)| {
             let row0 = panel * rows_per_panel;
-            for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
-                sparse_row(&a[(row0 + r) * k..(row0 + r + 1) * k], b, out_row, n);
-            }
+            let rows = out_panel.len() / n;
+            sparse_panel(&a[row0 * k..(row0 + rows) * k], b, out_panel, k, n);
         });
     out
+}
+
+/// Gather-accumulate update of one row panel (`a_panel` is `rows x k`
+/// aligned with `out_panel`), dispatched to the active SIMD level;
+/// [`Isa::Scalar`] runs the original row walk unchanged. Vector levels are
+/// bit-identical to scalar here: the row additions use unfused lane adds in
+/// the same per-element order.
+fn sparse_panel(a_panel: &[f32], b: &[f32], out_panel: &mut [f32], k: usize, n: usize) {
+    match simd::active() {
+        Isa::Scalar => {
+            for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
+                sparse_row(&a_panel[r * k..(r + 1) * k], b, out_row, n);
+            }
+        }
+        _ => simd::dispatch(SparsePanelOp {
+            a_panel,
+            b,
+            out_panel,
+            k,
+            n,
+        }),
+    }
+}
+
+struct SparsePanelOp<'a> {
+    a_panel: &'a [f32],
+    b: &'a [f32],
+    out_panel: &'a mut [f32],
+    k: usize,
+    n: usize,
+}
+
+impl SimdOp for SparsePanelOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        // Three tricks over the scalar scan-and-add walk, none changing
+        // per-element operation order:
+        //
+        // * the nonzero scan tests 16-wide stripes with a vectorised
+        //   any-nonzero OR-reduction first and skips all-zero stripes —
+        //   at spike densities most stripes are empty, so the scan cost
+        //   collapses from one store per element to one compare per lane;
+        // * within the stripes that do hold spikes, positions are compacted
+        //   branchlessly into a scratch list (the dense element-by-element
+        //   scan branch-mispredicts at spike densities) and the event walk
+        //   reads values back by position;
+        // * at classifier-head widths the whole output row lives in
+        //   register accumulators across that walk (same as the CSR
+        //   kernel), so the row is stored once instead of once per event.
+        const STRIPE: usize = 16;
+        let blocks = self.n / S::F32_LANES;
+        // STRIPE slack so each non-empty stripe can slice a full-width
+        // compaction window at `count` even near the end of the list.
+        let mut events: Vec<u32> = vec![0; self.k + STRIPE];
+        for (r, out_row) in self.out_panel.chunks_mut(self.n).enumerate() {
+            let a_row = &self.a_panel[r * self.k..(r + 1) * self.k];
+            let mut count = 0usize;
+            let mut chunks = a_row.chunks_exact(STRIPE);
+            let mut base = 0u32;
+            for chunk in chunks.by_ref() {
+                let mut any = false;
+                for &v in chunk {
+                    any |= v != 0.0;
+                }
+                if any {
+                    let slot = &mut events[count..count + STRIPE];
+                    let mut c = 0usize;
+                    for (j, &v) in chunk.iter().enumerate() {
+                        slot[c] = base + j as u32;
+                        c += usize::from(v != 0.0);
+                    }
+                    count += c;
+                }
+                base += STRIPE as u32;
+            }
+            for (j, &v) in chunks.remainder().iter().enumerate() {
+                events[count] = base + j as u32;
+                count += usize::from(v != 0.0);
+            }
+            let row_events = &events[..count];
+            match blocks {
+                1 => sparse_row_resident::<S, 1>(a_row, row_events, self.b, out_row),
+                2 => sparse_row_resident::<S, 2>(a_row, row_events, self.b, out_row),
+                3 => sparse_row_resident::<S, 3>(a_row, row_events, self.b, out_row),
+                4 => sparse_row_resident::<S, 4>(a_row, row_events, self.b, out_row),
+                5 => sparse_row_resident::<S, 5>(a_row, row_events, self.b, out_row),
+                6 => sparse_row_resident::<S, 6>(a_row, row_events, self.b, out_row),
+                7 => sparse_row_resident::<S, 7>(a_row, row_events, self.b, out_row),
+                8 => sparse_row_resident::<S, 8>(a_row, row_events, self.b, out_row),
+                _ => {
+                    for &p in row_events {
+                        let p = p as usize;
+                        let v = a_row[p];
+                        let b_row = &self.b[p * self.n..(p + 1) * self.n];
+                        if v == 1.0 {
+                            row_add_blocks::<S>(out_row, b_row);
+                        } else {
+                            row_axpy_value_blocks::<S>(out_row, b_row, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One gather-accumulate output row over a pre-compacted nonzero position
+/// list, with the first `BLOCKS` lane blocks held in register accumulators
+/// across the whole walk. Per-element add and axpy order (unfused mul then
+/// add) is identical to driving [`row_add_blocks`] /
+/// [`row_axpy_value_blocks`] once per nonzero of the dense scan.
+#[inline(always)]
+fn sparse_row_resident<S: SimdLevel, const BLOCKS: usize>(
+    a_row: &[f32],
+    events: &[u32],
+    b: &[f32],
+    out_row: &mut [f32],
+) {
+    let w = S::F32_LANES;
+    let n = out_row.len();
+    let tail = BLOCKS * w;
+    let mut acc = [S::f32_zero(); BLOCKS];
+    for (blk, a) in acc.iter_mut().enumerate() {
+        *a = S::f32_load(&out_row[blk * w..]);
+    }
+    for &p in events {
+        let p = p as usize;
+        let v = a_row[p];
+        let b_row = &b[p * n..(p + 1) * n];
+        if v == 1.0 {
+            for (blk, a) in acc.iter_mut().enumerate() {
+                *a = S::f32_add(*a, S::f32_load(&b_row[blk * w..]));
+            }
+            for j in tail..n {
+                out_row[j] += b_row[j];
+            }
+        } else {
+            let s = S::f32_splat(v);
+            for (blk, a) in acc.iter_mut().enumerate() {
+                *a = S::f32_add(*a, S::f32_mul(s, S::f32_load(&b_row[blk * w..])));
+            }
+            for j in tail..n {
+                out_row[j] += v * b_row[j];
+            }
+        }
+    }
+    for (blk, a) in acc.iter().enumerate() {
+        S::f32_store(*a, &mut out_row[blk * w..]);
+    }
+}
+
+/// `out_row += b_row` in lane blocks — unfused adds, bit-identical to the
+/// scalar spike row addition.
+#[inline(always)]
+fn row_add_blocks<S: SimdLevel>(out_row: &mut [f32], b_row: &[f32]) {
+    let w = S::F32_LANES;
+    let n = out_row.len();
+    let mut j = 0;
+    while j + w <= n {
+        let sum = S::f32_add(S::f32_load(&out_row[j..]), S::f32_load(&b_row[j..]));
+        S::f32_store(sum, &mut out_row[j..]);
+        j += w;
+    }
+    while j < n {
+        out_row[j] += b_row[j];
+        j += 1;
+    }
+}
+
+/// `out_row += v * b_row` in lane blocks — separate mul and add roundings,
+/// bit-identical to the scalar axpy.
+#[inline(always)]
+fn row_axpy_value_blocks<S: SimdLevel>(out_row: &mut [f32], b_row: &[f32], v: f32) {
+    let w = S::F32_LANES;
+    let n = out_row.len();
+    let s = S::f32_splat(v);
+    let mut j = 0;
+    while j + w <= n {
+        let sum = S::f32_add(
+            S::f32_load(&out_row[j..]),
+            S::f32_mul(s, S::f32_load(&b_row[j..])),
+        );
+        S::f32_store(sum, &mut out_row[j..]);
+        j += w;
+    }
+    while j < n {
+        out_row[j] += v * b_row[j];
+        j += 1;
+    }
 }
 
 /// Structure-aware product that may consume a pre-built CSR spike index for
@@ -396,7 +855,7 @@ pub fn matmul_dispatch_indexed(
     // any mutable access drops it), so only the geometry is re-checked here.
     assert_eq!(index.rows(), m, "spike index row count must be m");
     assert_eq!(index.cols(), k, "spike index row width must be k");
-    if index.density() <= SPARSE_DENSITY_CUTOFF {
+    if index.density() <= sparse_density_cutoff() {
         matmul_spikes_indexed(index, b, m, k, n)
     } else {
         matmul(a, b, m, k, n)
@@ -427,21 +886,109 @@ pub fn matmul_spikes_indexed(
     }
     let threads = rayon::current_num_threads();
     if threads <= 1 || m * n * k < PARALLEL_FLOP_THRESHOLD {
-        for (i, out_row) in out.chunks_mut(n).enumerate() {
-            indexed_row(index.row(i), b, out_row, n);
-        }
+        indexed_panel(index, 0, b, &mut out, n);
         return out;
     }
     let rows_per_panel = m.div_ceil(threads * 2).max(1);
     out.par_chunks_mut(rows_per_panel * n)
         .enumerate()
         .for_each(|(panel, out_panel)| {
-            let row0 = panel * rows_per_panel;
+            indexed_panel(index, panel * rows_per_panel, b, out_panel, n);
+        });
+    out
+}
+
+/// CSR row-add update of one row panel starting at `row0`, dispatched to the
+/// active SIMD level; [`Isa::Scalar`] runs the original row walk unchanged.
+/// Vector levels share [`row_add_blocks`] with the sparse probe kernel, so
+/// the two stay bit-identical on the same operand at every level.
+fn indexed_panel(index: &SpikeIndex, row0: usize, b: &[f32], out_panel: &mut [f32], n: usize) {
+    match simd::active() {
+        Isa::Scalar => {
             for (r, out_row) in out_panel.chunks_mut(n).enumerate() {
                 indexed_row(index.row(row0 + r), b, out_row, n);
             }
-        });
-    out
+        }
+        _ => simd::dispatch(IndexedPanelOp {
+            index,
+            row0,
+            b,
+            out_panel,
+            n,
+        }),
+    }
+}
+
+struct IndexedPanelOp<'a> {
+    index: &'a SpikeIndex,
+    row0: usize,
+    b: &'a [f32],
+    out_panel: &'a mut [f32],
+    n: usize,
+}
+
+impl SimdOp for IndexedPanelOp<'_> {
+    type Output = ();
+
+    #[inline(always)]
+    fn run<S: SimdLevel>(self) {
+        // Classifier-head widths fit the whole output row in registers, so
+        // keep the accumulators resident across the event walk instead of
+        // storing and reloading `out_row` once per event. The const-generic
+        // block count lets the block loop unroll completely; per-element add
+        // order is unchanged, so every variant stays bit-identical.
+        let blocks = self.n / S::F32_LANES;
+        for (r, out_row) in self.out_panel.chunks_mut(self.n).enumerate() {
+            let events = self.index.row(self.row0 + r);
+            match blocks {
+                1 => indexed_row_resident::<S, 1>(events, self.b, out_row),
+                2 => indexed_row_resident::<S, 2>(events, self.b, out_row),
+                3 => indexed_row_resident::<S, 3>(events, self.b, out_row),
+                4 => indexed_row_resident::<S, 4>(events, self.b, out_row),
+                5 => indexed_row_resident::<S, 5>(events, self.b, out_row),
+                6 => indexed_row_resident::<S, 6>(events, self.b, out_row),
+                7 => indexed_row_resident::<S, 7>(events, self.b, out_row),
+                8 => indexed_row_resident::<S, 8>(events, self.b, out_row),
+                _ => {
+                    for &p in events {
+                        let b_row = &self.b[p as usize * self.n..(p as usize + 1) * self.n];
+                        row_add_blocks::<S>(out_row, b_row);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One CSR output row with the first `BLOCKS` lane blocks held in register
+/// accumulators across the whole event walk; the sub-lane tail (and nothing
+/// else) still goes through memory per event. Identical per-element add
+/// order to [`row_add_blocks`] driven once per event.
+#[inline(always)]
+fn indexed_row_resident<S: SimdLevel, const BLOCKS: usize>(
+    events: &[u32],
+    b: &[f32],
+    out_row: &mut [f32],
+) {
+    let w = S::F32_LANES;
+    let n = out_row.len();
+    let tail = BLOCKS * w;
+    let mut acc = [S::f32_zero(); BLOCKS];
+    for (blk, a) in acc.iter_mut().enumerate() {
+        *a = S::f32_load(&out_row[blk * w..]);
+    }
+    for &p in events {
+        let b_row = &b[p as usize * n..(p as usize + 1) * n];
+        for (blk, a) in acc.iter_mut().enumerate() {
+            *a = S::f32_add(*a, S::f32_load(&b_row[blk * w..]));
+        }
+        for j in tail..n {
+            out_row[j] += b_row[j];
+        }
+    }
+    for (blk, a) in acc.iter().enumerate() {
+        S::f32_store(*a, &mut out_row[blk * w..]);
+    }
 }
 
 /// Adds the `b` rows listed in `cols` (a CSR row of spike positions) into

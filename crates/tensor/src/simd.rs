@@ -1,0 +1,714 @@
+//! Runtime-dispatched SIMD kernel substrate.
+//!
+//! The workspace's hot loops (the blocked dense tile, the spike row-add
+//! kernels, the systolic executor's quantized accumulator chains) are written
+//! once as generic *lane-block* code over a [`SimdLevel`] and monomorphised
+//! per instruction set behind [`dispatch`]. Each level fixes the lane counts
+//! (`[f32; W]` / `[i64; L]` blocks) and every lane operation is an
+//! `#[inline(always)]` fixed-trip loop, so when a kernel body is inlined into
+//! one of the `#[target_feature]` trampolines the compiler vectorises it with
+//! that ISA's registers — no per-intrinsic code, no external crates, and a
+//! fallback level that compiles on every target.
+//!
+//! # Dispatch rules
+//!
+//! The active [`Isa`] is resolved once per process (first use) as:
+//!
+//! 1. a programmatic override installed via [`force`] / [`set_forced`]
+//!    (tests and benches), else
+//! 2. the `FALVOLT_SIMD` environment variable (`auto`, `scalar`, `avx2`,
+//!    `avx512`, `neon`), else
+//! 3. the best instruction set the CPU reports (AVX-512 > AVX2 on `x86_64`,
+//!    NEON on `aarch64`, scalar otherwise).
+//!
+//! Requests for an ISA the CPU does not support are clamped to [`Isa::Scalar`]
+//! (with a one-time warning for the environment variable), so [`dispatch`]
+//! never executes instructions the hardware lacks.
+//!
+//! # Numerical contract
+//!
+//! * Integer lanes (`i64` add/clamp chains, mask application) are
+//!   **bit-identical** to the scalar code on every level: each output element
+//!   keeps its own accumulator and the per-element operation order is
+//!   unchanged — lanes only run independent elements side by side.
+//! * Float kernels that use [`SimdLevel::f32_muladd`] fuse the
+//!   multiply-add on vector levels, so they may differ from the scalar
+//!   kernels by the usual fused-rounding reassociation — within the
+//!   workspace-wide `1e-5` relative tolerance that all dense-kernel tests
+//!   already allow. Kernels that need bit-identity with their scalar
+//!   counterparts (the spike row-adds) use separate mul/add lanes instead.
+
+// The only unsafe in the crate: calling the `#[target_feature]` trampolines
+// after runtime detection has proven the features present.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// An instruction set the kernel layer can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// The original scalar kernels (always available; also the clamp target
+    /// for unsupported requests).
+    Scalar,
+    /// AVX2 + FMA: 8 `f32` lanes, 4 `i64` lanes.
+    Avx2,
+    /// AVX-512 (F/DQ/BW/VL): 16 `f32` lanes, 8 `i64` lanes.
+    Avx512,
+    /// AArch64 NEON: 4 `f32` lanes, 2 `i64` lanes.
+    Neon,
+}
+
+impl Isa {
+    /// Stable lower-case name (the `FALVOLT_SIMD` vocabulary and the label
+    /// recorded in bench entries).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Parses [`Isa::name`] (case-insensitive). `None` for unknown names
+    /// (including `auto`, which is not an ISA).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Isa::Scalar),
+            "avx2" => Some(Isa::Avx2),
+            "avx512" => Some(Isa::Avx512),
+            "neon" => Some(Isa::Neon),
+            _ => None,
+        }
+    }
+
+    /// `f32` lanes of this ISA's level.
+    pub fn f32_lanes(self) -> usize {
+        match self {
+            Isa::Scalar => Fallback::F32_LANES,
+            Isa::Avx2 => Avx2Level::F32_LANES,
+            Isa::Avx512 => Avx512Level::F32_LANES,
+            Isa::Neon => NeonLevel::F32_LANES,
+        }
+    }
+
+    /// `i64` lanes of this ISA's level.
+    pub fn i64_lanes(self) -> usize {
+        match self {
+            Isa::Scalar => Fallback::I64_LANES,
+            Isa::Avx2 => Avx2Level::I64_LANES,
+            Isa::Avx512 => Avx512Level::I64_LANES,
+            Isa::Neon => NeonLevel::I64_LANES,
+        }
+    }
+
+    /// `true` when the running CPU can execute this ISA.
+    pub fn supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            Isa::Avx2 => cpu_has_avx2(),
+            Isa::Avx512 => cpu_has_avx512(),
+            Isa::Neon => cpu_has_neon(),
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx2() -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx512() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx512() -> bool {
+    false
+}
+
+#[cfg(target_arch = "aarch64")]
+fn cpu_has_neon() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+#[cfg(not(target_arch = "aarch64"))]
+fn cpu_has_neon() -> bool {
+    false
+}
+
+/// The best ISA the running CPU supports.
+pub fn detected() -> Isa {
+    static DETECTED: OnceLock<Isa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if cpu_has_avx512() {
+            Isa::Avx512
+        } else if cpu_has_avx2() {
+            Isa::Avx2
+        } else if cpu_has_neon() {
+            Isa::Neon
+        } else {
+            Isa::Scalar
+        }
+    })
+}
+
+/// Every ISA the running CPU supports (always includes [`Isa::Scalar`]), in
+/// ascending width order — what the `simd == scalar` property tests iterate.
+pub fn available() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Neon, Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|isa| isa.supported())
+        .collect()
+}
+
+/// The `FALVOLT_SIMD` choice, resolved once. `None` means auto.
+fn env_choice() -> Option<Isa> {
+    static CHOICE: OnceLock<Option<Isa>> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        let raw = std::env::var("FALVOLT_SIMD").ok()?;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("auto") {
+            return None;
+        }
+        match Isa::from_name(trimmed) {
+            Some(isa) if isa.supported() => Some(isa),
+            Some(isa) => {
+                eprintln!(
+                    "falvolt: FALVOLT_SIMD={} not supported by this CPU; using scalar kernels",
+                    isa.name()
+                );
+                Some(Isa::Scalar)
+            }
+            None => {
+                eprintln!("falvolt: unknown FALVOLT_SIMD value {trimmed:?}; using auto dispatch");
+                None
+            }
+        }
+    })
+}
+
+/// Programmatic override: 0 = none, otherwise `isa as u8 + 1`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+fn encode_force(isa: Option<Isa>) -> u8 {
+    match isa {
+        None => 0,
+        Some(Isa::Scalar) => 1,
+        Some(Isa::Avx2) => 2,
+        Some(Isa::Avx512) => 3,
+        Some(Isa::Neon) => 4,
+    }
+}
+
+fn decode_force(code: u8) -> Option<Isa> {
+    match code {
+        1 => Some(Isa::Scalar),
+        2 => Some(Isa::Avx2),
+        3 => Some(Isa::Avx512),
+        4 => Some(Isa::Neon),
+        _ => None,
+    }
+}
+
+/// Installs (or clears, with `None`) a process-wide ISA override that takes
+/// precedence over `FALVOLT_SIMD` and auto detection. Unsupported requests
+/// clamp to scalar at resolution time. Prefer the RAII [`force`] in tests.
+pub fn set_forced(isa: Option<Isa>) {
+    FORCED.store(encode_force(isa), Ordering::Release);
+}
+
+/// The currently installed programmatic override, if any.
+pub fn forced() -> Option<Isa> {
+    decode_force(FORCED.load(Ordering::Acquire))
+}
+
+/// RAII override guard: restores the previous override when dropped.
+///
+/// The override is process-global, so concurrent guards forcing different
+/// ISAs interleave — callers that need determinism (the property tests)
+/// serialise guard lifetimes.
+#[must_use = "the override lasts only while the guard is alive"]
+#[derive(Debug)]
+pub struct ForceGuard {
+    prev: u8,
+}
+
+/// Forces `isa` (or clears the override with `None`) for the lifetime of the
+/// returned guard.
+pub fn force(isa: Option<Isa>) -> ForceGuard {
+    let prev = FORCED.swap(encode_force(isa), Ordering::AcqRel);
+    ForceGuard { prev }
+}
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCED.store(self.prev, Ordering::Release);
+    }
+}
+
+/// Serialises tests around the process-global dispatch override: hold the
+/// returned guard for the whole test in (a) any test that installs an
+/// override and (b) any test asserting cross-call bit-identity of *float*
+/// kernels, which an override flipping mid-test would break (the integer
+/// chains are bit-identical across ISAs by construction). Poisoning is
+/// ignored so one failing test does not cascade.
+pub fn test_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The ISA kernels dispatch to right now (override, then environment, then
+/// detection; always supported by the running CPU).
+pub fn active() -> Isa {
+    let requested = forced().or_else(env_choice).unwrap_or_else(detected);
+    if requested.supported() {
+        requested
+    } else {
+        Isa::Scalar
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane levels
+// ---------------------------------------------------------------------------
+
+/// One ISA's lane geometry plus the lane operations the kernels are written
+/// against. Implementations are plain arrays with fixed-trip loops; the
+/// `#[target_feature]` trampolines give the compiler license to turn them
+/// into vector instructions.
+pub trait SimdLevel {
+    /// Block of `F32_LANES` floats.
+    type F32: Copy;
+    /// Block of `I64_LANES` accumulator words.
+    type I64: Copy;
+    /// Block of `I64_LANES` floats (the float block matching the integer
+    /// lane count, for quantize/dequantize conversions).
+    type F32H: Copy;
+    /// Float lanes per block.
+    const F32_LANES: usize;
+    /// Integer lanes per block.
+    const I64_LANES: usize;
+
+    /// All-zero float block.
+    fn f32_zero() -> Self::F32;
+    /// Broadcast `v` to every lane.
+    fn f32_splat(v: f32) -> Self::F32;
+    /// Loads the first `F32_LANES` elements of `src`.
+    fn f32_load(src: &[f32]) -> Self::F32;
+    /// Stores the block to the first `F32_LANES` elements of `dst`.
+    fn f32_store(v: Self::F32, dst: &mut [f32]);
+    /// Lane-wise `a + b`.
+    fn f32_add(a: Self::F32, b: Self::F32) -> Self::F32;
+    /// Lane-wise `a * b`.
+    fn f32_mul(a: Self::F32, b: Self::F32) -> Self::F32;
+    /// Lane-wise multiply-add `a * b + acc` — fused on vector levels (see the
+    /// module-level tolerance note), unfused on [`Fallback`].
+    fn f32_muladd(a: Self::F32, b: Self::F32, acc: Self::F32) -> Self::F32;
+    /// `dst[..F32_LANES] += v` (load, add, store) with unfused rounding —
+    /// bit-identical to the scalar `+=` loop.
+    fn f32_accum(dst: &mut [f32], v: Self::F32);
+
+    /// All-zero accumulator block.
+    fn i64_zero() -> Self::I64;
+    /// Lane-wise `a + b`.
+    fn i64_add(a: Self::I64, b: Self::I64) -> Self::I64;
+    /// Lane-wise `v.clamp(lo, hi)`.
+    fn i64_clamp(v: Self::I64, lo: i64, hi: i64) -> Self::I64;
+    /// Loads the first `I64_LANES` words of `src`.
+    fn i64_load(src: &[i64]) -> Self::I64;
+    /// Sign-extends the first `I64_LANES` elements of `src`.
+    fn i64_load_i32(src: &[i32]) -> Self::I64;
+    /// Builds a block from a per-lane generator (strided gathers).
+    fn i64_from_fn(f: impl FnMut(usize) -> i64) -> Self::I64;
+    /// Applies a scalar function to every lane (exact mask application).
+    fn i64_map(v: Self::I64, f: impl FnMut(i64) -> i64) -> Self::I64;
+    /// Reads lane `lane`.
+    fn i64_extract(v: Self::I64, lane: usize) -> i64;
+
+    /// Loads the first `I64_LANES` floats of `src`.
+    fn f32h_load(src: &[f32]) -> Self::F32H;
+    /// Lane-wise `v * s` (unfused — matches the scalar contribution product
+    /// bit for bit).
+    fn f32h_scale(v: Self::F32H, s: f32) -> Self::F32H;
+    /// Lane-wise fixed-point quantization
+    /// `(x * scale).round().clamp(min_raw, max_raw) as i64` — exactly
+    /// `QFormat::quantize` per lane (widened to the accumulator word).
+    fn f32h_quantize(x: Self::F32H, scale: f32, min_raw: f32, max_raw: f32) -> Self::I64;
+    /// Stores `(lane as i32 as f32) * resolution` per lane — exactly
+    /// `QFormat::dequantize` of an in-range accumulator word.
+    fn i64_dequantize_store(acc: Self::I64, resolution: f32, dst: &mut [f32]);
+}
+
+macro_rules! simd_level {
+    ($(#[$doc:meta])* $name:ident, f32x $fw:literal, i64x $iw:literal, fused: $fused:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name;
+
+        impl SimdLevel for $name {
+            type F32 = [f32; $fw];
+            type I64 = [i64; $iw];
+            type F32H = [f32; $iw];
+            const F32_LANES: usize = $fw;
+            const I64_LANES: usize = $iw;
+
+            #[inline(always)]
+            fn f32_zero() -> Self::F32 {
+                [0.0; $fw]
+            }
+
+            #[inline(always)]
+            fn f32_splat(v: f32) -> Self::F32 {
+                [v; $fw]
+            }
+
+            #[inline(always)]
+            fn f32_load(src: &[f32]) -> Self::F32 {
+                src[..$fw].try_into().expect("block width")
+            }
+
+            #[inline(always)]
+            fn f32_store(v: Self::F32, dst: &mut [f32]) {
+                dst[..$fw].copy_from_slice(&v);
+            }
+
+            #[inline(always)]
+            fn f32_add(a: Self::F32, b: Self::F32) -> Self::F32 {
+                let mut out = [0.0; $fw];
+                for i in 0..$fw {
+                    out[i] = a[i] + b[i];
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn f32_mul(a: Self::F32, b: Self::F32) -> Self::F32 {
+                let mut out = [0.0; $fw];
+                for i in 0..$fw {
+                    out[i] = a[i] * b[i];
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn f32_muladd(a: Self::F32, b: Self::F32, acc: Self::F32) -> Self::F32 {
+                let mut out = [0.0; $fw];
+                for i in 0..$fw {
+                    out[i] = if $fused {
+                        a[i].mul_add(b[i], acc[i])
+                    } else {
+                        a[i] * b[i] + acc[i]
+                    };
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn f32_accum(dst: &mut [f32], v: Self::F32) {
+                let dst: &mut [f32; $fw] = (&mut dst[..$fw]).try_into().expect("block width");
+                for i in 0..$fw {
+                    dst[i] += v[i];
+                }
+            }
+
+            #[inline(always)]
+            fn i64_zero() -> Self::I64 {
+                [0; $iw]
+            }
+
+            #[inline(always)]
+            fn i64_add(a: Self::I64, b: Self::I64) -> Self::I64 {
+                let mut out = [0; $iw];
+                for i in 0..$iw {
+                    out[i] = a[i] + b[i];
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_clamp(v: Self::I64, lo: i64, hi: i64) -> Self::I64 {
+                let mut out = [0; $iw];
+                for i in 0..$iw {
+                    out[i] = if v[i] < lo {
+                        lo
+                    } else if v[i] > hi {
+                        hi
+                    } else {
+                        v[i]
+                    };
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_load(src: &[i64]) -> Self::I64 {
+                src[..$iw].try_into().expect("block width")
+            }
+
+            #[inline(always)]
+            fn i64_load_i32(src: &[i32]) -> Self::I64 {
+                let src: &[i32; $iw] = src[..$iw].try_into().expect("block width");
+                let mut out = [0i64; $iw];
+                for i in 0..$iw {
+                    out[i] = i64::from(src[i]);
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_from_fn(mut f: impl FnMut(usize) -> i64) -> Self::I64 {
+                let mut out = [0i64; $iw];
+                for (i, lane) in out.iter_mut().enumerate() {
+                    *lane = f(i);
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_map(v: Self::I64, mut f: impl FnMut(i64) -> i64) -> Self::I64 {
+                let mut out = [0i64; $iw];
+                for i in 0..$iw {
+                    out[i] = f(v[i]);
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_extract(v: Self::I64, lane: usize) -> i64 {
+                v[lane]
+            }
+
+            #[inline(always)]
+            fn f32h_load(src: &[f32]) -> Self::F32H {
+                src[..$iw].try_into().expect("block width")
+            }
+
+            #[inline(always)]
+            fn f32h_scale(v: Self::F32H, s: f32) -> Self::F32H {
+                let mut out = [0.0; $iw];
+                for i in 0..$iw {
+                    out[i] = v[i] * s;
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn f32h_quantize(x: Self::F32H, scale: f32, min_raw: f32, max_raw: f32) -> Self::I64 {
+                let mut out = [0i64; $iw];
+                for i in 0..$iw {
+                    let scaled = (x[i] * scale).round();
+                    out[i] = scaled.clamp(min_raw, max_raw) as i64;
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn i64_dequantize_store(acc: Self::I64, resolution: f32, dst: &mut [f32]) {
+                let dst: &mut [f32; $iw] = (&mut dst[..$iw]).try_into().expect("block width");
+                for i in 0..$iw {
+                    dst[i] = (acc[i] as i32) as f32 * resolution;
+                }
+            }
+        }
+    };
+}
+
+simd_level!(
+    /// Target-independent fallback level (4/2 lanes): what [`dispatch`] runs
+    /// when the active ISA is [`Isa::Scalar`] and an op is dispatched anyway.
+    /// Unfused multiply-add, so results match the scalar kernels bit for bit
+    /// wherever they already agree lane-by-lane.
+    Fallback, f32x 4, i64x 2, fused: false
+);
+simd_level!(
+    /// AVX2 + FMA level: 8 `f32` lanes, 4 `i64` lanes.
+    Avx2Level, f32x 8, i64x 4, fused: true
+);
+simd_level!(
+    /// AVX-512 level: 16 `f32` lanes, 8 `i64` lanes.
+    Avx512Level, f32x 16, i64x 8, fused: true
+);
+simd_level!(
+    /// AArch64 NEON level: 4 `f32` lanes, 2 `i64` lanes.
+    NeonLevel, f32x 4, i64x 2, fused: true
+);
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// A kernel written once over a [`SimdLevel`], monomorphised per ISA by
+/// [`dispatch`]. Implementations mark `run` `#[inline(always)]` so the body
+/// lands inside the `#[target_feature]` trampoline and is compiled with that
+/// ISA's instructions.
+pub trait SimdOp {
+    /// The kernel's result.
+    type Output;
+    /// Runs the kernel at level `S`.
+    fn run<S: SimdLevel>(self) -> Self::Output;
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn run_avx2<O: SimdOp>(op: O) -> O::Output {
+    op.run::<Avx2Level>()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+unsafe fn run_avx512<O: SimdOp>(op: O) -> O::Output {
+    op.run::<Avx512Level>()
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn run_neon<O: SimdOp>(op: O) -> O::Output {
+    op.run::<NeonLevel>()
+}
+
+/// Runs `op` at the [`active`] ISA's level.
+///
+/// Kernels with a dedicated scalar implementation branch on [`active`]
+/// *before* building an op; an op dispatched while the active ISA is
+/// [`Isa::Scalar`] (or on a target with no vector trampoline) runs at the
+/// [`Fallback`] level, which is always valid.
+pub fn dispatch<O: SimdOp>(op: O) -> O::Output {
+    match active() {
+        // SAFETY: `active()` only returns an ISA whose required CPU features
+        // were verified by runtime detection (unsupported requests clamp to
+        // `Isa::Scalar`), so the target-feature trampoline is sound to call.
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { run_avx512(op) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { run_avx2(op) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { run_neon(op) },
+        _ => op.run::<Fallback>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The override is process-global and the test harness is threaded, so
+    // tests that install one serialise on `test_override_lock`.
+
+    struct SumSq<'a>(&'a [f32]);
+
+    impl SimdOp for SumSq<'_> {
+        type Output = f32;
+
+        #[inline(always)]
+        fn run<S: SimdLevel>(self) -> f32 {
+            let mut acc = S::f32_zero();
+            let mut chunks = self.0.chunks_exact(S::F32_LANES);
+            for chunk in &mut chunks {
+                let v = S::f32_load(chunk);
+                acc = S::f32_muladd(v, v, acc);
+            }
+            let mut out = vec![0.0f32; S::F32_LANES];
+            S::f32_store(acc, &mut out);
+            out.iter().sum::<f32>() + chunks.remainder().iter().map(|v| v * v).sum::<f32>()
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_on_every_available_isa() {
+        let _lock = test_override_lock();
+        let data: Vec<f32> = (0..103).map(|i| (i as f32) * 0.25 - 12.0).collect();
+        let reference: f32 = data.iter().map(|v| v * v).sum();
+        for isa in available() {
+            let guard = force(Some(isa));
+            assert_eq!(active(), isa);
+            let got = dispatch(SumSq(&data));
+            drop(guard);
+            let rel = (got - reference).abs() / reference.abs().max(1.0);
+            assert!(rel < 1e-5, "{isa}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn force_guard_restores_previous_override() {
+        let _lock = test_override_lock();
+        let outer = force(Some(Isa::Scalar));
+        assert_eq!(active(), Isa::Scalar);
+        {
+            let _inner = force(None);
+            assert_eq!(forced(), None);
+        }
+        assert_eq!(forced(), Some(Isa::Scalar));
+        drop(outer);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            assert_eq!(Isa::from_name(isa.name()), Some(isa));
+        }
+        assert_eq!(Isa::from_name("auto"), None);
+        assert_eq!(Isa::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn integer_lanes_are_bit_identical_across_levels() {
+        // The i64 chain contract: add + clamp lanes match scalar exactly.
+        let qs: Vec<i64> = (0..57).map(|i| (i * 7919 % 900) - 450).collect();
+        let (lo, hi) = (-512i64, 511i64);
+        let scalar: Vec<i64> = {
+            let mut acc = 0i64;
+            qs.iter()
+                .map(|&q| {
+                    acc = (acc + q).clamp(lo, hi);
+                    acc
+                })
+                .collect()
+        };
+        struct Chain<'a> {
+            qs: &'a [i64],
+            lo: i64,
+            hi: i64,
+        }
+        impl SimdOp for Chain<'_> {
+            type Output = Vec<i64>;
+
+            #[inline(always)]
+            fn run<S: SimdLevel>(self) -> Vec<i64> {
+                // Run the same chain in every lane; all lanes must agree with
+                // the scalar fold.
+                let mut acc = S::i64_zero();
+                let mut trace = Vec::with_capacity(self.qs.len());
+                for &q in self.qs {
+                    let block = S::i64_from_fn(|_| q);
+                    acc = S::i64_clamp(S::i64_add(acc, block), self.lo, self.hi);
+                    trace.push(S::i64_extract(acc, S::I64_LANES - 1));
+                }
+                trace
+            }
+        }
+        let _lock = test_override_lock();
+        for isa in available() {
+            let _guard = force(Some(isa));
+            let got = dispatch(Chain { qs: &qs, lo, hi });
+            assert_eq!(got, scalar, "{isa}");
+        }
+    }
+}

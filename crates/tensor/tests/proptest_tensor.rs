@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
-use falvolt_tensor::{kernels, ops, reduce, Tensor};
+use falvolt_tensor::{kernels, ops, reduce, simd, SpikeIndex, Tensor};
 use proptest::prelude::*;
 
 fn small_matrix() -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
@@ -194,5 +194,117 @@ proptest! {
         let profile = kernels::OperandProfile::measure(input.data());
         let sparse = ops::im2col_with_profile(&input, &dims, profile).unwrap();
         prop_assert_eq!(dense.data(), sparse.data());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch properties: every lifted kernel agrees with the forced-scalar
+// engine at every ISA the CPU supports, including odd tail lengths (sizes
+// deliberately straddle the widest lane count). The dispatch override is
+// process-global, so each test holds the shared lock for its whole body.
+// ---------------------------------------------------------------------------
+
+fn hashed(i: usize, salt: u64, amp: f32) -> f32 {
+    let r = ((i as u64).wrapping_mul(2_654_435_761).wrapping_add(salt) % 2000) as f32;
+    (r / 1000.0 - 1.0) * amp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_matmul_matches_scalar_on_every_isa(
+        m in 1usize..7,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let _lock = simd::test_override_lock();
+        let a: Vec<f32> = (0..m * k).map(|i| hashed(i, seed, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| hashed(i, seed ^ 0xABCD, 1.5)).collect();
+        let scalar = {
+            let _g = simd::force(Some(simd::Isa::Scalar));
+            kernels::matmul(&a, &b, m, k, n)
+        };
+        for isa in simd::available() {
+            let _g = simd::force(Some(isa));
+            let vectored = kernels::matmul(&a, &b, m, k, n);
+            for (x, y) in vectored.iter().zip(&scalar) {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                prop_assert!(
+                    (x - y).abs() <= 1e-5 * scale,
+                    "isa {} diverged: {} vs {}", isa, x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spike_row_adds_are_bit_identical_on_every_isa(
+        m in 1usize..7,
+        k in 1usize..24,
+        n in 1usize..40,
+        density_pct in 0usize..70,
+        seed in 0u64..500,
+    ) {
+        // The row-add kernels use unfused lane mul/add, so sparse and
+        // indexed products must match the scalar engine *exactly* on every
+        // ISA — not just within tolerance.
+        let _lock = simd::test_override_lock();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| {
+                let r = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(seed) % 100;
+                f32::from(u8::from((r as usize) < density_pct))
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| hashed(i, seed ^ 0x5EED, 1.0)).collect();
+        let index = SpikeIndex::from_dense(&a, k).unwrap();
+        let (scalar_sparse, scalar_indexed) = {
+            let _g = simd::force(Some(simd::Isa::Scalar));
+            (
+                kernels::matmul_sparse(&a, &b, m, k, n),
+                kernels::matmul_spikes_indexed(&index, &b, m, k, n),
+            )
+        };
+        prop_assert_eq!(&scalar_sparse, &scalar_indexed);
+        for isa in simd::available() {
+            let _g = simd::force(Some(isa));
+            let sparse = kernels::matmul_sparse(&a, &b, m, k, n);
+            let indexed = kernels::matmul_spikes_indexed(&index, &b, m, k, n);
+            prop_assert_eq!(&sparse, &scalar_sparse, "sparse isa {}", isa);
+            prop_assert_eq!(&indexed, &scalar_indexed, "indexed isa {}", isa);
+        }
+    }
+
+    #[test]
+    fn mixed_value_sparse_rows_stay_bit_identical_on_every_isa(
+        m in 1usize..5,
+        k in 1usize..16,
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        // Non-binary nonzeros take the value-scaled row-add (axpy) lanes;
+        // those are unfused too, so exact equality must still hold.
+        let _lock = simd::test_override_lock();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| {
+                let r = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(seed) % 100;
+                if r < 30 { hashed(i, seed, 1.0) } else { 0.0 }
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| hashed(i, seed ^ 0x77, 1.0)).collect();
+        let scalar = {
+            let _g = simd::force(Some(simd::Isa::Scalar));
+            kernels::matmul_sparse(&a, &b, m, k, n)
+        };
+        for isa in simd::available() {
+            let _g = simd::force(Some(isa));
+            prop_assert_eq!(
+                &kernels::matmul_sparse(&a, &b, m, k, n),
+                &scalar,
+                "isa {}",
+                isa
+            );
+        }
     }
 }
