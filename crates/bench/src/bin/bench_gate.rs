@@ -40,11 +40,94 @@
 //! reordered or inserted sweep entries would silently match different
 //! entries.
 //!
-//! Exit status: 0 when every check clears, 1 otherwise (including a missing
-//! or speedup-free current file).
+//! Exit status: 0 when every check clears. Every failure class has its own
+//! non-zero exit code (see [`FailureKind`]) and, in addition to the human
+//! log lines, each failure is emitted on stderr as one machine-readable
+//! JSON line of the form
+//! `bench-gate-failure: {"kind": "...", "label": "...", "detail": "..."}`
+//! so CI can report *why* the gate tripped without scraping prose. When
+//! several classes fail at once the process exits with the code of the
+//! first failure encountered (file-level problems are detected before
+//! entry-level ones, so the exit code names the most fundamental fault).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+/// The distinct failure classes the gate can exit with. The discriminant is
+/// the process exit code, so callers can dispatch on `$?` alone:
+///
+/// | code | kind | meaning |
+/// |------|------|---------|
+/// | 2 | `current-unreadable` | the current bench JSON is missing or unreadable |
+/// | 3 | `no-speedups` | the current file records no `"speedup"` entries |
+/// | 4 | `unparseable-speedup` | a `"speedup"` value is not a finite number |
+/// | 5 | `below-threshold` | a speedup is under the absolute threshold |
+/// | 6 | `baseline-unreadable` | the supplied baseline file cannot be read |
+/// | 7 | `baseline-regression` | an entry regressed vs (or vanished from) the baseline |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailureKind {
+    CurrentUnreadable = 2,
+    NoSpeedups = 3,
+    UnparseableSpeedup = 4,
+    BelowThreshold = 5,
+    BaselineUnreadable = 6,
+    BaselineRegression = 7,
+}
+
+impl FailureKind {
+    fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable machine-readable name, mirrored in the table above.
+    fn kind(self) -> &'static str {
+        match self {
+            FailureKind::CurrentUnreadable => "current-unreadable",
+            FailureKind::NoSpeedups => "no-speedups",
+            FailureKind::UnparseableSpeedup => "unparseable-speedup",
+            FailureKind::BelowThreshold => "below-threshold",
+            FailureKind::BaselineUnreadable => "baseline-unreadable",
+            FailureKind::BaselineRegression => "baseline-regression",
+        }
+    }
+}
+
+/// One recorded gate failure: its class, the entry label it concerns (empty
+/// for file-level failures) and a human-oriented detail string.
+struct Failure {
+    kind: FailureKind,
+    label: String,
+    detail: String,
+}
+
+/// Minimal JSON string escaping for the machine-readable failure lines
+/// (labels and details may embed quotes or backslashes from file paths and
+/// unparseable tokens).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits the machine-readable line for one failure.
+fn report(failure: &Failure) {
+    eprintln!(
+        "bench-gate-failure: {{\"kind\": \"{}\", \"label\": \"{}\", \"detail\": \"{}\"}}",
+        failure.kind.kind(),
+        json_escape(&failure.label),
+        json_escape(&failure.detail),
+    );
+}
 
 /// One `"speedup"` occurrence: its key path and parsed value (or the
 /// offending token).
@@ -180,21 +263,33 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.10);
 
+    let mut failures: Vec<Failure> = Vec::new();
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("bench gate: cannot read {path}: {e}");
             eprintln!("run `cargo bench -p falvolt-bench --bench kernels` first");
-            return ExitCode::FAILURE;
+            let failure = Failure {
+                kind: FailureKind::CurrentUnreadable,
+                label: String::new(),
+                detail: format!("cannot read {path}: {e}"),
+            };
+            report(&failure);
+            return ExitCode::from(failure.kind.code());
         }
     };
     let metrics = extract_metrics(&text);
     if metrics.speedups.is_empty() {
         eprintln!("bench gate: {path} records no \"speedup\" entries — bench output is broken");
-        return ExitCode::FAILURE;
+        let failure = Failure {
+            kind: FailureKind::NoSpeedups,
+            label: String::new(),
+            detail: format!("{path} records no \"speedup\" entries"),
+        };
+        report(&failure);
+        return ExitCode::from(failure.kind.code());
     }
 
-    let mut ok = true;
     let mut current = BTreeMap::new();
     for (label, entry) in &metrics.speedups {
         match entry {
@@ -202,13 +297,21 @@ fn main() -> ExitCode {
                 let verdict = if *v >= threshold { "ok" } else { "REGRESSION" };
                 println!("{label} = {v:.3} ({verdict})");
                 if *v < threshold {
-                    ok = false;
+                    failures.push(Failure {
+                        kind: FailureKind::BelowThreshold,
+                        label: label.clone(),
+                        detail: format!("speedup {v:.3} below threshold {threshold}"),
+                    });
                 }
                 current.insert(label.clone(), *v);
             }
             Err(token) => {
                 eprintln!("{label} = {token:?} (UNPARSEABLE — broken measurement)");
-                ok = false;
+                failures.push(Failure {
+                    kind: FailureKind::UnparseableSpeedup,
+                    label: label.clone(),
+                    detail: format!("\"speedup\" value {token:?} is not a finite number"),
+                });
             }
         }
     }
@@ -246,40 +349,93 @@ fn main() -> ExitCode {
                                 "{label}: {now:.3} regressed more than {:.0}% below baseline {base:.3}",
                                 max_regression * 100.0
                             );
-                            ok = false;
+                            failures.push(Failure {
+                                kind: FailureKind::BaselineRegression,
+                                label: label.clone(),
+                                detail: format!(
+                                    "{now:.3} below floor {:.3} of baseline {base:.3}",
+                                    base * floor
+                                ),
+                            });
                         }
                         None => {
                             eprintln!(
                                 "{label}: recorded in baseline ({base:.3}) but missing from {path}"
                             );
-                            ok = false;
+                            failures.push(Failure {
+                                kind: FailureKind::BaselineRegression,
+                                label: label.clone(),
+                                detail: format!(
+                                    "recorded in baseline ({base:.3}) but missing from {path}"
+                                ),
+                            });
                         }
                     }
                 }
             }
             Err(e) => {
                 eprintln!("bench gate: cannot read baseline {baseline_path}: {e}");
-                ok = false;
+                failures.push(Failure {
+                    kind: FailureKind::BaselineUnreadable,
+                    label: String::new(),
+                    detail: format!("cannot read baseline {baseline_path}: {e}"),
+                });
             }
         }
     }
 
-    if ok {
-        println!(
-            "bench gate: all {} recorded speedups >= {threshold} (and within {:.0}% of baseline where one was given)",
-            metrics.speedups.len(),
-            max_regression * 100.0
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("bench gate: at least one optimised path regressed or failed to measure");
-        ExitCode::FAILURE
+    match failures.first() {
+        None => {
+            println!(
+                "bench gate: all {} recorded speedups >= {threshold} (and within {:.0}% of baseline where one was given)",
+                metrics.speedups.len(),
+                max_regression * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Some(first) => {
+            for failure in &failures {
+                report(failure);
+            }
+            eprintln!(
+                "bench gate: {} failure(s), exiting with code {} ({})",
+                failures.len(),
+                first.kind.code(),
+                first.kind.kind()
+            );
+            ExitCode::from(first.kind.code())
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::extract_metrics;
+    use super::{extract_metrics, json_escape, FailureKind};
+
+    #[test]
+    fn failure_kinds_have_distinct_stable_exit_codes() {
+        let kinds = [
+            FailureKind::CurrentUnreadable,
+            FailureKind::NoSpeedups,
+            FailureKind::UnparseableSpeedup,
+            FailureKind::BelowThreshold,
+            FailureKind::BaselineUnreadable,
+            FailureKind::BaselineRegression,
+        ];
+        let codes: Vec<u8> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.kind()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len(), "kind names must be distinct");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(json_escape(r#"a "b" c"#), r#"a \"b\" c"#);
+        assert_eq!(json_escape(r"path\to"), r"path\\to");
+        assert_eq!(json_escape("a\nb\x01"), "a\\nb\\u0001");
+    }
 
     #[test]
     fn extracts_and_labels_all_speedup_values() {

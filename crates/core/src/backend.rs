@@ -92,6 +92,7 @@ impl SystolicBackend {
             bypass: BypassPolicy::None,
             product_cache: None,
             composed_mask_chains: true,
+            cancel: None,
         }
     }
 
@@ -145,6 +146,7 @@ pub struct SystolicBackendBuilder {
     bypass: BypassPolicy,
     product_cache: Option<Arc<ProductCache>>,
     composed_mask_chains: bool,
+    cancel: Option<falvolt_tensor::CancelToken>,
 }
 
 impl SystolicBackendBuilder {
@@ -177,11 +179,20 @@ impl SystolicBackendBuilder {
         self.composed_mask_chains(preset.composed_mask_chains())
     }
 
+    /// Installs a cooperative cancellation token: a tripped token makes the
+    /// executor return [`falvolt_tensor::TensorError::Cancelled`] at
+    /// fold-chain granularity instead of finishing the product.
+    pub fn cancel_token(mut self, token: Option<falvolt_tensor::CancelToken>) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Builds the backend.
     pub fn build(self) -> SystolicBackend {
         let mut executor = SystolicExecutor::with_bypass(self.config, self.fault_map, self.bypass);
         executor.set_product_cache(self.product_cache);
         executor.set_composed_mask_chains(self.composed_mask_chains);
+        executor.set_cancel_token(self.cancel);
         SystolicBackend { executor }
     }
 
@@ -324,19 +335,43 @@ impl ScenarioProducts {
     /// `maps[index]` installed (same name, same fingerprint, bit-identical
     /// products), but consults the shared batch store first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `index` is out of range.
-    pub fn member(set: &Arc<Self>, index: usize) -> Arc<dyn MatmulBackend> {
-        assert!(index < set.maps.len(), "scenario index out of range");
+    /// Returns [`crate::CampaignError::InvalidPlan`] when `index` is out of
+    /// range — a bad scenario index is a plan defect the scheduler records,
+    /// not grounds for a process abort.
+    pub fn member(set: &Arc<Self>, index: usize) -> crate::Result<Arc<dyn MatmulBackend>> {
+        if index >= set.maps.len() {
+            return Err(crate::error::CampaignError::invalid_plan(format!(
+                "scenario index {index} out of range for a set of {}",
+                set.maps.len()
+            ))
+            .into());
+        }
         let mut executor = SystolicExecutor::new(set.config, set.maps[index].clone());
         executor.set_product_cache(Some(Arc::clone(&set.product_cache)));
         executor.set_composed_mask_chains(set.batch_executor.composed_mask_chains());
-        Arc::new(ScenarioMemberBackend {
+        executor.set_cancel_token(set.batch_executor.cancel_token().cloned());
+        Ok(Arc::new(ScenarioMemberBackend {
             set: Arc::clone(set),
             index,
             executor,
-        })
+        }))
+    }
+
+    /// Installs a cooperative cancellation token on the batch executor;
+    /// member backends created afterwards inherit it, so a tripped token
+    /// stops batched *and* single-map products at fold-chain granularity.
+    pub fn set_cancel_token(&mut self, token: Option<falvolt_tensor::CancelToken>) {
+        self.batch_executor.set_cancel_token(token);
+    }
+
+    /// Quarantines every in-flight promotion of the shared batch store (a
+    /// panicking member may have been computing a batched product). Returns
+    /// the promotions reverted. The underlying product cache has its own
+    /// [`ProductCache::quarantine_in_flight`].
+    pub fn quarantine_in_flight(&self) -> usize {
+        self.store.quarantine_in_flight()
     }
 
     /// One store lookup; `eager` callers declared the operands

@@ -52,18 +52,25 @@
 //! # }
 //! ```
 
+use crate::error::{CampaignError, CellFailure};
 use crate::experiment::ExperimentContext;
+use crate::json;
 use crate::mitigation::{MitigationOutcome, MitigationStrategy, Mitigator, RetrainConfig};
-use crate::vulnerability::{scenario_accuracies, SweepPoint, SweepSeries};
+use crate::vulnerability::{
+    panic_message, scenario_outcomes, ScenarioOutcome, SweepPoint, SweepSeries,
+};
 use crate::Result;
 use falvolt_snn::{EnginePreset, SpikingNetwork, SweepCache};
 use falvolt_systolic::{FaultMap, StuckAt, SystolicConfig};
+use falvolt_tensor::CancelToken;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Axes
@@ -452,6 +459,413 @@ impl PoolKey {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience: statuses, budgets, retries, checkpoints
+// ---------------------------------------------------------------------------
+
+/// Why a cell was skipped rather than executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The run's [`RunBudget`] deadline expired before the cell started (or
+    /// while it was cooperatively winding down).
+    Deadline,
+    /// The run's [`CancelToken`] was tripped externally.
+    Cancelled,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::Deadline => write!(f, "deadline"),
+            SkipReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// How one campaign cell ended. A non-`Completed` cell is result *data* —
+/// it rides in the [`ResultTable`] with `accuracy: 0.0, scenarios: 0` —
+/// never a process abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// The cell executed; its accuracy (and outcomes) are valid.
+    Completed,
+    /// Every attempt at the cell failed; the shared caches were quarantined
+    /// if a panic was involved.
+    Failed {
+        /// The last attempt's failure.
+        cause: CellFailure,
+        /// Attempts made (1 = no retries).
+        attempts: usize,
+    },
+    /// The cell never ran: the deadline expired or the run was cancelled
+    /// first.
+    Skipped {
+        /// Why the cell was skipped.
+        reason: SkipReason,
+    },
+}
+
+impl CellStatus {
+    /// `true` when the cell executed and its accuracy is valid.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellStatus::Completed)
+    }
+
+    /// `true` when every attempt at the cell failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellStatus::Failed { .. })
+    }
+
+    /// `true` when the cell was skipped (deadline or cancellation).
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, CellStatus::Skipped { .. })
+    }
+}
+
+/// Resource budget of one [`Campaign::run`]: wall-clock deadline, concurrent
+/// cell admission, and a byte budget gating how many drawn fault scenarios
+/// are admitted per execution wave.
+///
+/// All three knobs default to unlimited, which also keeps the scheduler on
+/// its fastest path (one wave containing every cell, so cross-cell
+/// [`crate::ScenarioProducts`] batching sees the whole scenario axis).
+///
+/// On deadline expiry the run does NOT error: it returns the completed
+/// prefix, with every remaining cell marked
+/// [`CellStatus::Skipped`]`{ reason: `[`SkipReason::Deadline`]` }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    deadline: Option<Duration>,
+    max_concurrent_cells: Option<usize>,
+    scenario_bytes_budget: Option<usize>,
+}
+
+impl RunBudget {
+    /// No deadline, no admission limits — the default.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock budget measured from [`Campaign::run`] entry. Checked at
+    /// wave and retry boundaries, at worker start, and between evaluation
+    /// batches; expiry also trips the run's cancel token so in-flight
+    /// executors stop at fold-chain granularity.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// At most this many cells in flight per execution wave (clamped to at
+    /// least 1). Bounds peak memory at the cost of cross-cell batching.
+    pub fn max_concurrent_cells(mut self, cells: usize) -> Self {
+        self.max_concurrent_cells = Some(cells.max(1));
+        self
+    }
+
+    /// Admission gate on the estimated bytes of drawn fault-map scenarios
+    /// per wave (a wave always admits at least one cell, so a single huge
+    /// cell cannot deadlock the schedule).
+    pub fn scenario_bytes_budget(mut self, bytes: usize) -> Self {
+        self.scenario_bytes_budget = Some(bytes);
+        self
+    }
+}
+
+/// Bounded-retry policy for failed cells: capped exponential backoff, each
+/// attempt on a fresh scenario view (retries cannot change a successful
+/// result — cells are pure functions of spec and seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: usize,
+    backoff: Duration,
+    backoff_cap: Duration,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries — the default.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts per cell (clamped to at least 1),
+    /// with a 25 ms base backoff capped at 1 s.
+    pub fn attempts(max_attempts: usize) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides the backoff: the first retry waits `base`, each further
+    /// retry doubles the wait, capped at `cap`.
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff = base;
+        self.backoff_cap = cap.max(base);
+        self
+    }
+
+    /// Backoff before the given attempt (attempts are 1-based; attempt 2 is
+    /// the first retry and waits the base).
+    fn backoff_for(&self, attempt: usize) -> Duration {
+        let doublings = attempt.saturating_sub(2).min(16) as u32;
+        self.backoff
+            .saturating_mul(1 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A consumer of periodic checkpoints (write to disk, hand to a supervisor).
+pub type CheckpointSink = Arc<dyn Fn(&CampaignCheckpoint) + Send + Sync>;
+
+/// Chaos/test injection hook: `(cell index, attempt) -> Ok | Err(message)`;
+/// may also panic or sleep. Installed via [`Campaign::cell_hook`].
+type CellHook = Arc<dyn Fn(usize, usize) -> std::result::Result<(), String> + Send + Sync>;
+
+/// One completed cell inside a checkpoint: the plan index plus the result
+/// payload. The spec is NOT stored — on resume it is reattached from the
+/// re-expanded plan, which the fingerprint certifies identical.
+#[derive(Debug, Clone, PartialEq)]
+struct CheckpointCell {
+    index: usize,
+    accuracy: f32,
+    scenarios: usize,
+    outcomes: Vec<MitigationOutcome>,
+}
+
+/// A resumable snapshot of a partially executed campaign: the plan
+/// fingerprint plus every cell completed so far.
+///
+/// Emitted through [`Campaign::checkpoint_sink`] after each execution wave
+/// and consumed by [`Campaign::resume`]. Only `Completed` cells are
+/// recorded: failed and skipped cells are re-attempted on resume, so a
+/// killed-and-resumed run converges to the same [`ResultTable`] as an
+/// uninterrupted one.
+///
+/// The JSON encoding ([`CampaignCheckpoint::to_json`]) stores every float as
+/// a hex string of its IEEE-754 bits, so a round-trip through disk is
+/// bit-exact — resumed accuracies compare `==` to uninterrupted ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    fingerprint: u64,
+    baseline_accuracy: f32,
+    total_cells: usize,
+    cells: Vec<CheckpointCell>,
+}
+
+impl CampaignCheckpoint {
+    /// Fingerprint of the plan this checkpoint belongs to ([`Campaign::resume`]
+    /// refuses checkpoints whose fingerprint does not match).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of cells in the full plan.
+    pub fn total_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// Number of completed cells recorded.
+    pub fn completed_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when every cell of the plan is recorded as completed.
+    pub fn is_complete(&self) -> bool {
+        self.cells.len() == self.total_cells
+    }
+
+    /// Serializes the checkpoint to JSON (floats as IEEE-754 bit hex strings
+    /// — see the type docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1");
+        out.push_str(&format!(",\"fingerprint\":\"{:#018x}\"", self.fingerprint));
+        out.push_str(&format!(
+            ",\"baseline_accuracy\":\"{:#010x}\"",
+            self.baseline_accuracy.to_bits()
+        ));
+        out.push_str(&format!(",\"total_cells\":{}", self.total_cells));
+        out.push_str(",\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"accuracy\":\"{:#010x}\",\"scenarios\":{},\"outcomes\":[",
+                cell.index,
+                cell.accuracy.to_bits(),
+                cell.scenarios
+            ));
+            for (j, outcome) in cell.outcomes.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                encode_outcome(&mut out, outcome);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes a checkpoint serialized by [`CampaignCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::CheckpointMalformed`] for syntax errors,
+    /// missing fields, wrong types, or float-bit strings that do not decode.
+    pub fn from_json(text: &str) -> std::result::Result<Self, CampaignError> {
+        let doc = json::parse(text)?;
+        let version = doc.field("version")?.as_usize()?;
+        if version != 1 {
+            return Err(CampaignError::malformed(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let fingerprint = u64_from_hex(doc.field("fingerprint")?)?;
+        let baseline_accuracy = f32_from_hex(doc.field("baseline_accuracy")?)?;
+        let total_cells = doc.field("total_cells")?.as_usize()?;
+        let mut cells = Vec::new();
+        for cell in doc.field("cells")?.as_arr()? {
+            let index = cell.field("index")?.as_usize()?;
+            if index >= total_cells {
+                return Err(CampaignError::malformed(format!(
+                    "cell index {index} out of range for a plan of {total_cells} cells"
+                )));
+            }
+            let accuracy = f32_from_hex(cell.field("accuracy")?)?;
+            let scenarios = cell.field("scenarios")?.as_usize()?;
+            let mut outcomes = Vec::new();
+            for outcome in cell.field("outcomes")?.as_arr()? {
+                outcomes.push(decode_outcome(outcome)?);
+            }
+            cells.push(CheckpointCell {
+                index,
+                accuracy,
+                scenarios,
+                outcomes,
+            });
+        }
+        Ok(Self {
+            fingerprint,
+            baseline_accuracy,
+            total_cells,
+            cells,
+        })
+    }
+}
+
+/// Appends one [`MitigationOutcome`] to a JSON buffer (floats as bit hex).
+fn encode_outcome(out: &mut String, outcome: &MitigationOutcome) {
+    out.push_str(&format!(
+        "{{\"strategy\":{},\"fault_rate\":\"{:#018x}\",\"pruned_weight_fraction\":\"{:#018x}\",\
+         \"accuracy_after_pruning\":\"{:#010x}\",\"final_accuracy\":\"{:#010x}\",\
+         \"epochs_run\":{},\"history\":[",
+        json::quote(&outcome.strategy),
+        outcome.fault_rate.to_bits(),
+        outcome.pruned_weight_fraction.to_bits(),
+        outcome.accuracy_after_pruning.to_bits(),
+        outcome.final_accuracy.to_bits(),
+        outcome.epochs_run
+    ));
+    for (i, point) in outcome.history.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let loss = match point.train_loss {
+            Some(loss) => format!("\"{:#010x}\"", loss.to_bits()),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"epoch\":{},\"train_loss\":{},\"test_accuracy\":\"{:#010x}\"}}",
+            point.epoch,
+            loss,
+            point.test_accuracy.to_bits()
+        ));
+    }
+    out.push_str("],\"thresholds\":[");
+    for (i, (layer, threshold)) in outcome.thresholds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{},\"{:#010x}\"]",
+            json::quote(layer),
+            threshold.to_bits()
+        ));
+    }
+    out.push_str("]}");
+}
+
+/// Decodes one [`MitigationOutcome`] from its checkpoint encoding.
+fn decode_outcome(v: &json::Value) -> std::result::Result<MitigationOutcome, CampaignError> {
+    let mut history = Vec::new();
+    for point in v.field("history")?.as_arr()? {
+        let train_loss = match point.field("train_loss")? {
+            json::Value::Null => None,
+            bits => Some(f32_from_hex(bits)?),
+        };
+        history.push(crate::mitigation::EpochPoint {
+            epoch: point.field("epoch")?.as_usize()?,
+            train_loss,
+            test_accuracy: f32_from_hex(point.field("test_accuracy")?)?,
+        });
+    }
+    let mut thresholds = Vec::new();
+    for pair in v.field("thresholds")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return Err(CampaignError::malformed(
+                "a threshold entry must be a [layer, bits] pair",
+            ));
+        }
+        thresholds.push((pair[0].as_str()?.to_string(), f32_from_hex(&pair[1])?));
+    }
+    Ok(MitigationOutcome {
+        strategy: v.field("strategy")?.as_str()?.to_string(),
+        fault_rate: f64_from_hex(v.field("fault_rate")?)?,
+        pruned_weight_fraction: f64_from_hex(v.field("pruned_weight_fraction")?)?,
+        accuracy_after_pruning: f32_from_hex(v.field("accuracy_after_pruning")?)?,
+        final_accuracy: f32_from_hex(v.field("final_accuracy")?)?,
+        history,
+        thresholds,
+        epochs_run: v.field("epochs_run")?.as_usize()?,
+    })
+}
+
+/// Decodes a `"0x…"` hex string into the `u64` it encodes.
+fn u64_from_hex(v: &json::Value) -> std::result::Result<u64, CampaignError> {
+    let s = v.as_str()?;
+    let hex = s.strip_prefix("0x").ok_or_else(|| {
+        CampaignError::malformed(format!("expected a 0x-prefixed bit string, found `{s}`"))
+    })?;
+    u64::from_str_radix(hex, 16)
+        .map_err(|_| CampaignError::malformed(format!("invalid bit string `{s}`")))
+}
+
+/// Decodes a `"0x…"` hex string into the `f32` whose bits it encodes.
+fn f32_from_hex(v: &json::Value) -> std::result::Result<f32, CampaignError> {
+    let bits = u64_from_hex(v)?;
+    u32::try_from(bits)
+        .map(f32::from_bits)
+        .map_err(|_| CampaignError::malformed("f32 bit string wider than 32 bits"))
+}
+
+/// Decodes a `"0x…"` hex string into the `f64` whose bits it encodes.
+fn f64_from_hex(v: &json::Value) -> std::result::Result<f64, CampaignError> {
+    Ok(f64::from_bits(u64_from_hex(v)?))
+}
+
+// ---------------------------------------------------------------------------
 // Results
 // ---------------------------------------------------------------------------
 
@@ -462,12 +876,16 @@ pub struct CellResult {
     pub spec: CellSpec,
     /// Mean classification accuracy: over the drawn fault maps for
     /// evaluation cells, over the per-map mitigation outcomes for
-    /// retraining cells.
+    /// retraining cells. `0.0` for failed/skipped cells (check
+    /// [`CellResult::status`] before averaging).
     pub accuracy: f32,
-    /// Number of fault scenarios averaged.
+    /// Number of fault scenarios averaged (`0` for failed/skipped cells).
     pub scenarios: usize,
     /// Per-map mitigation outcomes (empty for evaluation cells).
     pub outcomes: Vec<MitigationOutcome>,
+    /// How the cell ended ([`CellStatus::Completed`] unless the run hit
+    /// failures, a deadline, or cancellation).
+    pub status: CellStatus,
 }
 
 impl CellResult {
@@ -523,6 +941,24 @@ impl CampaignRun {
     /// `true` when the plan expanded to zero cells.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
+    }
+
+    /// Number of cells that completed.
+    pub fn completed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status.is_completed())
+            .count()
+    }
+
+    /// Number of cells whose every attempt failed.
+    pub fn failed(&self) -> usize {
+        self.cells.iter().filter(|c| c.status.is_failed()).count()
+    }
+
+    /// Number of cells skipped by deadline expiry or cancellation.
+    pub fn skipped(&self) -> usize {
+        self.cells.iter().filter(|c| c.status.is_skipped()).count()
     }
 
     /// Converts the run into the serde-serializable [`ResultTable`].
@@ -651,6 +1087,13 @@ pub struct Campaign<'a> {
     preset: EnginePreset,
     retrain_epochs: Option<usize>,
     retrain_config: RetrainConfig,
+    budget: RunBudget,
+    retry: RetryPolicy,
+    cancel: Option<CancelToken>,
+    checkpoint_every: Option<usize>,
+    checkpoint_sink: Option<CheckpointSink>,
+    resume_from: Option<CampaignCheckpoint>,
+    injector: Option<CellHook>,
 }
 
 impl<'a> Campaign<'a> {
@@ -668,6 +1111,13 @@ impl<'a> Campaign<'a> {
             preset: EnginePreset::full(),
             retrain_epochs: None,
             retrain_config: RetrainConfig::paper_like(),
+            budget: RunBudget::default(),
+            retry: RetryPolicy::default(),
+            cancel: None,
+            checkpoint_every: None,
+            checkpoint_sink: None,
+            resume_from: None,
+            injector: None,
         }
     }
 
@@ -725,17 +1175,112 @@ impl<'a> Campaign<'a> {
         self
     }
 
+    /// Applies a deserialized [`PlanSpec`] (axes, scenario count, optional
+    /// seed and epoch budget) on top of the builder's current state.
+    pub fn plan(mut self, spec: PlanSpec) -> Self {
+        self.scenarios_per_cell = spec.scenarios_per_cell;
+        if let Some(seed) = spec.seed {
+            self.seed = seed;
+        }
+        if let Some(epochs) = spec.retrain_epochs {
+            self.retrain_epochs = Some(epochs);
+        }
+        self.axes.extend(spec.axes);
+        self
+    }
+
+    /// Installs a [`RunBudget`] (deadline, concurrent-cell cap, scenario
+    /// byte budget). Default: [`RunBudget::unlimited`].
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a [`RetryPolicy`] for failed cells. Default:
+    /// [`RetryPolicy::none`] (one attempt).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs an external cancellation token: trip it from another thread
+    /// and the run winds down cooperatively, marking unexecuted cells
+    /// [`CellStatus::Skipped`]`{ reason: `[`SkipReason::Cancelled`]` }`.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Caps execution waves at `cells` cells, emitting a checkpoint through
+    /// the sink after each wave. Smaller values checkpoint more often at the
+    /// cost of cross-cell scenario batching (clamped to at least 1).
+    pub fn checkpoint_every(mut self, cells: usize) -> Self {
+        self.checkpoint_every = Some(cells.max(1));
+        self
+    }
+
+    /// Installs the checkpoint consumer called after every execution wave
+    /// (and therefore at least once per run when the plan is non-empty).
+    pub fn checkpoint_sink(
+        mut self,
+        sink: impl Fn(&CampaignCheckpoint) + Send + Sync + 'static,
+    ) -> Self {
+        self.checkpoint_sink = Some(Arc::new(sink));
+        self
+    }
+
+    /// Resumes a previous partial run: completed cells recorded in the
+    /// checkpoint are reused verbatim (their seeds replay identically, so
+    /// the merged run is bit-identical to an uninterrupted one); failed and
+    /// skipped cells are re-attempted. [`Campaign::run`] re-validates the
+    /// checkpoint's plan fingerprint and returns
+    /// [`CampaignError::CheckpointMismatch`] if the plan differs.
+    pub fn resume(mut self, checkpoint: CampaignCheckpoint) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
+
+    /// Test/chaos injection point: called as `(cell index, attempt)` before
+    /// each cell attempt; an `Err` fails the cell, a panic exercises the
+    /// isolation path.
+    #[doc(hidden)]
+    pub fn cell_hook(
+        mut self,
+        hook: impl Fn(usize, usize) -> std::result::Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.injector = Some(Arc::new(hook));
+        self
+    }
+
+    /// Installs a deterministic chaos-injection plan (panics, errors, slow
+    /// workers) driven by [`crate::chaos::ChaosPlan`].
+    #[cfg(feature = "chaos")]
+    pub fn chaos(mut self, plan: crate::chaos::ChaosPlan) -> Self {
+        self.injector = Some(plan.into_hook());
+        self
+    }
+
     /// Executes the plan: expands the axes, mixes seeds, draws the fault-map
     /// pools sequentially (so results are worker-count-independent), fans
     /// evaluation cells out through the shared-cache scenario engine and
     /// retraining cells across scenario views, and returns the cells in
     /// plan order. The context's baseline is restored before and after.
     ///
+    /// Execution proceeds in *waves* sized by [`Campaign::checkpoint_every`]
+    /// and the [`RunBudget`] admission knobs (by default one wave holds the
+    /// whole plan, preserving cross-cell scenario batching). Cell failures —
+    /// worker panics included — are caught, retried per the
+    /// [`RetryPolicy`], and recorded as [`CellStatus::Failed`] rows; deadline
+    /// expiry and cancellation mark the unexecuted remainder
+    /// [`CellStatus::Skipped`] and return the completed prefix.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::FalvoltError`] for invalid plans (zero scenarios per
-    /// cell, invalid array sizes), fault-map draw failures and the first
-    /// cell error in plan order.
+    /// cell, invalid array sizes), fault-map draw failures, baseline
+    /// restoration failures, and checkpoints that do not belong to this plan
+    /// ([`CampaignError::CheckpointMismatch`]). Cell execution failures do
+    /// NOT error the run.
     pub fn run(self) -> Result<CampaignRun> {
         let Campaign {
             ctx,
@@ -746,11 +1291,19 @@ impl<'a> Campaign<'a> {
             preset,
             retrain_epochs,
             retrain_config,
+            budget,
+            retry,
+            cancel,
+            checkpoint_every,
+            checkpoint_sink,
+            resume_from,
+            injector,
         } = self;
         if scenarios_per_cell == 0 {
-            return Err(crate::FalvoltError::invalid_config(
+            return Err(CampaignError::invalid_plan(
                 "a campaign needs at least one scenario per cell",
-            ));
+            )
+            .into());
         }
 
         // 1. Expand the axes into the cartesian cell-spec list.
@@ -765,11 +1318,16 @@ impl<'a> Campaign<'a> {
 
         // 2. Mix seeds and draw the fault-map pools sequentially, in cell
         // order. Cells sharing every draw parameter and the mixed seed
-        // borrow one pool (e.g. the strategies of one fault rate).
+        // borrow one pool (e.g. the strategies of one fault rate). Seed
+        // mixing replays identically on resume — the pools a resumed run
+        // draws are the pools the interrupted run drew.
         let mut pools: Vec<(PoolKey, Arc<Vec<FaultMap>>)> = Vec::new();
         let mut cell_pool = Vec::with_capacity(specs.len());
+        let mut cell_seeds = Vec::with_capacity(specs.len());
         for spec in &specs {
-            let key = PoolKey::of(spec, mixer(seed, spec));
+            let mixed = mixer(seed, spec);
+            cell_seeds.push(mixed);
+            let key = PoolKey::of(spec, mixed);
             let index = match pools.iter().position(|(k, _)| *k == key) {
                 Some(index) => index,
                 None => {
@@ -782,104 +1340,376 @@ impl<'a> Campaign<'a> {
             };
             cell_pool.push(index);
         }
-
-        // 3. Execute against the restored baseline.
         let payloads: Vec<CellPayload> = specs
             .iter()
             .map(|s| s.payload(retrain_epochs))
             .collect::<Result<_>>()?;
-        ctx.restore_baseline()?;
 
-        // Evaluation cells: one flat scenario list, fanned out through the
-        // preset-aware scenario engine with the context-owned caches (the
-        // ScenarioProducts batching groups scenarios per grid internally).
-        let eval_cells: Vec<usize> = payloads
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, CellPayload::Eval))
-            .map(|(i, _)| i)
-            .collect();
-        let mut eval_accuracies = Vec::new();
-        if !eval_cells.is_empty() {
-            let mut scenarios = Vec::with_capacity(eval_cells.len() * scenarios_per_cell);
-            for &cell in &eval_cells {
-                for map in pools[cell_pool[cell]].1.iter() {
-                    scenarios.push((specs[cell].systolic, map.clone()));
+        // 3. Fingerprint the plan and replay any checkpoint: completed cells
+        // are reused verbatim, everything else is (re)executed.
+        let fingerprint = plan_fingerprint(
+            ctx,
+            &specs,
+            &payloads,
+            &cell_seeds,
+            scenarios_per_cell,
+            &retrain_config,
+        );
+        let mut done: Vec<Option<CellResult>> = vec![None; specs.len()];
+        if let Some(checkpoint) = resume_from {
+            if checkpoint.fingerprint != fingerprint {
+                return Err(CampaignError::CheckpointMismatch {
+                    expected: fingerprint,
+                    actual: checkpoint.fingerprint,
+                }
+                .into());
+            }
+            if checkpoint.total_cells != specs.len() {
+                return Err(CampaignError::malformed(format!(
+                    "checkpoint records a plan of {} cells, this plan has {}",
+                    checkpoint.total_cells,
+                    specs.len()
+                ))
+                .into());
+            }
+            for cell in checkpoint.cells {
+                done[cell.index] = Some(CellResult {
+                    spec: specs[cell.index].clone(),
+                    accuracy: cell.accuracy,
+                    scenarios: cell.scenarios,
+                    outcomes: cell.outcomes,
+                    status: CellStatus::Completed,
+                });
+            }
+        }
+
+        // 4. Partition the pending cells into execution waves: capped by the
+        // checkpoint cadence and the budget's concurrency / byte admission
+        // (with no caps set, one wave holds the whole plan — the fast path
+        // with full cross-cell batching).
+        let pending: Vec<usize> = (0..specs.len()).filter(|&i| done[i].is_none()).collect();
+        let wave_cap = checkpoint_every
+            .unwrap_or(usize::MAX)
+            .min(budget.max_concurrent_cells.unwrap_or(usize::MAX))
+            .max(1);
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        let mut wave: Vec<usize> = Vec::new();
+        let mut wave_bytes = 0usize;
+        for &cell in &pending {
+            let bytes = pool_bytes(&pools[cell_pool[cell]].1);
+            let over_bytes = budget
+                .scenario_bytes_budget
+                .is_some_and(|b| wave_bytes + bytes > b);
+            if !wave.is_empty() && (wave.len() >= wave_cap || over_bytes) {
+                waves.push(std::mem::take(&mut wave));
+                wave_bytes = 0;
+            }
+            wave.push(cell);
+            wave_bytes += bytes;
+        }
+        if !wave.is_empty() {
+            waves.push(wave);
+        }
+
+        // 5. Execute the waves against the restored baseline, with a shared
+        // deadline-aware cancel token and per-cell panic isolation.
+        ctx.restore_baseline()?;
+        let started = Instant::now();
+        let deadline = budget.deadline.map(|d| started + d);
+        let expired = move || deadline.is_some_and(|d| Instant::now() >= d);
+        let run_token = cancel.unwrap_or_default();
+        {
+            let stop_reason = || -> Option<SkipReason> {
+                if expired() {
+                    // Deadline expiry trips the shared token so in-flight
+                    // workers wind down at their next check.
+                    run_token.cancel();
+                    Some(SkipReason::Deadline)
+                } else if run_token.is_cancelled() {
+                    Some(SkipReason::Cancelled)
+                } else {
+                    None
+                }
+            };
+            let mitigator = Mitigator::new(ctx.classes(), retrain_config);
+            let retrain_cache = Arc::new(SweepCache::new());
+
+            // One attempt over a set of cells: evaluation cells fan out
+            // through the shared-cache scenario engine, retraining cells
+            // across panic-isolated scenario views.
+            let run_cells = |cells: &[usize], attempt: usize| -> Vec<(usize, CellTry)> {
+                let mut out: Vec<(usize, CellTry)> = Vec::new();
+
+                let eval_cells: Vec<usize> = cells
+                    .iter()
+                    .copied()
+                    .filter(|&c| matches!(payloads[c], CellPayload::Eval))
+                    .collect();
+                if !eval_cells.is_empty() {
+                    let mut scenarios = Vec::with_capacity(eval_cells.len() * scenarios_per_cell);
+                    for &cell in &eval_cells {
+                        for map in pools[cell_pool[cell]].1.iter() {
+                            scenarios.push((specs[cell].systolic, map.clone()));
+                        }
+                    }
+                    // The scenario hook runs at worker start: it surfaces
+                    // deadline expiry to in-flight workers and routes the
+                    // chaos/test injector to the first scenario of each cell.
+                    let hook_owner: Option<Box<crate::vulnerability::ScenarioHook>> =
+                        if deadline.is_some() || injector.is_some() {
+                            let injector = injector.clone();
+                            let token = run_token.clone();
+                            let eval_cells = eval_cells.clone();
+                            Some(Box::new(move |flat: usize| {
+                                if expired() {
+                                    token.cancel();
+                                }
+                                if flat.is_multiple_of(scenarios_per_cell) {
+                                    if let Some(inject) = &injector {
+                                        inject(eval_cells[flat / scenarios_per_cell], attempt)?;
+                                    }
+                                }
+                                Ok(())
+                            }))
+                        } else {
+                            None
+                        };
+                    let outcomes = scenario_outcomes(
+                        ctx.network(),
+                        scenarios,
+                        ctx.test_batches(),
+                        ctx.caches(),
+                        &preset,
+                        Some(&run_token),
+                        hook_owner.as_deref(),
+                    );
+                    for (slot, chunk) in eval_cells.iter().zip(outcomes.chunks(scenarios_per_cell))
+                    {
+                        // Accumulate in chunk order — bit-identical to the
+                        // pre-resilience `.sum()` over the same values.
+                        let mut sum = 0.0f32;
+                        let mut failed: Option<CellFailure> = None;
+                        let mut cancelled = false;
+                        for outcome in chunk {
+                            match outcome {
+                                ScenarioOutcome::Done(accuracy) => sum += accuracy,
+                                ScenarioOutcome::Failed(cause) => {
+                                    if failed.is_none() {
+                                        failed = Some(cause.clone());
+                                    }
+                                }
+                                ScenarioOutcome::Cancelled => cancelled = true,
+                            }
+                        }
+                        let tried = if cancelled {
+                            CellTry::Cancelled
+                        } else if let Some(cause) = failed {
+                            CellTry::Failed(cause)
+                        } else {
+                            CellTry::Done {
+                                accuracy: sum / chunk.len() as f32,
+                                scenarios: chunk.len(),
+                                outcomes: Vec::new(),
+                            }
+                        };
+                        out.push((*slot, tried));
+                    }
+                }
+
+                let retrain_cells: Vec<usize> = cells
+                    .iter()
+                    .copied()
+                    .filter(|&c| matches!(payloads[c], CellPayload::Retrain(_)))
+                    .collect();
+                if !retrain_cells.is_empty() {
+                    let baseline = ctx.network();
+                    let (train, test) = (ctx.train_batches(), ctx.test_batches());
+                    let caches = ctx.caches();
+                    let results: Vec<(usize, CellTry)> = retrain_cells
+                        .into_par_iter()
+                        .map(|cell| {
+                            if expired() {
+                                run_token.cancel();
+                            }
+                            if run_token.is_cancelled() {
+                                return (cell, CellTry::Cancelled);
+                            }
+                            let CellPayload::Retrain(strategy) = payloads[cell] else {
+                                return (
+                                    cell,
+                                    CellTry::Failed(CellFailure::Error {
+                                        message: "scheduler misrouted an evaluation cell"
+                                            .to_string(),
+                                    }),
+                                );
+                            };
+                            // The catch is INSIDE the worker body: the rayon
+                            // shim poisons its work queue when a map closure
+                            // unwinds through it. AssertUnwindSafe is sound
+                            // because a caught panic quarantines every shared
+                            // in-flight cache slot and the scenario view dies
+                            // with the closure.
+                            let caught = catch_unwind(AssertUnwindSafe(
+                                || -> std::result::Result<Vec<MitigationOutcome>, CellTry> {
+                                    if let Some(inject) = &injector {
+                                        inject(cell, attempt).map_err(|message| {
+                                            CellTry::Failed(CellFailure::Error { message })
+                                        })?;
+                                    }
+                                    let mut outcomes =
+                                        Vec::with_capacity(pools[cell_pool[cell]].1.len());
+                                    for map in pools[cell_pool[cell]].1.iter() {
+                                        if run_token.is_cancelled() {
+                                            return Err(CellTry::Cancelled);
+                                        }
+                                        let mut network =
+                                            retrain_view(baseline, &retrain_cache, &preset);
+                                        let outcome = mitigator
+                                            .run(&mut network, map, train, test, strategy)
+                                            .map_err(|e| {
+                                                CellTry::Failed(CellFailure::Error {
+                                                    message: e.to_string(),
+                                                })
+                                            })?;
+                                        outcomes.push(outcome);
+                                    }
+                                    Ok(outcomes)
+                                },
+                            ));
+                            match caught {
+                                Ok(Ok(outcomes)) => {
+                                    let accuracy =
+                                        outcomes.iter().map(|o| o.final_accuracy).sum::<f32>()
+                                            / outcomes.len() as f32;
+                                    (
+                                        cell,
+                                        CellTry::Done {
+                                            accuracy,
+                                            scenarios: outcomes.len(),
+                                            outcomes,
+                                        },
+                                    )
+                                }
+                                Ok(Err(tried)) => (cell, tried),
+                                Err(payload) => {
+                                    retrain_cache.quarantine_in_flight();
+                                    caches.sweep.quarantine_in_flight();
+                                    caches.product.quarantine_in_flight();
+                                    (
+                                        cell,
+                                        CellTry::Failed(CellFailure::Panic {
+                                            message: panic_message(payload),
+                                        }),
+                                    )
+                                }
+                            }
+                        })
+                        .collect();
+                    out.extend(results);
+                }
+                out
+            };
+
+            for wave in &waves {
+                if let Some(reason) = stop_reason() {
+                    for &cell in wave {
+                        done[cell] = Some(CellResult {
+                            spec: specs[cell].clone(),
+                            accuracy: 0.0,
+                            scenarios: 0,
+                            outcomes: Vec::new(),
+                            status: CellStatus::Skipped { reason },
+                        });
+                    }
+                    continue;
+                }
+                let mut results: Vec<(usize, CellTry, usize)> = run_cells(wave, 1)
+                    .into_iter()
+                    .map(|(cell, tried)| (cell, tried, 1))
+                    .collect();
+                for attempt in 2..=retry.max_attempts {
+                    let failed: Vec<usize> = results
+                        .iter()
+                        .filter(|(_, tried, _)| matches!(tried, CellTry::Failed(_)))
+                        .map(|(cell, _, _)| *cell)
+                        .collect();
+                    if failed.is_empty() || stop_reason().is_some() {
+                        break;
+                    }
+                    std::thread::sleep(retry.backoff_for(attempt));
+                    for (cell, tried) in run_cells(&failed, attempt) {
+                        if let Some(entry) = results.iter_mut().find(|(c, _, _)| *c == cell) {
+                            *entry = (cell, tried, attempt);
+                        }
+                    }
+                }
+                for (cell, tried, attempts) in results {
+                    done[cell] = Some(match tried {
+                        CellTry::Done {
+                            accuracy,
+                            scenarios,
+                            outcomes,
+                        } => CellResult {
+                            spec: specs[cell].clone(),
+                            accuracy,
+                            scenarios,
+                            outcomes,
+                            status: CellStatus::Completed,
+                        },
+                        CellTry::Failed(cause) => CellResult {
+                            spec: specs[cell].clone(),
+                            accuracy: 0.0,
+                            scenarios: 0,
+                            outcomes: Vec::new(),
+                            status: CellStatus::Failed { cause, attempts },
+                        },
+                        CellTry::Cancelled => {
+                            let reason = if expired() {
+                                SkipReason::Deadline
+                            } else {
+                                SkipReason::Cancelled
+                            };
+                            CellResult {
+                                spec: specs[cell].clone(),
+                                accuracy: 0.0,
+                                scenarios: 0,
+                                outcomes: Vec::new(),
+                                status: CellStatus::Skipped { reason },
+                            }
+                        }
+                    });
+                }
+                if let Some(sink) = &checkpoint_sink {
+                    sink(&checkpoint_of(
+                        fingerprint,
+                        ctx.baseline_accuracy(),
+                        specs.len(),
+                        &done,
+                    ));
                 }
             }
-            eval_accuracies = scenario_accuracies(
-                ctx.network(),
-                scenarios,
-                ctx.test_batches(),
-                ctx.caches(),
-                &preset,
-            )?;
         }
 
-        // Retraining cells: scenario views of the baseline sharing one fresh
-        // sweep cache, one worker per cell, the Mitigator run per drawn map.
-        let retrain_cells: Vec<usize> = payloads
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, CellPayload::Retrain(_)))
-            .map(|(i, _)| i)
-            .collect();
-        let mut retrain_outcomes: Vec<Vec<MitigationOutcome>> = Vec::new();
-        if !retrain_cells.is_empty() {
-            let mitigator = Mitigator::new(ctx.classes(), retrain_config);
-            let baseline = ctx.network();
-            let (train, test) = (ctx.train_batches(), ctx.test_batches());
-            let sweep_cache = Arc::new(SweepCache::new());
-            let results: Vec<Result<Vec<MitigationOutcome>>> = retrain_cells
-                .into_par_iter()
-                .map(|cell| {
-                    let CellPayload::Retrain(strategy) = payloads[cell] else {
-                        unreachable!("retrain_cells filters on the retrain payload");
-                    };
-                    pools[cell_pool[cell]]
-                        .1
-                        .iter()
-                        .map(|map| {
-                            let mut network = retrain_view(baseline, &sweep_cache, &preset);
-                            mitigator.run(&mut network, map, train, test, strategy)
-                        })
-                        .collect()
-                })
-                .collect();
-            retrain_outcomes = results.into_iter().collect::<Result<Vec<_>>>()?;
-        }
-
-        // 4. Assemble the cells back into plan order and restore the
-        // baseline (retraining mutates only scenario views, but symmetric
-        // restore keeps the contract simple).
+        // 6. Restore the baseline (retraining mutates only scenario views,
+        // but symmetric restore keeps the contract simple) and assemble the
+        // cells back into plan order.
         ctx.restore_baseline()?;
-        let mut eval_iter = eval_accuracies.chunks(scenarios_per_cell);
-        let mut retrain_iter = retrain_outcomes.into_iter();
-        let cells: Vec<CellResult> = specs
+        let cells: Vec<CellResult> = done
             .into_iter()
-            .zip(&payloads)
-            .map(|(spec, payload)| match payload {
-                CellPayload::Eval => {
-                    let chunk = eval_iter.next().expect("one chunk per eval cell");
-                    CellResult {
-                        spec,
-                        accuracy: chunk.iter().sum::<f32>() / chunk.len() as f32,
-                        scenarios: chunk.len(),
-                        outcomes: Vec::new(),
-                    }
-                }
-                CellPayload::Retrain(_) => {
-                    let outcomes = retrain_iter
-                        .next()
-                        .expect("one outcome set per retrain cell");
-                    CellResult {
-                        spec,
-                        accuracy: outcomes.iter().map(|o| o.final_accuracy).sum::<f32>()
-                            / outcomes.len() as f32,
-                        scenarios: outcomes.len(),
-                        outcomes,
-                    }
-                }
+            .zip(specs)
+            .map(|(slot, spec)| {
+                slot.unwrap_or_else(|| CellResult {
+                    spec,
+                    accuracy: 0.0,
+                    scenarios: 0,
+                    outcomes: Vec::new(),
+                    status: CellStatus::Failed {
+                        cause: CellFailure::Error {
+                            message: "the scheduler dropped this cell".to_string(),
+                        },
+                        attempts: 0,
+                    },
+                })
             })
             .collect();
 
@@ -889,6 +1719,349 @@ impl<'a> Campaign<'a> {
             cells,
         })
     }
+}
+
+/// The outcome of one attempt at one cell, before retry bookkeeping.
+enum CellTry {
+    /// The attempt finished; the payload mirrors [`CellResult`].
+    Done {
+        accuracy: f32,
+        scenarios: usize,
+        outcomes: Vec<MitigationOutcome>,
+    },
+    /// The attempt failed (error or caught panic) — retryable.
+    Failed(CellFailure),
+    /// The attempt was abandoned by cancellation or deadline — not retried.
+    Cancelled,
+}
+
+/// Estimated bytes a cell's drawn fault-map pool holds in flight (used by
+/// [`RunBudget::scenario_bytes_budget`] wave admission).
+fn pool_bytes(maps: &[FaultMap]) -> usize {
+    maps.iter()
+        .map(|m| std::mem::size_of_val(m.faults()) + 96)
+        .sum()
+}
+
+/// Content hash of everything that determines a plan's results: the context
+/// seed and baseline, per-cell draw parameters, mixed seeds and payloads,
+/// the scenario count and the retraining hyper-parameters. Two plans with
+/// equal fingerprints execute identically cell for cell, which is what makes
+/// a checkpoint safe to resume.
+fn plan_fingerprint(
+    ctx: &ExperimentContext,
+    specs: &[CellSpec],
+    payloads: &[CellPayload],
+    cell_seeds: &[u64],
+    scenarios_per_cell: usize,
+    retrain_config: &RetrainConfig,
+) -> u64 {
+    let mut fp = falvolt_tensor::Fingerprint::new();
+    fp.write_str("campaign-plan-v1");
+    fp.write_u64(ctx.seed());
+    fp.write_u64(u64::from(ctx.baseline_accuracy().to_bits()));
+    fp.write_usize(scenarios_per_cell);
+    fp.write_u64(u64::from(retrain_config.learning_rate.to_bits()));
+    fp.write_u64(u64::from(retrain_config.track_history));
+    fp.write_usize(specs.len());
+    for ((spec, payload), &mixed) in specs.iter().zip(payloads).zip(cell_seeds) {
+        fp.write_u64(mixed);
+        fp.write_usize(spec.systolic.rows());
+        fp.write_usize(spec.systolic.cols());
+        fp.write_u64(spec.fault_rate.map_or(u64::MAX, f64::to_bits));
+        fp.write_u64(spec.faulty_pes.map_or(u64::MAX, |p| p as u64));
+        fp.write_u64(u64::from(spec.resolved_bit()));
+        fp.write_u64(match spec.polarity {
+            StuckAt::Zero => 0,
+            StuckAt::One => 1,
+        });
+        match payload {
+            CellPayload::Eval => fp.write_str("eval"),
+            CellPayload::Retrain(strategy) => {
+                fp.write_str("retrain");
+                fp.write_str(strategy.label());
+                fp.write_usize(strategy.epochs());
+                let threshold = match strategy {
+                    MitigationStrategy::FaPIT { threshold, .. } => *threshold,
+                    _ => f32::NAN,
+                };
+                fp.write_u64(u64::from(threshold.to_bits()));
+            }
+        }
+    }
+    fp.finish() as u64
+}
+
+/// Snapshot of the completed cells in `done` as a [`CampaignCheckpoint`].
+fn checkpoint_of(
+    fingerprint: u64,
+    baseline_accuracy: f32,
+    total_cells: usize,
+    done: &[Option<CellResult>],
+) -> CampaignCheckpoint {
+    let cells = done
+        .iter()
+        .enumerate()
+        .filter_map(|(index, slot)| {
+            slot.as_ref()
+                .filter(|r| r.status.is_completed())
+                .map(|r| CheckpointCell {
+                    index,
+                    accuracy: r.accuracy,
+                    scenarios: r.scenarios,
+                    outcomes: r.outcomes.clone(),
+                })
+        })
+        .collect();
+    CampaignCheckpoint {
+        fingerprint,
+        baseline_accuracy,
+        total_cells,
+        cells,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan specs at the serde boundary
+// ---------------------------------------------------------------------------
+
+/// A campaign plan deserialized from JSON — the serde boundary of the sweep
+/// engine, with validation the in-process builder deliberately does not do
+/// (an empty [`Axis`] from the builder means "zero cells", but an empty axis
+/// arriving over the wire is almost certainly a producer bug and is
+/// rejected).
+///
+/// ```json
+/// {
+///   "scenarios_per_cell": 8,
+///   "seed": 42,
+///   "retrain_epochs": 10,
+///   "axes": [
+///     {"kind": "fault_rate", "values": [0.1, 0.3]},
+///     {"kind": "strategy", "values": ["fap", "fapit:8", "fapit:8@0.5", "falvolt:8"]},
+///     {"kind": "polarity", "values": ["sa0", "sa1"]}
+///   ]
+/// }
+/// ```
+///
+/// `seed` and `retrain_epochs` are optional. Axis kinds: `fault_rate`
+/// (floats in `[0, 1]`), `bit` (non-negative integers), `faulty_pes`,
+/// `array_size` (positive integers), `threshold` (finite non-negative
+/// floats), `strategy` (`"fap"`, `"fapit:EPOCHS"`, `"fapit:EPOCHS@THRESHOLD"`,
+/// `"falvolt:EPOCHS"`), `polarity` (`"sa0"` / `"sa1"`).
+#[derive(Debug, Clone)]
+pub struct PlanSpec {
+    scenarios_per_cell: usize,
+    seed: Option<u64>,
+    retrain_epochs: Option<usize>,
+    axes: Vec<Axis>,
+}
+
+impl PlanSpec {
+    /// Parses and validates a JSON plan (see the type docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidPlan`] for malformed JSON, missing
+    /// fields, a zero `scenarios_per_cell`, an empty axes list, empty axis
+    /// value lists, unknown axis kinds, NaN / negative / out-of-range
+    /// numeric values, and unparseable strategy or polarity strings.
+    pub fn from_json(text: &str) -> std::result::Result<Self, CampaignError> {
+        // The shared JSON reader reports CheckpointMalformed; at the plan
+        // boundary every decode problem is a plan rejection.
+        let as_plan_error = |e: CampaignError| match e {
+            CampaignError::CheckpointMalformed { reason } => CampaignError::InvalidPlan { reason },
+            other => other,
+        };
+        let doc = json::parse(text).map_err(as_plan_error)?;
+        let scenarios_per_cell = doc
+            .field("scenarios_per_cell")
+            .and_then(json::Value::as_usize)
+            .map_err(as_plan_error)?;
+        if scenarios_per_cell == 0 {
+            return Err(CampaignError::invalid_plan(
+                "scenarios_per_cell must be at least 1",
+            ));
+        }
+        let seed = match doc.get("seed") {
+            None | Some(json::Value::Null) => None,
+            Some(v) => Some(v.as_usize().map_err(as_plan_error)? as u64),
+        };
+        let retrain_epochs = match doc.get("retrain_epochs") {
+            None | Some(json::Value::Null) => None,
+            Some(v) => Some(v.as_usize().map_err(as_plan_error)?),
+        };
+        let axis_docs = doc
+            .field("axes")
+            .and_then(json::Value::as_arr)
+            .map_err(as_plan_error)?;
+        if axis_docs.is_empty() {
+            return Err(CampaignError::invalid_plan(
+                "a plan needs at least one axis",
+            ));
+        }
+        let mut axes = Vec::with_capacity(axis_docs.len());
+        for axis in axis_docs {
+            axes.push(parse_axis(axis).map_err(as_plan_error)?);
+        }
+        Ok(Self {
+            scenarios_per_cell,
+            seed,
+            retrain_epochs,
+            axes,
+        })
+    }
+
+    /// Fault maps drawn (and averaged) per cell.
+    pub fn scenarios_per_cell(&self) -> usize {
+        self.scenarios_per_cell
+    }
+
+    /// The base seed override, if the plan carries one.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// The epoch budget for [`Axis::Threshold`] cells, if the plan carries
+    /// one.
+    pub fn retrain_epochs(&self) -> Option<usize> {
+        self.retrain_epochs
+    }
+
+    /// The validated axes, in plan order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+}
+
+/// Decodes and validates one `{"kind": .., "values": [..]}` axis element.
+fn parse_axis(axis: &json::Value) -> std::result::Result<Axis, CampaignError> {
+    let kind = axis.field("kind")?.as_str()?;
+    let values = axis.field("values")?.as_arr()?;
+    if values.is_empty() {
+        return Err(CampaignError::invalid_plan(format!(
+            "axis `{kind}` has no values"
+        )));
+    }
+    match kind {
+        "fault_rate" => {
+            let mut rates = Vec::with_capacity(values.len());
+            for v in values {
+                let rate = v.as_f64()?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(CampaignError::invalid_plan(format!(
+                        "fault rate {rate} is outside [0, 1]"
+                    )));
+                }
+                rates.push(rate);
+            }
+            Ok(Axis::FaultRate(rates))
+        }
+        "bit" => {
+            let mut bits = Vec::with_capacity(values.len());
+            for v in values {
+                let bit = v.as_usize()?;
+                let bit = u32::try_from(bit).map_err(|_| {
+                    CampaignError::invalid_plan(format!("bit position {bit} does not fit in u32"))
+                })?;
+                bits.push(bit);
+            }
+            Ok(Axis::BitPosition(bits))
+        }
+        "faulty_pes" => Ok(Axis::FaultyPes(
+            values
+                .iter()
+                .map(json::Value::as_usize)
+                .collect::<std::result::Result<_, _>>()?,
+        )),
+        "array_size" => {
+            let mut sizes = Vec::with_capacity(values.len());
+            for v in values {
+                let size = v.as_usize()?;
+                if size == 0 {
+                    return Err(CampaignError::invalid_plan("array size must be positive"));
+                }
+                sizes.push(size);
+            }
+            Ok(Axis::ArraySize(sizes))
+        }
+        "threshold" => {
+            let mut thresholds = Vec::with_capacity(values.len());
+            for v in values {
+                thresholds.push(validate_threshold(v.as_f64()? as f32)?);
+            }
+            Ok(Axis::Threshold(thresholds))
+        }
+        "strategy" => {
+            let mut strategies = Vec::with_capacity(values.len());
+            for v in values {
+                strategies.push(parse_strategy(v.as_str()?)?);
+            }
+            Ok(Axis::Mitigation(strategies))
+        }
+        "polarity" => {
+            let mut polarities = Vec::with_capacity(values.len());
+            for v in values {
+                polarities.push(match v.as_str()? {
+                    "sa0" => StuckAt::Zero,
+                    "sa1" => StuckAt::One,
+                    other => {
+                        return Err(CampaignError::invalid_plan(format!(
+                            "unknown polarity `{other}` (expected `sa0` or `sa1`)"
+                        )))
+                    }
+                });
+            }
+            Ok(Axis::Polarity(polarities))
+        }
+        other => Err(CampaignError::invalid_plan(format!(
+            "unknown axis kind `{other}`"
+        ))),
+    }
+}
+
+/// Rejects NaN, infinite and negative threshold voltages.
+fn validate_threshold(threshold: f32) -> std::result::Result<f32, CampaignError> {
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(CampaignError::invalid_plan(format!(
+            "threshold {threshold} must be finite and non-negative"
+        )));
+    }
+    Ok(threshold)
+}
+
+/// Parses a strategy string: `fap`, `fapit:EPOCHS`, `fapit:EPOCHS@THRESHOLD`
+/// or `falvolt:EPOCHS`.
+fn parse_strategy(s: &str) -> std::result::Result<MitigationStrategy, CampaignError> {
+    let epochs_of = |text: &str| {
+        text.parse::<usize>().map_err(|_| {
+            CampaignError::invalid_plan(format!("invalid epoch count `{text}` in strategy `{s}`"))
+        })
+    };
+    if s == "fap" {
+        return Ok(MitigationStrategy::FaP);
+    }
+    if let Some(rest) = s.strip_prefix("falvolt:") {
+        return Ok(MitigationStrategy::falvolt(epochs_of(rest)?));
+    }
+    if let Some(rest) = s.strip_prefix("fapit:") {
+        if let Some((epochs, threshold)) = rest.split_once('@') {
+            let threshold = threshold.parse::<f32>().map_err(|_| {
+                CampaignError::invalid_plan(format!(
+                    "invalid threshold `{threshold}` in strategy `{s}`"
+                ))
+            })?;
+            return Ok(MitigationStrategy::FaPIT {
+                epochs: epochs_of(epochs)?,
+                threshold: validate_threshold(threshold)?,
+            });
+        }
+        return Ok(MitigationStrategy::fapit(epochs_of(rest)?));
+    }
+    Err(CampaignError::invalid_plan(format!(
+        "unknown strategy `{s}` (expected `fap`, `fapit:EPOCHS`, `fapit:EPOCHS@THRESHOLD` or \
+         `falvolt:EPOCHS`)"
+    )))
 }
 
 /// Builds one retraining worker: a scenario view of the baseline with the
@@ -1143,6 +2316,238 @@ mod tests {
             .unwrap();
         assert!(run.is_empty());
         assert!(Axis::FaultRate(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn failed_cells_are_rows_not_aborts() {
+        let mut ctx = tiny_ctx();
+        let clean = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4, 8]))
+            .run()
+            .unwrap();
+        // Panic in the middle cell's worker: the run survives, the cell is a
+        // Failed row, and its neighbours are bit-identical to a clean run.
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4, 8]))
+            .cell_hook(|cell, _attempt| {
+                if cell == 1 {
+                    panic!("injected worker panic");
+                }
+                Ok(())
+            })
+            .run()
+            .unwrap();
+        assert_eq!(run.len(), 3);
+        assert_eq!((run.completed(), run.failed(), run.skipped()), (2, 1, 0));
+        match &run.cells()[1].status {
+            CellStatus::Failed { cause, attempts } => {
+                assert!(cause.is_panic());
+                assert_eq!(cause.message(), "injected worker panic");
+                assert_eq!(*attempts, 1);
+            }
+            other => panic!("expected a failed cell, got {other:?}"),
+        }
+        assert_eq!(run.cells()[1].accuracy, 0.0);
+        assert_eq!(run.cells()[0], clean.cells()[0]);
+        assert_eq!(run.cells()[2], clean.cells()[2]);
+
+        // The same isolation holds on the retraining path.
+        let retrain = Campaign::new(&mut ctx)
+            .axis(Axis::FaultRate(vec![0.2]))
+            .axis(Axis::Mitigation(vec![MitigationStrategy::FaP]))
+            .cell_hook(|_, _| panic!("retrain worker panic"))
+            .run()
+            .unwrap();
+        assert!(retrain.cells()[0].status.is_failed());
+    }
+
+    #[test]
+    fn retries_recover_flaky_cells_and_cap_attempts() {
+        let mut ctx = tiny_ctx();
+        let clean = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4]))
+            .run()
+            .unwrap();
+        // Every cell fails its first attempt; one retry recovers them all
+        // bit-identically (a retry sees a fresh scenario view).
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4]))
+            .retry(RetryPolicy::attempts(2).backoff(Duration::ZERO, Duration::ZERO))
+            .cell_hook(|_cell, attempt| {
+                if attempt == 1 {
+                    Err("transient failure".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+            .run()
+            .unwrap();
+        assert_eq!(run, clean);
+        // Without retries the same hook fails the cells after one attempt.
+        let once = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4]))
+            .cell_hook(|_cell, attempt| {
+                if attempt == 1 {
+                    Err("transient failure".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+            .run()
+            .unwrap();
+        assert_eq!(once.failed(), 2);
+        assert!(once.cells().iter().all(|c| matches!(
+            &c.status,
+            CellStatus::Failed { cause, attempts: 1 } if !cause.is_panic()
+        )));
+    }
+
+    #[test]
+    fn deadlines_and_cancellation_return_the_completed_prefix() {
+        let mut ctx = tiny_ctx();
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4]))
+            .budget(RunBudget::unlimited().deadline(Duration::ZERO))
+            .run()
+            .unwrap();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.skipped(), 2);
+        assert!(run.cells().iter().all(|c| matches!(
+            c.status,
+            CellStatus::Skipped {
+                reason: SkipReason::Deadline
+            }
+        )));
+
+        let token = CancelToken::new();
+        token.cancel();
+        let run = Campaign::new(&mut ctx)
+            .axis(Axis::FaultyPes(vec![0, 4]))
+            .cancel_token(token)
+            .run()
+            .unwrap();
+        assert!(run.cells().iter().all(|c| matches!(
+            c.status,
+            CellStatus::Skipped {
+                reason: SkipReason::Cancelled
+            }
+        )));
+    }
+
+    #[test]
+    fn checkpoints_round_trip_and_resume_bit_identically() {
+        use std::sync::Mutex;
+        let mut ctx = tiny_ctx();
+        fn plan(ctx: &mut ExperimentContext) -> Campaign<'_> {
+            Campaign::new(ctx)
+                .axis(Axis::FaultyPes(vec![0, 4, 8]))
+                .scenarios_per_cell(2)
+        }
+        let full = plan(&mut ctx).run().unwrap();
+
+        // Interrupt after the first 1-cell wave by tripping a token from
+        // the checkpoint sink.
+        let seen: Arc<Mutex<Vec<CampaignCheckpoint>>> = Arc::new(Mutex::new(Vec::new()));
+        let token = CancelToken::new();
+        let sink_seen = Arc::clone(&seen);
+        let sink_token = token.clone();
+        let partial = plan(&mut ctx)
+            .checkpoint_every(1)
+            .checkpoint_sink(move |cp| {
+                sink_seen.lock().unwrap().push(cp.clone());
+                sink_token.cancel();
+            })
+            .cancel_token(token)
+            .run()
+            .unwrap();
+        assert!(partial.skipped() > 0, "the kill left unexecuted cells");
+        let checkpoint = seen.lock().unwrap().first().cloned().expect("a checkpoint");
+        assert_eq!(checkpoint.completed_cells(), 1);
+        assert!(!checkpoint.is_complete());
+
+        // Serialize, reload and resume: the merged run is bit-identical to
+        // the uninterrupted one.
+        let reloaded = CampaignCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(reloaded, checkpoint);
+        let resumed = plan(&mut ctx).resume(reloaded).run().unwrap();
+        assert_eq!(resumed, full, "killed-and-resumed == uninterrupted");
+
+        // A checkpoint does not resume a different plan.
+        let err = plan(&mut ctx)
+            .seed(999)
+            .resume(checkpoint)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::FalvoltError::Campaign(CampaignError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_specs_validate_at_the_serde_boundary() {
+        let good = r#"{
+            "scenarios_per_cell": 2,
+            "seed": 7,
+            "retrain_epochs": 1,
+            "axes": [
+                {"kind": "fault_rate", "values": [0.1, 0.3]},
+                {"kind": "strategy", "values": ["fap", "fapit:3", "fapit:3@0.5", "falvolt:2"]},
+                {"kind": "polarity", "values": ["sa0", "sa1"]}
+            ]
+        }"#;
+        let spec = PlanSpec::from_json(good).unwrap();
+        assert_eq!(spec.scenarios_per_cell(), 2);
+        assert_eq!(spec.seed(), Some(7));
+        assert_eq!(spec.retrain_epochs(), Some(1));
+        assert_eq!(spec.axes().len(), 3);
+        assert_eq!(
+            spec.axes()[1].label(),
+            "strategy",
+            "strategy strings parse into a Mitigation axis"
+        );
+
+        // A parsed plan actually runs.
+        let mut ctx = tiny_ctx();
+        let tiny = PlanSpec::from_json(
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "faulty_pes", "values": [0, 4]}]}"#,
+        )
+        .unwrap();
+        let run = Campaign::new(&mut ctx).plan(tiny).run().unwrap();
+        assert_eq!(run.len(), 2);
+        assert_eq!(run.completed(), 2);
+
+        for bad in [
+            // zero scenarios
+            r#"{"scenarios_per_cell": 0, "axes": [{"kind": "bit", "values": [0]}]}"#,
+            // no axes at all
+            r#"{"scenarios_per_cell": 1, "axes": []}"#,
+            // an empty axis value list
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "bit", "values": []}]}"#,
+            // unknown axis kind
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "voltage", "values": [1]}]}"#,
+            // out-of-range fault rate
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "fault_rate", "values": [1.5]}]}"#,
+            // negative threshold
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "threshold", "values": [-0.5]}]}"#,
+            // NaN threshold smuggled through a strategy string
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "strategy", "values": ["fapit:3@nan"]}]}"#,
+            // unknown strategy / polarity spellings
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "strategy", "values": ["prune-harder"]}]}"#,
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "polarity", "values": ["stuck-low"]}]}"#,
+            // zero array size
+            r#"{"scenarios_per_cell": 1, "axes": [{"kind": "array_size", "values": [0]}]}"#,
+            // malformed JSON
+            r#"{"scenarios_per_cell": 1, "axes": ["#,
+        ] {
+            assert!(
+                matches!(
+                    PlanSpec::from_json(bad),
+                    Err(CampaignError::InvalidPlan { .. })
+                ),
+                "`{bad}` should be rejected as an invalid plan"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Deterministic chaos injection for campaign resilience testing.
+//!
+//! A [`ChaosPlan`] maps every `(cell, attempt)` worker start to an action —
+//! do nothing, panic, fail with an error, or sleep — by hashing the triple
+//! `(seed, cell, attempt)`. The mapping is a pure function: two runs of the
+//! same plan inject into exactly the same workers, which is what lets the
+//! property tests assert that injected cells come back
+//! [`crate::CellStatus::Failed`] (or recover under retry, since the hash
+//! varies with the attempt number) while every untouched cell stays
+//! bit-identical to a fault-free run.
+//!
+//! Injected panics carry the `falvolt-chaos:` message prefix so a chaos
+//! panic escaping the isolation layer is unambiguous in test output.
+//!
+//! The module (and the [`crate::Campaign::chaos`] installer) is compiled
+//! only under the `chaos` feature; the injection plumbing itself is always
+//! present, so enabling the feature cannot change scheduler behavior for
+//! plans that do not install chaos.
+//!
+//! ```no_run
+//! use falvolt::campaign::{Axis, Campaign};
+//! use falvolt::chaos::ChaosPlan;
+//! use falvolt::experiment::{DatasetKind, ExperimentContext, ExperimentScale};
+//!
+//! # fn main() -> Result<(), falvolt::FalvoltError> {
+//! let mut ctx = ExperimentContext::prepare(DatasetKind::Mnist, ExperimentScale::Tiny, 42)?;
+//! let run = Campaign::new(&mut ctx)
+//!     .axis(Axis::FaultyPes(vec![0, 4, 8, 16]))
+//!     .chaos(ChaosPlan::new(7).panic_rate(0.25))
+//!     .run()?;
+//! assert_eq!(run.len(), 4); // failed cells are rows, not aborts
+//! # Ok(())
+//! # }
+//! ```
+
+use falvolt_tensor::Fingerprint;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a [`ChaosPlan`] injects into one `(cell, attempt)` worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// No injection — the worker runs normally.
+    Pass,
+    /// The worker panics (message prefixed `falvolt-chaos:`), exercising
+    /// the `catch_unwind` isolation and cache quarantine paths.
+    Panic,
+    /// The worker fails with a typed error before doing any work.
+    Error,
+    /// The worker sleeps for [`ChaosPlan::slow`]'s duration first — a
+    /// straggler for deadline and cancellation testing.
+    Slow,
+}
+
+/// A deterministic, seed-driven chaos-injection plan (see the
+/// [module docs](crate::chaos)).
+///
+/// Rates are probabilities in `[0, 1]`, evaluated in the order panic →
+/// error → slow against one uniform draw per `(cell, attempt)`: a worker
+/// panics with probability `panic_rate`, errors with `error_rate`, sleeps
+/// with `slow_rate`, and runs clean otherwise (rate sums above 1 saturate
+/// in that order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    seed: u64,
+    panic_rate: f64,
+    error_rate: f64,
+    slow_rate: f64,
+    slow_for: Duration,
+}
+
+impl ChaosPlan {
+    /// A plan with the given seed and no injections.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            panic_rate: 0.0,
+            error_rate: 0.0,
+            slow_rate: 0.0,
+            slow_for: Duration::ZERO,
+        }
+    }
+
+    /// Probability that a worker panics (clamped to `[0, 1]`).
+    pub fn panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a worker fails with an error (clamped to `[0, 1]`).
+    pub fn error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a worker sleeps for `delay` before starting
+    /// (clamped to `[0, 1]`).
+    pub fn slow(mut self, rate: f64, delay: Duration) -> Self {
+        self.slow_rate = rate.clamp(0.0, 1.0);
+        self.slow_for = delay;
+        self
+    }
+
+    /// The action this plan injects into the given `(cell, attempt)` worker
+    /// — a pure function, so tests can predict exactly which cells a
+    /// campaign run will disturb.
+    pub fn action(&self, cell: usize, attempt: usize) -> ChaosAction {
+        let mut fp = Fingerprint::new();
+        fp.write_str("falvolt-chaos");
+        fp.write_u64(self.seed);
+        fp.write_u64(cell as u64);
+        fp.write_u64(attempt as u64);
+        let digest = fp.finish();
+        // The fingerprint's last-word mix is not avalanche-complete, and the
+        // final word here (the attempt) has almost no entropy — finalize
+        // with a splitmix64-style mix so consecutive attempts decorrelate.
+        let mut h = (digest >> 64) as u64 ^ digest as u64;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        // Top 53 hash bits -> uniform in [0, 1).
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw < self.panic_rate {
+            ChaosAction::Panic
+        } else if draw < self.panic_rate + self.error_rate {
+            ChaosAction::Error
+        } else if draw < self.panic_rate + self.error_rate + self.slow_rate {
+            ChaosAction::Slow
+        } else {
+            ChaosAction::Pass
+        }
+    }
+
+    /// Converts the plan into the campaign's per-cell injection hook.
+    pub(crate) fn into_hook(
+        self,
+    ) -> Arc<dyn Fn(usize, usize) -> std::result::Result<(), String> + Send + Sync> {
+        Arc::new(move |cell, attempt| match self.action(cell, attempt) {
+            ChaosAction::Pass => Ok(()),
+            ChaosAction::Panic => {
+                panic!("falvolt-chaos: injected panic at cell {cell} attempt {attempt}")
+            }
+            ChaosAction::Error => Err(format!(
+                "falvolt-chaos: injected error at cell {cell} attempt {attempt}"
+            )),
+            ChaosAction::Slow => {
+                std::thread::sleep(self.slow_for);
+                Ok(())
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_deterministic_and_attempt_dependent() {
+        let plan = ChaosPlan::new(11).panic_rate(0.3).error_rate(0.3);
+        for cell in 0..64 {
+            for attempt in 1..4 {
+                assert_eq!(
+                    plan.action(cell, attempt),
+                    plan.action(cell, attempt),
+                    "same (cell, attempt) must map to the same action"
+                );
+            }
+        }
+        // The attempt number participates in the hash: at these rates some
+        // cell that fails on attempt 1 must pass on attempt 2 (that is what
+        // makes retries meaningful under chaos).
+        assert!((0..64).any(|cell| {
+            plan.action(cell, 1) != ChaosAction::Pass && plan.action(cell, 2) == ChaosAction::Pass
+        }));
+    }
+
+    #[test]
+    fn rates_partition_the_draw_space() {
+        let quiet = ChaosPlan::new(3);
+        assert!((0..256).all(|cell| quiet.action(cell, 1) == ChaosAction::Pass));
+
+        let total = ChaosPlan::new(3).panic_rate(1.0);
+        assert!((0..256).all(|cell| total.action(cell, 1) == ChaosAction::Panic));
+
+        let mixed = ChaosPlan::new(9)
+            .panic_rate(0.25)
+            .error_rate(0.25)
+            .slow(0.25, Duration::ZERO);
+        let mut counts = [0usize; 4];
+        for cell in 0..4096 {
+            counts[match mixed.action(cell, 1) {
+                ChaosAction::Panic => 0,
+                ChaosAction::Error => 1,
+                ChaosAction::Slow => 2,
+                ChaosAction::Pass => 3,
+            }] += 1;
+        }
+        for count in counts {
+            let share = count as f64 / 4096.0;
+            assert!(
+                (0.18..=0.32).contains(&share),
+                "each quarter-rate bucket should get ~25% of draws, got {share}"
+            );
+        }
+    }
+}

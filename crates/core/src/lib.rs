@@ -58,17 +58,23 @@
 #![warn(missing_docs)]
 
 mod error;
+mod json;
 
 pub mod backend;
 pub mod campaign;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod experiment;
 pub mod mitigation;
 pub mod prune;
 pub mod vulnerability;
 
 pub use backend::{ScenarioProducts, SystolicBackend, SystolicBackendBuilder};
-pub use campaign::{Axis, Campaign, CampaignRun, CellResult, ResultTable};
-pub use error::FalvoltError;
+pub use campaign::{
+    Axis, Campaign, CampaignCheckpoint, CampaignRun, CellResult, CellStatus, CheckpointSink,
+    PlanSpec, ResultTable, RetryPolicy, RunBudget, SkipReason,
+};
+pub use error::{CampaignError, CellFailure, FalvoltError};
 pub use vulnerability::SweepCaches;
 
 /// Convenience result alias used across the crate.

@@ -31,11 +31,20 @@
 //! inline computation. Tracked keys are bounded; once full, new keys are
 //! never promoted (retention cannot change results, only hit rates).
 
+//!
+//! Like the systolic-side stores, the cache survives panicking workers:
+//! locks recover from poison (conservatively quarantining in-flight
+//! promotions the dead holder may have left half-done), promotions are
+//! generation-tagged, and [`SweepCache::quarantine_in_flight`] lets a
+//! scheduler that caught a worker panic revert every in-flight promotion so
+//! a stale fulfilment is discarded, not served. Cached values are pure
+//! functions of their keys, so discarding is always safe.
+
 use falvolt_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default bound on tracked keys per store (pending and fulfilled).
 const DEFAULT_CAPACITY: usize = 256;
@@ -68,8 +77,9 @@ pub struct CacheStats {
 enum Slot {
     /// Seen once; not yet worth materialising.
     Pending,
-    /// A worker is computing the shared value.
-    Computing,
+    /// A worker is computing the shared value; tagged with the store
+    /// generation at promotion time so quarantines can be audited.
+    Computing(u64),
     /// Computed and shared.
     Ready(Arc<Tensor>),
 }
@@ -83,6 +93,25 @@ struct StoreInner {
     /// retraining epoch mints new prefix keys) cannot lock genuinely shared
     /// keys out of promotion.
     promoted: usize,
+    /// Bumped on every quarantine; promotions are tagged with it.
+    generation: u64,
+}
+
+impl StoreInner {
+    /// Reverts every in-flight `Computing` slot to `Pending` (releasing its
+    /// capacity) and bumps the generation. Returns how many were reverted.
+    fn quarantine(&mut self) -> usize {
+        let mut reverted = 0usize;
+        for slot in self.slots.values_mut() {
+            if matches!(slot, Slot::Computing(_)) {
+                *slot = Slot::Pending;
+                reverted += 1;
+            }
+        }
+        self.promoted -= reverted;
+        self.generation += 1;
+        reverted
+    }
 }
 
 #[derive(Default)]
@@ -91,6 +120,9 @@ struct Store {
     hits: AtomicUsize,
     misses: AtomicUsize,
     promotions: AtomicUsize,
+    quarantined: AtomicUsize,
+    discarded_fulfills: AtomicUsize,
+    poison_recoveries: AtomicUsize,
 }
 
 /// Tracked-key bound as a multiple of the value capacity (Pending markers
@@ -98,8 +130,28 @@ struct Store {
 const TRACKED_PER_CAPACITY: usize = 16;
 
 impl Store {
+    /// The poison-recovering lock accessor: a worker that dies holding the
+    /// lock must not wedge every other worker. Recovery conservatively
+    /// quarantines in-flight promotions (the dead holder may have left
+    /// bookkeeping half-done); fulfilled values are kept — they were
+    /// complete before the crash.
+    fn guard(&self) -> MutexGuard<'_, StoreInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                let reverted = guard.quarantine();
+                self.quarantined.fetch_add(reverted, Ordering::Relaxed);
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
     fn lookup(&self, key: u128, capacity: usize, eager: bool) -> SweepDecision {
-        let mut inner = self.inner.lock().expect("sweep cache poisoned");
+        let mut inner = self.guard();
+        let generation = inner.generation;
         match inner.slots.get(&key) {
             Some(Slot::Ready(value)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -109,14 +161,14 @@ impl Store {
                 if inner.promoted < capacity {
                     self.promotions.fetch_add(1, Ordering::Relaxed);
                     inner.promoted += 1;
-                    inner.slots.insert(key, Slot::Computing);
+                    inner.slots.insert(key, Slot::Computing(generation));
                     SweepDecision::Compute
                 } else {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     SweepDecision::Skip
                 }
             }
-            Some(Slot::Computing) => {
+            Some(Slot::Computing(_)) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 SweepDecision::Skip
             }
@@ -128,7 +180,7 @@ impl Store {
                 if eager && inner.promoted < capacity {
                     self.promotions.fetch_add(1, Ordering::Relaxed);
                     inner.promoted += 1;
-                    inner.slots.insert(key, Slot::Computing);
+                    inner.slots.insert(key, Slot::Computing(generation));
                     return SweepDecision::Compute;
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -141,19 +193,48 @@ impl Store {
     }
 
     fn fulfill(&self, key: u128, value: Arc<Tensor>) {
-        let mut inner = self.inner.lock().expect("sweep cache poisoned");
-        inner.slots.insert(key, Slot::Ready(value));
+        // The write only lands while the slot is still in flight: a
+        // fulfilment whose promotion was quarantined is discarded, not
+        // served (values are pure functions of keys — a later caller
+        // re-promotes and recomputes).
+        let mut inner = self.guard();
+        if matches!(inner.slots.get(&key), Some(Slot::Computing(_))) {
+            inner.slots.insert(key, Slot::Ready(value));
+        } else {
+            self.discarded_fulfills.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn abandon(&self, key: u128) {
         // The promoted computation failed: release the in-flight slot so a
         // later caller can promote the key again instead of skipping
         // forever.
-        let mut inner = self.inner.lock().expect("sweep cache poisoned");
-        if matches!(inner.slots.get(&key), Some(Slot::Computing)) {
+        let mut inner = self.guard();
+        if matches!(inner.slots.get(&key), Some(Slot::Computing(_))) {
             inner.promoted -= 1;
             inner.slots.insert(key, Slot::Pending);
         }
+    }
+
+    fn quarantine_in_flight(&self) -> usize {
+        let mut inner = self.guard();
+        let reverted = inner.quarantine();
+        self.quarantined.fetch_add(reverted, Ordering::Relaxed);
+        reverted
+    }
+
+    /// The oldest generation tag among in-flight promotions, if any — an
+    /// audit hook: a tag older than the current generation would mean a
+    /// pre-quarantine promotion survived, which quarantine forbids.
+    fn oldest_in_flight_generation(&self) -> Option<u64> {
+        self.guard()
+            .slots
+            .values()
+            .filter_map(|slot| match slot {
+                Slot::Computing(generation) => Some(*generation),
+                _ => None,
+            })
+            .min()
     }
 
     fn stats(&self) -> CacheStats {
@@ -165,7 +246,7 @@ impl Store {
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().expect("sweep cache poisoned").slots.len()
+        self.guard().slots.len()
     }
 }
 
@@ -247,6 +328,47 @@ impl SweepCache {
         self.lowered.stats()
     }
 
+    /// Quarantines every in-flight promotion in both stores: reverts
+    /// `Computing` slots to `Pending` (releasing their capacity) and bumps
+    /// the store generations, so any stale fulfilment from the quarantined
+    /// workers is discarded, not served. Schedulers call this after
+    /// catching a scenario-worker panic — the dead worker may have been
+    /// promoting any shared key. Returns the promotions reverted.
+    pub fn quarantine_in_flight(&self) -> usize {
+        self.prefix.quarantine_in_flight() + self.lowered.quarantine_in_flight()
+    }
+
+    /// In-flight promotions reverted by quarantines (explicit or on poison
+    /// recovery), both stores.
+    pub fn quarantined(&self) -> usize {
+        self.prefix.quarantined.load(Ordering::Relaxed)
+            + self.lowered.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Stale fulfilments discarded instead of served, both stores.
+    pub fn discarded_fulfills(&self) -> usize {
+        self.prefix.discarded_fulfills.load(Ordering::Relaxed)
+            + self.lowered.discarded_fulfills.load(Ordering::Relaxed)
+    }
+
+    /// Poisoned-lock recoveries, both stores.
+    pub fn poison_recoveries(&self) -> usize {
+        self.prefix.poison_recoveries.load(Ordering::Relaxed)
+            + self.lowered.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// The oldest generation tag among in-flight promotions across both
+    /// stores, if any (audit hook — see the module docs).
+    pub fn oldest_in_flight_generation(&self) -> Option<u64> {
+        [
+            self.prefix.oldest_in_flight_generation(),
+            self.lowered.oldest_in_flight_generation(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
     /// Total keys currently tracked (both stores, pending and fulfilled).
     pub fn len(&self) -> usize {
         self.prefix.len() + self.lowered.len()
@@ -321,6 +443,47 @@ mod tests {
         assert!(matches!(cache.lookup_prefix(5), SweepDecision::Compute));
         cache.fulfill_prefix(5, Arc::new(Tensor::zeros(&[1])));
         assert!(matches!(cache.lookup_prefix(5), SweepDecision::Hit(_)));
+    }
+
+    #[test]
+    fn quarantine_discards_stale_fulfills_but_keeps_ready_values() {
+        let cache = SweepCache::new();
+        // One fulfilled entry, one in-flight promotion.
+        let _ = cache.lookup_prefix(1);
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Compute));
+        cache.fulfill_prefix(1, Arc::new(Tensor::ones(&[2])));
+        let _ = cache.lookup_lowered(2);
+        assert!(matches!(cache.lookup_lowered(2), SweepDecision::Compute));
+        // A scenario worker panicked: the in-flight promotion is reverted,
+        // the complete value survives.
+        assert_eq!(cache.quarantine_in_flight(), 1);
+        assert_eq!(cache.quarantined(), 1);
+        assert_eq!(cache.oldest_in_flight_generation(), None);
+        assert!(matches!(cache.lookup_prefix(1), SweepDecision::Hit(_)));
+        // The dead worker's write arrives late: discarded, not served.
+        cache.fulfill_lowered(2, Arc::new(Tensor::zeros(&[9])));
+        assert_eq!(cache.discarded_fulfills(), 1);
+        assert!(matches!(cache.lookup_lowered(2), SweepDecision::Compute));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_without_wedging_workers() {
+        let cache = Arc::new(SweepCache::new());
+        let _ = cache.lookup_prefix(3);
+        assert!(matches!(cache.lookup_prefix(3), SweepDecision::Compute));
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.prefix.inner.lock().expect("fresh lock");
+            panic!("worker dies holding the sweep-cache lock");
+        })
+        .join();
+        assert!(cache.prefix.inner.is_poisoned());
+        // The next lock access recovers, quarantining the in-flight
+        // promotion — the key promotes again instead of wedging.
+        assert!(matches!(cache.lookup_prefix(3), SweepDecision::Compute));
+        assert_eq!(cache.poison_recoveries(), 1);
+        cache.fulfill_prefix(3, Arc::new(Tensor::ones(&[1])));
+        assert!(matches!(cache.lookup_prefix(3), SweepDecision::Hit(_)));
     }
 
     #[test]

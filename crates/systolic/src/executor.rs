@@ -32,7 +32,7 @@ use crate::product_cache::{CacheDecision, ProductCache};
 use crate::{FaultMap, Result, SystolicConfig, SystolicError, WeightMapping};
 use falvolt_fixedpoint::{Fixed, QFormat};
 use falvolt_tensor::simd::{self, Isa, SimdLevel, SimdOp};
-use falvolt_tensor::{Fingerprint, MatmulHint, SpikeIndex, Tensor, TensorError};
+use falvolt_tensor::{CancelToken, Fingerprint, MatmulHint, SpikeIndex, Tensor, TensorError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -85,6 +85,7 @@ pub struct SystolicExecutor {
     bypass: BypassPolicy,
     composed_chains: bool,
     cache: Option<Arc<ProductCache>>,
+    cancel: Option<CancelToken>,
 }
 
 impl PartialEq for SystolicExecutor {
@@ -112,6 +113,7 @@ impl SystolicExecutor {
             bypass: BypassPolicy::None,
             composed_chains: true,
             cache: None,
+            cancel: None,
         }
     }
 
@@ -176,6 +178,27 @@ impl SystolicExecutor {
         self.cache.as_ref()
     }
 
+    /// Installs (or removes) a cooperative cancellation token. With one
+    /// installed, every product checks it at entry and per output row of
+    /// the fold chains and returns [`TensorError::Cancelled`] once tripped
+    /// — no partial output is ever served.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the installed cancellation token.
+    fn check_cancelled(&self) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            token.check()?;
+        }
+        Ok(())
+    }
+
     /// Computes `activations x weights` on the systolic array with
     /// [`MatmulHint::Auto`]; see [`SystolicExecutor::matmul_hinted`].
     ///
@@ -212,6 +235,7 @@ impl SystolicExecutor {
         weights: &Tensor,
         hint: MatmulHint,
     ) -> Result<Tensor> {
+        self.check_cancelled()?;
         let (m, k) = matrix_dims(activations)?;
         let (k2, n) = matrix_dims(weights)?;
         if k != k2 {
@@ -310,8 +334,15 @@ impl SystolicExecutor {
         // stays scalar as the bit-identity reference — and `Isa::Scalar`
         // keeps the legacy per-column loop exactly.
         let use_lanes = self.composed_chains && !matches!(simd::active(), Isa::Scalar);
+        let cancel = self.cancel.as_ref();
         let compute_row =
             |i: usize, a_row: &[f32], out_row: &mut [f32], nz: &mut Vec<(usize, f32)>| {
+                // Fold-chain granularity cancellation: a tripped token stops
+                // the remaining rows cheaply; the post-loop check below turns
+                // the partial buffer into `Cancelled` before it can be served.
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return;
+                }
                 let clean_row = clean_shared.as_ref().map(|v| &v[i * n..(i + 1) * n]);
                 // Event skip-list: the nonzero activations of this row, resolved
                 // once and reused by every output column (the seed re-scanned
@@ -398,6 +429,7 @@ impl SystolicExecutor {
 
         let mut out = vec![0.0f32; m * n];
         for_each_row_panel(a, &mut out, m, k, n, compute_row);
+        self.check_cancelled()?;
         Ok(Tensor::from_vec(vec![m, n], out)?)
     }
 
@@ -473,6 +505,7 @@ impl SystolicExecutor {
         maps: &[FaultMap],
         hint: MatmulHint,
     ) -> Result<ScenarioMatrices> {
+        self.check_cancelled()?;
         let (m, k) = matrix_dims(activations)?;
         let (k2, n) = matrix_dims(weights)?;
         if k != k2 {
@@ -613,8 +646,12 @@ impl SystolicExecutor {
             })
             .collect();
         let use_lanes = !matches!(simd::active(), Isa::Scalar);
+        let cancel = self.cancel.as_ref();
         let compute_row =
             |i: usize, row_chunk: &mut [f32], nz: &mut Vec<(usize, f32)>, q: &mut Vec<i64>| {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    return;
+                }
                 fill_nonzeros(nz, spike_index, i, &a[i * k..(i + 1) * k]);
                 let shared_row = shared_clean.as_ref().map(|v| &v[i * n..(i + 1) * n]);
                 if use_lanes {
@@ -732,6 +769,14 @@ impl SystolicExecutor {
         // interleaved buffer and materialise on demand through the view.
         for (fi, &s) in faulty.iter().enumerate() {
             lane_of[s] = Some(ScenarioLane::Lane(fi));
+        }
+        if let Err(cancelled) = self.check_cancelled() {
+            // The interleaved buffer is partial: release the clean-product
+            // promotion (if this call held one) instead of fulfilling it.
+            if let (Some(key), Some(cache)) = (fulfil_clean, cache) {
+                cache.abandon(key);
+            }
+            return Err(cancelled);
         }
         if let (Some(key), Some(cache)) = (fulfil_clean, cache) {
             let mut data = vec![0.0f32; m * n];

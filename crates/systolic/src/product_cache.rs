@@ -79,9 +79,16 @@ impl ProductCache {
     }
 
     /// Stores a computed clean product for a key previously answered with
-    /// [`CacheDecision::Compute`].
+    /// [`CacheDecision::Compute`]. Discarded (never served) if the
+    /// promotion was quarantined in the meantime.
     pub fn fulfill(&self, key: u128, value: Arc<Vec<f32>>) {
         self.products.fulfill(key, value);
+    }
+
+    /// Releases an in-flight clean-product promotion whose computation
+    /// failed (or was cancelled): the key may promote again later.
+    pub fn abandon(&self, key: u128) {
+        self.products.abandon(key);
     }
 
     /// Looks up a quantized-weight table (`quantize(w[p, j])` for every
@@ -121,6 +128,29 @@ impl ProductCache {
     /// capacity overflow).
     pub fn skips(&self) -> usize {
         self.products.skips() + self.qweights.skips()
+    }
+
+    /// Quarantines every in-flight promotion in both stores (see
+    /// [`SharedStore::quarantine_in_flight`]): a panicking scenario worker
+    /// may have been promoting any shared key, so its writes must be
+    /// discarded rather than served. Returns the promotions reverted.
+    pub fn quarantine_in_flight(&self) -> usize {
+        self.products.quarantine_in_flight() + self.qweights.quarantine_in_flight()
+    }
+
+    /// In-flight promotions reverted by quarantines, both stores.
+    pub fn quarantined(&self) -> usize {
+        self.products.quarantined() + self.qweights.quarantined()
+    }
+
+    /// Stale fulfilments discarded instead of served, both stores.
+    pub fn discarded_fulfills(&self) -> usize {
+        self.products.discarded_fulfills() + self.qweights.discarded_fulfills()
+    }
+
+    /// Poisoned-lock recoveries, both stores.
+    pub fn poison_recoveries(&self) -> usize {
+        self.products.poison_recoveries() + self.qweights.poison_recoveries()
     }
 }
 
@@ -177,6 +207,31 @@ mod tests {
         assert!(matches!(cache.lookup(2), CacheDecision::Skip));
         assert!(matches!(cache.lookup(1), CacheDecision::Hit(_)));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn quarantine_spans_both_stores_and_discards_stale_fulfills() {
+        let cache = ProductCache::new();
+        let _ = cache.lookup(1);
+        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+        let _ = cache.lookup_qweights(2);
+        assert!(matches!(cache.lookup_qweights(2), CacheDecision::Compute));
+        assert_eq!(cache.quarantine_in_flight(), 2);
+        assert_eq!(cache.quarantined(), 2);
+        // Stale writes from the quarantined workers are discarded.
+        cache.fulfill(1, Arc::new(vec![1.0]));
+        cache.fulfill_qweights(2, Arc::new(vec![5]));
+        assert_eq!(cache.discarded_fulfills(), 2);
+        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+    }
+
+    #[test]
+    fn abandon_releases_a_clean_product_promotion() {
+        let cache = ProductCache::with_capacity(1);
+        let _ = cache.lookup(4);
+        assert!(matches!(cache.lookup(4), CacheDecision::Compute));
+        cache.abandon(4);
+        assert!(matches!(cache.lookup(4), CacheDecision::Compute));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Cooperative cancellation shared by every execution layer.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag a scheduler hands down into
+//! long-running work (campaign cells, scenario evaluations, systolic fold
+//! chains). Workers poll [`CancelToken::is_cancelled`] at natural
+//! granularity boundaries and return [`crate::TensorError::Cancelled`]
+//! instead of finishing; the layer that owns the work item translates that
+//! into a *skipped* result rather than a failure.
+//!
+//! The token lives in `falvolt_tensor` because it must be visible both to
+//! the systolic executor (fold-chain granularity checks) and to the
+//! campaign/evaluation layers above, and this crate is their only common
+//! dependency.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a scheduler and its
+/// workers.
+///
+/// Cloning shares the underlying flag: cancelling any clone cancels them
+/// all. The default token is never cancelled and costs one relaxed atomic
+/// load per poll.
+///
+/// # Example
+///
+/// ```
+/// use falvolt_tensor::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker = token.clone();
+/// assert!(!worker.is_cancelled());
+/// token.cancel();
+/// assert!(worker.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag; every clone observes it on its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Polls the flag as a `Result`: `Err(TensorError::Cancelled)` once
+    /// tripped, so deep loops can use `token.check()?`.
+    pub fn check(&self) -> Result<(), crate::TensorError> {
+        if self.is_cancelled() {
+            Err(crate::TensorError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(token.check().is_ok());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.check(), Err(crate::TensorError::Cancelled));
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

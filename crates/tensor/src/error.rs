@@ -58,6 +58,11 @@ pub enum TensorError {
         /// Human readable description of what was wrong.
         reason: String,
     },
+    /// The operation observed a tripped [`crate::cancel::CancelToken`] and
+    /// stopped cooperatively. Not a failure of the computation itself:
+    /// schedulers translate it into a skipped work item, never a process
+    /// abort.
+    Cancelled,
 }
 
 impl fmt::Display for TensorError {
@@ -91,6 +96,7 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid convolution configuration: {reason}")
             }
             TensorError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            TensorError::Cancelled => write!(f, "operation cancelled cooperatively"),
         }
     }
 }

@@ -39,6 +39,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod cancel;
 pub mod fingerprint;
 pub mod init;
 pub mod kernels;
@@ -47,6 +48,7 @@ pub mod reduce;
 pub mod simd;
 pub mod spikes;
 
+pub use cancel::CancelToken;
 pub use error::TensorError;
 pub use fingerprint::Fingerprint;
 pub use kernels::{MatmulHint, OperandProfile};
