@@ -183,7 +183,7 @@ impl MatmulBackend for RecordingBackend {
         let event = !matches!(req.hint(), MatmulHint::Dense) && profile.is_event_sparse();
         self.calls
             .lock()
-            .expect("recording backend poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push((profile.density, event));
         self.inner.matmul_request(req)
     }
@@ -240,7 +240,7 @@ fn kernel_choice_sweep() -> Vec<(String, Vec<LayerChoiceRow>)> {
         let calls = recorder
             .calls
             .lock()
-            .expect("recording backend poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone();
         assert_eq!(
             calls.len(),

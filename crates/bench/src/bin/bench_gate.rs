@@ -25,6 +25,13 @@
 //! `BENCH_GATE_MIN_SPEEDUP` overrides the absolute threshold for noisy
 //! shared runners.
 //!
+//! `bench_gate --schema-only [PATH]` skips all speedup thresholds and
+//! instead validates the file against the bench schema the `falvolt-tidy`
+//! pass enforces ([`falvolt_tidy::schema::check_bench_schema`] — known
+//! `"isa"` per timing entry, finite in-range numbers). Both gates call the
+//! same function, so the schema cannot drift between lint time and bench
+//! time.
+//!
 //! Entries may carry a sibling `"isa"` string recording which SIMD level the
 //! kernel dispatcher resolved to when the entry was measured (`scalar`,
 //! `avx2`, `avx512`, `neon`). When both the baseline and the current file
@@ -64,6 +71,7 @@ use std::process::ExitCode;
 /// | 5 | `below-threshold` | a speedup is under the absolute threshold |
 /// | 6 | `baseline-unreadable` | the supplied baseline file cannot be read |
 /// | 7 | `baseline-regression` | an entry regressed vs (or vanished from) the baseline |
+/// | 8 | `schema-violation` | `--schema-only`: the file fails the tidy bench schema |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FailureKind {
     CurrentUnreadable = 2,
@@ -72,6 +80,7 @@ enum FailureKind {
     BelowThreshold = 5,
     BaselineUnreadable = 6,
     BaselineRegression = 7,
+    Schema = 8,
 }
 
 impl FailureKind {
@@ -88,6 +97,7 @@ impl FailureKind {
             FailureKind::BelowThreshold => "below-threshold",
             FailureKind::BaselineUnreadable => "baseline-unreadable",
             FailureKind::BaselineRegression => "baseline-regression",
+            FailureKind::Schema => "schema-violation",
         }
     }
 }
@@ -246,11 +256,64 @@ fn extract_metrics(text: &str) -> BenchMetrics {
     metrics
 }
 
+/// `--schema-only`: validate the bench JSON against the same schema the
+/// `falvolt-tidy` pass enforces (known `"isa"` per timing entry, finite
+/// in-range numbers), with no speedup thresholds. Diagnostics use tidy's
+/// `file:line: [bench-schema]` shape; failures exit with the gate's typed
+/// codes (2 unreadable, 8 schema violation) and machine-readable lines.
+fn run_schema_only(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench gate: cannot read {path}: {e}");
+            let failure = Failure {
+                kind: FailureKind::CurrentUnreadable,
+                label: String::new(),
+                detail: format!("cannot read {path}: {e}"),
+            };
+            report(&failure);
+            return ExitCode::from(failure.kind.code());
+        }
+    };
+    let violations = falvolt_tidy::schema::check_bench_schema(&text);
+    if violations.is_empty() {
+        println!("bench gate: {path} conforms to the bench schema");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        let prefix = if v.path.is_empty() {
+            String::new()
+        } else {
+            format!("{}: ", v.path)
+        };
+        eprintln!("{path}:{}: [bench-schema] {prefix}{}", v.line, v.message);
+        report(&Failure {
+            kind: FailureKind::Schema,
+            label: v.path.clone(),
+            detail: v.message.clone(),
+        });
+    }
+    eprintln!(
+        "bench gate: {} schema violation(s), exiting with code {} ({})",
+        violations.len(),
+        FailureKind::Schema.code(),
+        FailureKind::Schema.kind()
+    );
+    ExitCode::from(FailureKind::Schema.code())
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    let schema_only = args.peek().map(String::as_str) == Some("--schema-only");
+    if schema_only {
+        args.next();
+    }
     let path = args
         .next()
         .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").into());
+    if schema_only {
+        return run_schema_only(&path);
+    }
     let baseline_path = args
         .next()
         .or_else(|| std::env::var("BENCH_GATE_BASELINE").ok());
@@ -421,9 +484,10 @@ mod tests {
             FailureKind::BelowThreshold,
             FailureKind::BaselineUnreadable,
             FailureKind::BaselineRegression,
+            FailureKind::Schema,
         ];
         let codes: Vec<u8> = kinds.iter().map(|k| k.code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8]);
         let mut names: Vec<&str> = kinds.iter().map(|k| k.kind()).collect();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,51 @@
+//! `bench_gate --schema-only` end-to-end: same schema as the tidy pass,
+//! typed exit codes, machine-readable failure lines.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn gate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .args(args)
+        .output()
+        .expect("bench_gate runs")
+}
+
+#[test]
+fn committed_bench_json_conforms() {
+    let out = gate(&["--schema-only"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("conforms to the bench schema"));
+}
+
+#[test]
+fn schema_violations_exit_8_with_file_line_diagnostics() {
+    // The tidy violations fixture doubles as the bad-JSON input, so the two
+    // gates are proven against the same file.
+    let bad = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../tidy/fixtures/violations/BENCH_kernels.json");
+    let out = gate(&["--schema-only", bad.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(8), "schema violations exit 8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is utf8");
+    assert!(
+        stderr.contains(":3: [bench-schema] bad_isa/isa: unknown ISA \"avx1024\""),
+        "diagnostics carry file:line: {stderr}"
+    );
+    assert!(
+        stderr.contains("bench-gate-failure: {\"kind\": \"schema-violation\""),
+        "machine-readable lines ride along: {stderr}"
+    );
+    assert!(stderr.contains("3 schema violation(s)"));
+}
+
+#[test]
+fn unreadable_file_exits_2_in_schema_mode() {
+    let out = gate(&["--schema-only", "/nonexistent/BENCH_kernels.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("current-unreadable"));
+}

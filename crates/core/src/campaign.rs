@@ -2454,14 +2454,22 @@ mod tests {
         let partial = plan(&mut ctx)
             .checkpoint_every(1)
             .checkpoint_sink(move |cp| {
-                sink_seen.lock().unwrap().push(cp.clone());
+                sink_seen
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(cp.clone());
                 sink_token.cancel();
             })
             .cancel_token(token)
             .run()
             .unwrap();
         assert!(partial.skipped() > 0, "the kill left unexecuted cells");
-        let checkpoint = seen.lock().unwrap().first().cloned().expect("a checkpoint");
+        let checkpoint = seen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .first()
+            .cloned()
+            .expect("a checkpoint");
         assert_eq!(checkpoint.completed_cells(), 1);
         assert!(!checkpoint.is_complete());
 

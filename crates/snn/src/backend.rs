@@ -322,7 +322,7 @@ mod tests {
             ) -> falvolt_tensor::Result<MatmulOutput> {
                 self.seen
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push((req.hint(), req.is_scenario_shared()));
                 ops::matmul(req.a(), req.b()).map(MatmulOutput::new)
             }
@@ -335,7 +335,11 @@ mod tests {
         probe
             .matmul_scenario_shared(&a, &b, MatmulHint::Dense)
             .unwrap();
-        let seen = probe.seen.lock().unwrap().clone();
+        let seen = probe
+            .seen
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         assert_eq!(
             seen,
             vec![

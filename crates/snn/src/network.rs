@@ -424,8 +424,34 @@ impl SpikingNetwork {
             // cached derivations / cross-figure cache entries keyed on it
             // stay warm. Figure drivers restore the baseline between every
             // experiment, which would otherwise re-mint every id.
-            if param.value() != value {
+            #[cfg(feature = "audit")]
+            let id_before = param.value().content_id();
+            let changed = param.value() != value;
+            if changed {
                 param.assign_value(value.clone());
+            }
+            // Audit both directions of the skip's soundness: a changed
+            // value must re-mint (the old id would poison every cache
+            // keyed on it), an unchanged value must keep its id (that is
+            // the entire point of the skip).
+            #[cfg(feature = "audit")]
+            {
+                let id_after = param.value().content_id();
+                if changed {
+                    assert_ne!(
+                        id_after,
+                        id_before,
+                        "import audit: parameter '{}' changed bytes but kept its content id",
+                        param.name()
+                    );
+                } else {
+                    assert_eq!(
+                        id_after,
+                        id_before,
+                        "import audit: parameter '{}' kept its bytes but re-minted its id",
+                        param.name()
+                    );
+                }
             }
             param.zero_grad();
             param.reset_optimizer_state();

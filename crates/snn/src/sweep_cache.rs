@@ -280,6 +280,14 @@ impl SweepCache {
     /// Stores a prefix output previously answered with
     /// [`SweepDecision::Compute`].
     pub fn fulfill_prefix(&self, key: u128, value: Arc<Tensor>) {
+        // Under audit, a key fulfilled twice (first write quarantined, a
+        // later worker recomputed) must carry byte-identical content.
+        #[cfg(feature = "audit")]
+        falvolt_tensor::audit::check_fulfill(
+            "sweep-cache/prefix",
+            key,
+            falvolt_tensor::audit::fingerprint(value.data()),
+        );
         self.prefix.fulfill(key, value);
     }
 
@@ -310,6 +318,12 @@ impl SweepCache {
     /// Stores an im2col lowering previously answered with
     /// [`SweepDecision::Compute`].
     pub fn fulfill_lowered(&self, key: u128, value: Arc<Tensor>) {
+        #[cfg(feature = "audit")]
+        falvolt_tensor::audit::check_fulfill(
+            "sweep-cache/lowered",
+            key,
+            falvolt_tensor::audit::fingerprint(value.data()),
+        );
         self.lowered.fulfill(key, value);
     }
 
@@ -473,7 +487,7 @@ mod tests {
         assert!(matches!(cache.lookup_prefix(3), SweepDecision::Compute));
         let poisoner = Arc::clone(&cache);
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner.prefix.inner.lock().expect("fresh lock");
+            let _guard = poisoner.prefix.inner.lock();
             panic!("worker dies holding the sweep-cache lock");
         })
         .join();

@@ -37,6 +37,13 @@ pub enum SystolicError {
         /// The offending rate.
         rate: f64,
     },
+    /// An internal invariant broke. Returned instead of panicking so a
+    /// campaign worker survives the scenario and the error reaches the
+    /// caller with context.
+    Internal {
+        /// Which invariant failed.
+        what: &'static str,
+    },
     /// An underlying fixed-point error (e.g. a fault bit outside the word).
     FixedPoint(FixedPointError),
     /// An underlying tensor error (e.g. a shape mismatch in the executor).
@@ -67,6 +74,9 @@ impl fmt::Display for SystolicError {
             ),
             SystolicError::InvalidFaultRate { rate } => {
                 write!(f, "fault rate {rate} outside the valid range [0, 1]")
+            }
+            SystolicError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
             SystolicError::FixedPoint(e) => write!(f, "fixed-point error: {e}"),
             SystolicError::Tensor(e) => write!(f, "tensor error: {e}"),

@@ -567,7 +567,7 @@ impl SystolicExecutor {
                 n,
                 lanes: faulty.len(),
                 inter: Vec::new(),
-                lane_of: lane_of.into_iter().map(|o| o.expect("filled")).collect(),
+                lane_of: lane_table(lane_of)?,
             });
         }
 
@@ -791,7 +791,7 @@ impl SystolicExecutor {
             n,
             lanes,
             inter,
-            lane_of: lane_of.into_iter().map(|o| o.expect("filled")).collect(),
+            lane_of: lane_table(lane_of)?,
         })
     }
 
@@ -1663,9 +1663,11 @@ impl FoldPlan {
             // rows, ... of fold c. Distinct PEs of one column never collide
             // on a position, so a sort yields the increasing-p walk order.
             for pe in fault_map.faulty_pes() {
-                let masks = fault_map
-                    .masks(pe)
-                    .expect("faulty_pes() only yields masked PEs");
+                // faulty_pes() only yields masked PEs; a PE the map no
+                // longer masks simply contributes no masked positions.
+                let Some(masks) = fault_map.masks(pe) else {
+                    continue;
+                };
                 let mut p = pe.row;
                 while p < k {
                     masked[pe.col].push((p as u32, masks));
@@ -1832,6 +1834,18 @@ impl ScenarioMatrices {
     pub fn into_tensors(self) -> Result<Vec<Tensor>> {
         (0..self.scenarios()).map(|s| self.tensor(s)).collect()
     }
+}
+
+/// Finalizes the scenario→lane table. Every scenario must have been
+/// assigned a lane by construction; a gap is a builder bug, surfaced as a
+/// typed error so a campaign worker survives it instead of unwinding.
+fn lane_table(lane_of: Vec<Option<ScenarioLane>>) -> Result<Vec<ScenarioLane>> {
+    lane_of
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or(SystolicError::Internal {
+            what: "scenario lane table left a scenario unassigned",
+        })
 }
 
 fn matrix_dims(t: &Tensor) -> Result<(usize, usize)> {

@@ -82,6 +82,14 @@ impl ProductCache {
     /// [`CacheDecision::Compute`]. Discarded (never served) if the
     /// promotion was quarantined in the meantime.
     pub fn fulfill(&self, key: u128, value: Arc<Vec<f32>>) {
+        // Under audit, a key fulfilled twice (first write quarantined, a
+        // later worker recomputed) must carry byte-identical content.
+        #[cfg(feature = "audit")]
+        falvolt_tensor::audit::check_fulfill(
+            "product-cache/products",
+            key,
+            falvolt_tensor::audit::fingerprint(&value),
+        );
         self.products.fulfill(key, value);
     }
 
@@ -101,6 +109,12 @@ impl ProductCache {
     /// Stores a quantized-weight table previously answered with
     /// [`CacheDecision::Compute`].
     pub fn fulfill_qweights(&self, key: u128, value: Arc<Vec<i32>>) {
+        #[cfg(feature = "audit")]
+        falvolt_tensor::audit::check_fulfill(
+            "product-cache/qweights",
+            key,
+            falvolt_tensor::audit::fingerprint_bytes(value.iter().flat_map(|v| v.to_le_bytes())),
+        );
         self.qweights.fulfill(key, value);
     }
 
@@ -182,47 +196,50 @@ mod tests {
         assert_eq!((cache.skips(), cache.promotions(), cache.hits()), (1, 1, 1));
     }
 
+    // Every test fulfils its own key range: the audit registry (under
+    // `--features audit`) is process-global, so two tests fulfilling the
+    // same key with different bytes would trip the purity assertion.
     #[test]
     fn only_one_caller_is_told_to_compute() {
         let cache = ProductCache::new();
-        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
-        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+        assert!(matches!(cache.lookup(21), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(21), CacheDecision::Compute));
         // While the promoted worker computes, racing workers skip (inline
         // subset computation) instead of duplicating the full product.
-        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
-        cache.fulfill(1, Arc::new(vec![4.0]));
-        assert!(matches!(cache.lookup(1), CacheDecision::Hit(_)));
+        assert!(matches!(cache.lookup(21), CacheDecision::Skip));
+        cache.fulfill(21, Arc::new(vec![4.0]));
+        assert!(matches!(cache.lookup(21), CacheDecision::Hit(_)));
     }
 
     #[test]
     fn value_capacity_bounds_promotions_not_pending_markers() {
         let cache = ProductCache::with_capacity(1);
-        // Key 1 takes the single value slot.
-        assert!(matches!(cache.lookup(1), CacheDecision::Skip));
-        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
-        cache.fulfill(1, Arc::new(vec![2.0]));
-        // Key 2 is tracked (cheap Pending marker) but can never promote
-        // while the value capacity is used up — and key 1 still hits.
-        assert!(matches!(cache.lookup(2), CacheDecision::Skip));
-        assert!(matches!(cache.lookup(2), CacheDecision::Skip));
-        assert!(matches!(cache.lookup(1), CacheDecision::Hit(_)));
+        // Key 31 takes the single value slot.
+        assert!(matches!(cache.lookup(31), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(31), CacheDecision::Compute));
+        cache.fulfill(31, Arc::new(vec![2.0]));
+        // Key 32 is tracked (cheap Pending marker) but can never promote
+        // while the value capacity is used up — and key 31 still hits.
+        assert!(matches!(cache.lookup(32), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(32), CacheDecision::Skip));
+        assert!(matches!(cache.lookup(31), CacheDecision::Hit(_)));
         assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn quarantine_spans_both_stores_and_discards_stale_fulfills() {
         let cache = ProductCache::new();
-        let _ = cache.lookup(1);
-        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
-        let _ = cache.lookup_qweights(2);
-        assert!(matches!(cache.lookup_qweights(2), CacheDecision::Compute));
+        let _ = cache.lookup(41);
+        assert!(matches!(cache.lookup(41), CacheDecision::Compute));
+        let _ = cache.lookup_qweights(42);
+        assert!(matches!(cache.lookup_qweights(42), CacheDecision::Compute));
         assert_eq!(cache.quarantine_in_flight(), 2);
         assert_eq!(cache.quarantined(), 2);
         // Stale writes from the quarantined workers are discarded.
-        cache.fulfill(1, Arc::new(vec![1.0]));
-        cache.fulfill_qweights(2, Arc::new(vec![5]));
+        cache.fulfill(41, Arc::new(vec![1.0]));
+        cache.fulfill_qweights(42, Arc::new(vec![5]));
         assert_eq!(cache.discarded_fulfills(), 2);
-        assert!(matches!(cache.lookup(1), CacheDecision::Compute));
+        assert!(matches!(cache.lookup(41), CacheDecision::Compute));
     }
 
     #[test]

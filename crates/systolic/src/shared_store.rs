@@ -132,7 +132,7 @@ impl<T> SharedStore<T> {
     /// simply re-promote later. Fulfilled (`Ready`) values are kept: they
     /// were complete before the crash (fulfilment is a single insert).
     fn guard(&self) -> MutexGuard<'_, Inner<T>> {
-        match self.inner.lock() {
+        let guard = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.inner.clear_poison();
@@ -142,7 +142,21 @@ impl<T> SharedStore<T> {
                 self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
                 guard
             }
+        };
+        // Under audit, verify the quarantine invariant on every access: a
+        // `Computing` slot tagged with an older generation would mean an
+        // in-flight promotion survived a quarantine — exactly the stale
+        // write the generation machinery exists to discard.
+        #[cfg(feature = "audit")]
+        for slot in guard.slots.values() {
+            if let Slot::Computing(generation) = slot {
+                assert_eq!(
+                    *generation, guard.generation,
+                    "store audit: a pre-quarantine promotion survived"
+                );
+            }
         }
+        guard
     }
 
     /// Looks `key` up under a `capacity` bound on promoted values. `eager`
@@ -365,7 +379,7 @@ mod tests {
         // Poison the mutex: a worker dies while holding the lock.
         let poisoner = Arc::clone(&store);
         let _ = std::thread::spawn(move || {
-            let _guard = poisoner.inner.lock().expect("fresh lock");
+            let _guard = poisoner.inner.lock();
             panic!("worker dies holding the store lock");
         })
         .join();

@@ -39,6 +39,8 @@ mod error;
 mod shape;
 mod tensor;
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod cancel;
 pub mod fingerprint;
 pub mod init;

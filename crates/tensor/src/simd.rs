@@ -566,18 +566,24 @@ pub trait SimdOp {
     fn run<S: SimdLevel>(self) -> Self::Output;
 }
 
+// SAFETY: callers must have proven AVX2+FMA support via runtime detection;
+// the fn stays private so `dispatch` below is the only caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn run_avx2<O: SimdOp>(op: O) -> O::Output {
     op.run::<Avx2Level>()
 }
 
+// SAFETY: callers must have proven the AVX-512 F/DQ/BW/VL feature set via
+// runtime detection; the fn stays private so `dispatch` is the only caller.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
 unsafe fn run_avx512<O: SimdOp>(op: O) -> O::Output {
     op.run::<Avx512Level>()
 }
 
+// SAFETY: callers must have proven NEON support via runtime detection; the
+// fn stays private so `dispatch` is the only caller.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
 unsafe fn run_neon<O: SimdOp>(op: O) -> O::Output {
@@ -591,14 +597,17 @@ unsafe fn run_neon<O: SimdOp>(op: O) -> O::Output {
 /// [`Isa::Scalar`] (or on a target with no vector trampoline) runs at the
 /// [`Fallback`] level, which is always valid.
 pub fn dispatch<O: SimdOp>(op: O) -> O::Output {
+    // `active()` only returns an ISA whose required CPU features were
+    // verified by runtime detection (unsupported requests clamp to
+    // `Isa::Scalar`), so each trampoline call below is sound.
     match active() {
-        // SAFETY: `active()` only returns an ISA whose required CPU features
-        // were verified by runtime detection (unsupported requests clamp to
-        // `Isa::Scalar`), so the target-feature trampoline is sound to call.
+        // SAFETY: Avx512 implies detection proved avx512f/dq/bw/vl.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx512 => unsafe { run_avx512(op) },
+        // SAFETY: Avx2 implies detection proved avx2+fma.
         #[cfg(target_arch = "x86_64")]
         Isa::Avx2 => unsafe { run_avx2(op) },
+        // SAFETY: Neon implies detection proved neon.
         #[cfg(target_arch = "aarch64")]
         Isa::Neon => unsafe { run_neon(op) },
         _ => op.run::<Fallback>(),

@@ -117,6 +117,10 @@ impl Tensor {
     /// hashing operands per consult. Ids say nothing about shape — key dims
     /// separately.
     pub fn content_id(&self) -> u64 {
+        // Observe the id at the moment it escapes to a cache: the audit
+        // registry panics if this id ever certified different bytes.
+        #[cfg(feature = "audit")]
+        crate::audit::observe(self.content_id, &self.data);
         self.content_id
     }
 

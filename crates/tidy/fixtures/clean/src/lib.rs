@@ -1,0 +1,8 @@
+//! Clean fixture crate root.
+
+#![forbid(unsafe_code)]
+
+/// Nothing to see here: the tree must exit 0.
+pub fn fine(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

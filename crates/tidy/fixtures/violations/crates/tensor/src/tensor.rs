@@ -1,0 +1,7 @@
+//! Tensor fixture missing the serde skip on `spike_index`.
+
+pub struct Tensor {
+    #[serde(skip)]
+    content_id: u64,
+    spike_index: Option<()>,
+}

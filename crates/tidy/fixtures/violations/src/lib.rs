@@ -1,0 +1,5 @@
+//! Fixture crate root deliberately missing `#![forbid(unsafe_code)]`.
+
+pub fn fine() -> u32 {
+    7
+}

@@ -1,0 +1,23 @@
+//! No-panic fixtures: three library sites, a waived site, and test code.
+
+pub fn hot(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("fixture");
+    if a + b == 3 {
+        panic!("fixture");
+    }
+    a + b
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // tidy:allow(no-panic): fixture proving a justified waiver excludes the site
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(Some(3u32).unwrap(), 3);
+    }
+}

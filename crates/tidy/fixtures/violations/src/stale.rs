@@ -1,0 +1,5 @@
+//! Clean file whose `[no-panic]` baseline entry is deliberately stale.
+
+pub fn fine() -> u32 {
+    7
+}

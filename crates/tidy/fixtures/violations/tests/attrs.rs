@@ -1,0 +1,10 @@
+//! Attribute-confinement fixtures (each attribute is outside its allowed file).
+
+#[target_feature(enable = "avx2")]
+fn outside_simd() {}
+
+#[allow(unsafe_code)]
+fn allows_unsafe() {}
+
+#[allow(deprecated)]
+fn allows_deprecated() {}

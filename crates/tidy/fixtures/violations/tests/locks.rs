@@ -1,0 +1,22 @@
+//! Raw-lock fixtures: single- and multi-line hits, waivers both ways.
+
+use std::sync::Mutex;
+
+pub fn raw(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn raw_multiline(m: &Mutex<u32>) -> u32 {
+    *m.lock()
+        .expect("poisoned")
+}
+
+pub fn waived(m: &Mutex<u32>) -> u32 {
+    // tidy:allow(raw-lock): fixture proving a justified waiver suppresses
+    *m.lock().unwrap()
+}
+
+pub fn bare(m: &Mutex<u32>) -> u32 {
+    // tidy:allow(raw-lock)
+    *m.lock().unwrap()
+}

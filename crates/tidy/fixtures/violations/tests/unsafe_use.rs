@@ -1,0 +1,5 @@
+//! Unsafe fixtures: one site with no SAFETY comment, uninventoried.
+
+pub fn poke() {
+    unsafe { core::ptr::null::<u32>().read() };
+}

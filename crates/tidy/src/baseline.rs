@@ -1,0 +1,231 @@
+//! Ratcheted invariant baselines (`crates/tidy/baseline.toml`).
+//!
+//! Two lint families police debt that cannot be fully retired in one PR:
+//! `unsafe` sites (the SIMD trampolines are load-bearing) and
+//! panic-capable calls in library code (`unwrap`/`expect`/`panic!`). For
+//! those the committed baseline records a per-file census, and the ratchet
+//! rule is asymmetric by design:
+//!
+//! * **actual > baseline** — new debt. The pass fails with a `file:line`
+//!   diagnostic per new site; fix the site or (exceptionally) raise the
+//!   baseline in review.
+//! * **actual < baseline** — the baseline is **stale**: someone fixed a
+//!   site without ratcheting the count down. The pass fails too ("ratchet
+//!   down"), so the recorded ceiling always equals reality and the next
+//!   regression cannot hide in slack. A baseline that only ever fails in
+//!   one direction rots; this one cannot.
+//!
+//! The format is a flat TOML subset — `[section]` headers and
+//! `"file" = count` pairs — parsed here without any external dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed baseline: section name → (repo-relative file → allowed count).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    sections: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// A baseline file that does not parse, with its 1-based line.
+#[derive(Debug)]
+pub struct BaselineError {
+    /// 1-based line of the offending entry.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the TOML-subset baseline format: `#` comments, `[section]`
+    /// headers, `"quoted/file.rs" = 3` entries.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut sections: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = (i + 1) as u32;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = trimmed.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let name = name.trim().to_string();
+                sections.entry(name.clone()).or_default();
+                current = Some(name);
+                continue;
+            }
+            let Some((key_part, value_part)) = trimmed.split_once('=') else {
+                return Err(BaselineError {
+                    line,
+                    message: format!("expected `\"file\" = count`, found {trimmed:?}"),
+                });
+            };
+            let key = key_part.trim();
+            let key = key
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or(BaselineError {
+                    line,
+                    message: format!("file keys must be double-quoted, found {key:?}"),
+                })?;
+            let count: usize = value_part.trim().parse().map_err(|_| BaselineError {
+                line,
+                message: format!("count must be a non-negative integer, found {value_part:?}"),
+            })?;
+            let section = current.clone().ok_or(BaselineError {
+                line,
+                message: "entry before any [section] header".into(),
+            })?;
+            let entries = sections.entry(section).or_default();
+            if entries.insert(key.to_string(), count).is_some() {
+                return Err(BaselineError {
+                    line,
+                    message: format!("duplicate entry for {key:?}"),
+                });
+            }
+        }
+        Ok(Self { sections })
+    }
+
+    /// The allowed count for `file` in `section` (0 when absent — absence
+    /// means "this file must be clean").
+    pub fn allowed(&self, section: &str, file: &str) -> usize {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All files recorded in a section (for stale-entry detection).
+    pub fn files(&self, section: &str) -> impl Iterator<Item = (&str, usize)> {
+        self.sections
+            .get(section)
+            .into_iter()
+            .flat_map(|s| s.iter().map(|(k, &v)| (k.as_str(), v)))
+    }
+}
+
+/// Outcome of ratcheting one section against the measured census.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RatchetReport {
+    /// Files whose measured count exceeds the baseline: `(file, actual,
+    /// allowed)`. New debt — fails the pass.
+    pub over: Vec<(String, usize, usize)>,
+    /// Baseline entries above the measured count (including entries for
+    /// files with no violations left, or files that no longer exist):
+    /// `(file, actual, allowed)`. Stale — fails the pass with "ratchet
+    /// down" so the recorded ceiling tracks reality.
+    pub stale: Vec<(String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// `true` when the census matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.over.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares a measured census (file → count, zero-count files omitted or
+/// present — both work) against `section` of the baseline.
+pub fn ratchet(
+    baseline: &Baseline,
+    section: &str,
+    census: &BTreeMap<String, usize>,
+) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    for (file, &actual) in census {
+        let allowed = baseline.allowed(section, file);
+        if actual > allowed {
+            report.over.push((file.clone(), actual, allowed));
+        }
+    }
+    for (file, allowed) in baseline.files(section) {
+        let actual = census.get(file).copied().unwrap_or(0);
+        if actual < allowed {
+            report.stale.push((file.to_string(), actual, allowed));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn census(entries: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        entries.iter().map(|(f, c)| (f.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn parses_sections_comments_and_entries() {
+        let text = r#"
+# ratchet file
+[unsafe]
+"crates/tensor/src/simd.rs" = 6
+
+[no-panic]
+"crates/snn/src/network.rs" = 2
+"#;
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.allowed("unsafe", "crates/tensor/src/simd.rs"), 6);
+        assert_eq!(b.allowed("no-panic", "crates/snn/src/network.rs"), 2);
+        assert_eq!(b.allowed("no-panic", "unlisted.rs"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let err = Baseline::parse("[s]\nnot an entry\n").expect_err("malformed");
+        assert_eq!(err.line, 2);
+        let err = Baseline::parse("\"k\" = 1\n").expect_err("no section");
+        assert!(err.message.contains("section"));
+        let err = Baseline::parse("[s]\nk = 1\n").expect_err("unquoted");
+        assert!(err.message.contains("quoted"));
+        let err = Baseline::parse("[s]\n\"k\" = -1\n").expect_err("negative");
+        assert!(err.message.contains("integer"));
+        let err = Baseline::parse("[s]\n\"k\" = 1\n\"k\" = 2\n").expect_err("dup");
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn ratchet_passes_on_exact_match() {
+        let b = Baseline::parse("[x]\n\"a.rs\" = 2\n").expect("parses");
+        let report = ratchet(&b, "x", &census(&[("a.rs", 2)]));
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn new_debt_is_over() {
+        let b = Baseline::parse("[x]\n\"a.rs\" = 2\n").expect("parses");
+        let report = ratchet(&b, "x", &census(&[("a.rs", 3), ("b.rs", 1)]));
+        assert_eq!(
+            report.over,
+            vec![("a.rs".into(), 3, 2), ("b.rs".into(), 1, 0)]
+        );
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_sites_make_the_baseline_stale() {
+        let b = Baseline::parse("[x]\n\"a.rs\" = 2\n\"gone.rs\" = 1\n").expect("parses");
+        let report = ratchet(&b, "x", &census(&[("a.rs", 1)]));
+        assert_eq!(
+            report.stale,
+            vec![("a.rs".into(), 1, 2), ("gone.rs".into(), 0, 1)]
+        );
+        assert!(report.over.is_empty());
+    }
+
+    #[test]
+    fn zero_count_census_entries_do_not_trip_over() {
+        let b = Baseline::default();
+        let report = ratchet(&b, "x", &census(&[("a.rs", 0)]));
+        assert!(report.is_clean());
+    }
+}

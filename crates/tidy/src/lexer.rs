@@ -1,0 +1,456 @@
+//! A comment/string/raw-string/char-literal-aware Rust token scanner.
+//!
+//! The lints in this crate are substring-shaped ("no `.lock().unwrap()`",
+//! "every `unsafe` carries a `// SAFETY:` comment"), so the one thing the
+//! scanner must get right is **where code stops and literal/comment content
+//! begins**: a violation spelled inside a string, a raw string, a char
+//! literal or a comment is not a violation. The scanner produces a flat
+//! token stream with line numbers; it does not parse — lints match token
+//! sequences, which is exactly the granularity rustc's own `tidy` operates
+//! at.
+//!
+//! Handled Rust surface:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/** … */`);
+//! * string literals with escapes (`"a \" b"`, trailing `\` line
+//!   continuations) and byte strings (`b"…"`);
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//!   including embedded quotes;
+//! * char and byte-char literals (`'x'`, `'\n'`, `'"'`, `b'\''`)
+//!   disambiguated from lifetimes and loop labels (`'a`, `'static`,
+//!   `'outer: loop`);
+//! * numeric literals (so `1.0` does not produce a `.` punct token).
+
+/// What a token is. Literal tokens carry no content — the lints only need
+/// to know the region is *not* code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `lock`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`.`, `#`, `!`, `(`, …).
+    Punct(char),
+    /// A string, byte-string, raw-string, char or byte-char literal.
+    Literal,
+    /// A numeric literal (`1`, `0xFF`, `1.0e-5`, `3usize`).
+    Number,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A `//…` or `/*…*/` comment (doc comments included). Carries its text
+    /// so the `SAFETY:`-comment and waiver lints can read it.
+    Comment,
+}
+
+/// One scanned token: kind, text (empty for literals) and 1-based line of
+/// its first character.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// Identifier/keyword or comment text; empty for other kinds.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Scans `src` into a token stream. Never fails: unterminated literals and
+/// comments are tolerated by treating the rest of the file as their content
+/// (a file that does not even parse will be caught by the compiler, not by
+/// tidy).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// Scans a string body after the opening `"` was consumed.
+    fn string_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Any escape (including `\"` and `\\`); a trailing `\`
+                    // before the newline is a line continuation and the
+                    // newline is literal content either way.
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// Scans a raw-string body after the `r`/`br` prefix; consumes the
+    /// hashes and the opening quote. Returns `false` when what follows is
+    /// not actually a raw string (e.g. the ident `r#foo` raw identifier).
+    fn raw_string_body(&mut self, line: u32) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        // Content runs until `"` followed by exactly `hashes` hashes.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut n = 0usize;
+                while n < hashes && self.peek(n) == Some('#') {
+                    n += 1;
+                }
+                if n == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+        true
+    }
+
+    /// `'` starts either a char literal or a lifetime/label.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            // `'\n'`, `'\''`, `'\u{1F600}'` — escaped char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped character (enough for ', n, u…)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            // `'x'` (any single char, including `'"'` and `' '`) — the
+            // char after next closes it. A lifetime is never followed by a
+            // `'` at that position (`'a'` is a char, `'a ` is a lifetime).
+            Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            // `'a`, `'static`, `'outer:` — lifetime or label.
+            Some(c) if is_ident_start(c) => {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            // Stray quote (macro land); treat as punctuation.
+            _ => self.push(TokKind::Punct('\''), String::new(), line),
+        }
+    }
+
+    /// An identifier — unless it is the `r`/`b`/`br`/`rb` prefix of a raw
+    /// or byte literal, in which case the literal is scanned instead.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match (text.as_str(), self.peek(0)) {
+            // Raw string `r"…"` / `r#"…"#` / byte-raw `br#"…"#`.
+            ("r" | "br", Some('"' | '#')) if self.raw_string_body(line) => {}
+            // Byte string `b"…"`.
+            ("b", Some('"')) => {
+                self.bump();
+                self.string_body(line);
+            }
+            // Byte char `b'x'`.
+            ("b", Some('\'')) => self.char_or_lifetime(line),
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut seen_dot = false;
+        let mut prev = ' ';
+        while let Some(c) = self.peek(0) {
+            let take = match c {
+                '0'..='9' | '_' => true,
+                'a'..='z' | 'A'..='Z' => true, // 0xFF, 1e5, suffixes (usize)
+                '.' if !seen_dot => {
+                    // Only a digit may follow the dot, otherwise it is a
+                    // method call (`1.0.sqrt()`) or a range (`0..n`).
+                    if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                        seen_dot = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                '+' | '-' if prev == 'e' || prev == 'E' => true, // 1e-5
+                _ => false,
+            };
+            if !take {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+        self.push(TokKind::Number, String::new(), line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_content_from_the_token_stream() {
+        let toks = lex(r#"let s = "a.lock().unwrap()"; s.len()"#);
+        assert!(toks.iter().all(|t| !t.is_ident("lock")));
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_a_string() {
+        let toks = lex(r#"let s = "he said \"unsafe\" loudly"; x"#);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let toks = lex(r###"let s = r#"a "quoted" .unwrap() inside"#; done"###);
+        assert!(toks.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_are_literals() {
+        let toks = lex(r##"let a = b"panic!"; let c = br#"panic!"#; end"##);
+        assert!(toks.iter().all(|t| !t.is_ident("panic")));
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_outer_level() {
+        let toks = lex("/* outer /* inner */ still comment */ code_after");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.is_ident("code_after")));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        // '"' and '\'' are chars; 'a in a generic is a lifetime.
+        let toks = lex(r#"fn f<'a>(x: &'a str) { let q = '"'; let e = '\''; }"#);
+        let lifetimes: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn labels_and_static_lifetimes_are_not_literals() {
+        let toks = lex("'outer: loop { break 'outer; } let s: &'static str = x;");
+        assert!(toks.iter().all(|t| t.kind != TokKind::Literal));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["'outer", "'outer", "'static"]
+        );
+    }
+
+    #[test]
+    fn char_literal_containing_a_quote_does_not_open_a_string() {
+        // If '"' were mis-lexed as opening a string, `hidden` would vanish.
+        let toks = lex(r#"let q = '"'; hidden"#);
+        assert!(toks.iter().any(|t| t.is_ident("hidden")));
+    }
+
+    #[test]
+    fn numbers_swallow_their_dots_and_exponents() {
+        let toks = lex("let x = 1.0e-5; let y = 0xFF_usize; let r = 0..n; 1.0.sqrt()");
+        // `0..n` keeps both range dots as puncts; `1.0` and `1.0e-5` none.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3); // two range dots + the method-call dot
+        assert!(toks.iter().any(|t| t.is_ident("sqrt")));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_tokens() {
+        let src = "line1()\n/* spans\nthree\nlines */\nafter()";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!(after.line, 5);
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Comment)
+            .expect("comment");
+        assert_eq!(comment.line, 2);
+    }
+
+    #[test]
+    fn doc_comments_carry_their_text() {
+        let toks = lex("/// SAFETY: documented\nunsafe { x }");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Comment)
+            .expect("comment");
+        assert!(c.text.contains("SAFETY:"));
+        assert!(toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_the_rest_of_the_file() {
+        let toks = lex("let s = \"never closed .unwrap()");
+        assert!(toks.iter().all(|t| !t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn idents_split_correctly() {
+        assert_eq!(
+            idents("pub unsafe fn lock_free()"),
+            vec!["pub", "unsafe", "fn", "lock_free"]
+        );
+    }
+}

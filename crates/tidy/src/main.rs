@@ -1,0 +1,86 @@
+//! `falvolt-tidy` binary: run the pass, print diagnostics, exit typed.
+//!
+//! ```text
+//! falvolt-tidy [ROOT]    # default: nearest ancestor with crates/tidy/baseline.toml
+//! falvolt-tidy --list    # print the lint catalog
+//! ```
+
+#![forbid(unsafe_code)]
+
+use falvolt_tidy::{lints, pass};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list" => {
+                for lint in lints::LINTS {
+                    println!("{:<18} {}", lint.name, lint.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: falvolt-tidy [--list] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("falvolt-tidy: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "falvolt-tidy: no {} found in the current directory or its ancestors; \
+                 pass the workspace root explicitly",
+                pass::BASELINE_PATH
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match pass::run(&root) {
+        Ok(result) if result.is_clean() => {
+            println!(
+                "tidy: {} files clean ({} lints, baselines exact)",
+                result.files_scanned,
+                lints::LINTS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(result) => {
+            for d in &result.diagnostics {
+                eprintln!("{d}");
+            }
+            eprintln!(
+                "tidy: {} violation(s) across {} files — see crates/tidy/src/lints.rs for the \
+                 catalog and README \"Correctness tooling\" for how to fix or ratchet",
+                result.diagnostics.len(),
+                result.files_scanned
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("falvolt-tidy: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first ancestor holding the
+/// committed baseline — that ancestor is the workspace root.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join(pass::BASELINE_PATH).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The pass driver: workspace walk → lints → ratchet → diagnostics.
+//!
+//! [`run`] is the whole pass as a library function so the `falvolt-tidy`
+//! binary, the fixture integration tests, and `bench_gate --schema-only`
+//! all execute the same code. Diagnostics are plain `file:line: [lint] …`
+//! strings, sorted, so output is deterministic across filesystems.
+
+use crate::baseline::{self, Baseline};
+use crate::lints::{self, SourceFile};
+use crate::schema;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative location of the committed ratchet baseline.
+pub const BASELINE_PATH: &str = "crates/tidy/baseline.toml";
+
+/// Repo-relative location of the bench-smoke JSON the schema lint covers.
+pub const BENCH_JSON_PATH: &str = "BENCH_kernels.json";
+
+/// Outcome of one pass over a tree.
+#[derive(Debug)]
+pub struct PassResult {
+    /// Sorted `file:line: [lint] message` diagnostics; empty means clean.
+    pub diagnostics: Vec<String>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl PassResult {
+    /// `true` when the tree passed every lint and both ratchets.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs the full pass rooted at `root` (a workspace checkout, or a fixture
+/// tree shaped like one). `Err` means the pass itself could not run —
+/// unreadable baseline or filesystem error — which callers map to a
+/// distinct exit code from "violations found".
+pub fn run(root: &Path) -> Result<PassResult, String> {
+    let baseline_file = root.join(BASELINE_PATH);
+    let baseline_text = fs::read_to_string(&baseline_file)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_file.display()))?;
+    let baseline =
+        Baseline::parse(&baseline_text).map_err(|e| format!("{}: {e}", baseline_file.display()))?;
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut unsafe_census: BTreeMap<String, usize> = BTreeMap::new();
+    let mut panic_census: BTreeMap<String, usize> = BTreeMap::new();
+    let mut unsafe_sites: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    let mut panic_sites: BTreeMap<String, Vec<(u32, String)>> = BTreeMap::new();
+
+    for path in &files {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        let report = lints::check_file(&SourceFile::new(rel.clone(), &text));
+        for v in &report.violations {
+            diagnostics.push(v.to_string());
+        }
+        if !report.unsafe_sites.is_empty() {
+            unsafe_census.insert(rel.clone(), report.unsafe_sites.len());
+            unsafe_sites.insert(rel.clone(), report.unsafe_sites);
+        }
+        if !report.panic_sites.is_empty() {
+            panic_census.insert(rel.clone(), report.panic_sites.len());
+            panic_sites.insert(rel.clone(), report.panic_sites);
+        }
+    }
+
+    // Ratchet the two censuses. Files over baseline report every site so
+    // the new one is visible; stale entries fail too ("ratchet down").
+    let unsafe_report = baseline::ratchet(&baseline, "unsafe", &unsafe_census);
+    for (file, actual, allowed) in &unsafe_report.over {
+        for line in unsafe_sites.get(file).into_iter().flatten() {
+            diagnostics.push(format!(
+                "{file}:{line}: [unsafe-sites] unsafe site — file has {actual}, the [unsafe] \
+                 baseline allows {allowed}"
+            ));
+        }
+    }
+    let panic_report = baseline::ratchet(&baseline, "no-panic", &panic_census);
+    for (file, actual, allowed) in &panic_report.over {
+        for (line, what) in panic_sites.get(file).into_iter().flatten() {
+            diagnostics.push(format!(
+                "{file}:{line}: [no-panic] {what} in library code — file has {actual}, the \
+                 [no-panic] baseline allows {allowed}"
+            ));
+        }
+    }
+    for (section, report) in [("unsafe", &unsafe_report), ("no-panic", &panic_report)] {
+        for (file, actual, allowed) in &report.stale {
+            diagnostics.push(format!(
+                "{BASELINE_PATH}:1: [ratchet] stale [{section}] entry: {file:?} counts {actual} \
+                 but the baseline allows {allowed} — ratchet it down"
+            ));
+        }
+    }
+
+    // Bench JSON schema.
+    let bench_json = root.join(BENCH_JSON_PATH);
+    if bench_json.exists() {
+        let text = fs::read_to_string(&bench_json)
+            .map_err(|e| format!("cannot read {}: {e}", bench_json.display()))?;
+        for v in schema::check_bench_schema(&text) {
+            diagnostics.push(format!(
+                "{BENCH_JSON_PATH}:{}: [bench-schema] {}{}",
+                v.line,
+                if v.path.is_empty() {
+                    String::new()
+                } else {
+                    format!("{}: ", v.path)
+                },
+                v.message
+            ));
+        }
+    }
+
+    diagnostics.sort();
+    Ok(PassResult {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping build output,
+/// VCS metadata, and the tidy fixtures (they contain deliberate
+/// violations exercised by the fixture tests, not real debt).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            if rel_path(root, &path) == "crates/tidy/fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative `/`-separated path, so diagnostics and baselines are
+/// portable across platforms.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pass is clean on the real workspace — the same property CI
+    /// enforces via `cargo run -p falvolt-tidy`, kept here so plain
+    /// `cargo test` catches violations before the binary does.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let result = run(root).expect("pass runs");
+        assert!(
+            result.is_clean(),
+            "tidy violations:\n{}",
+            result.diagnostics.join("\n")
+        );
+        assert!(result.files_scanned > 30, "walker found too few files");
+    }
+}

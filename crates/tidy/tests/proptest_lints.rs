@@ -1,0 +1,87 @@
+//! Property tests for the lint layer: lints match token sequences from the
+//! lexer, so violation-shaped **text** inside string literals, raw strings,
+//! or comments must never fire — and real sites must fire at the right
+//! line no matter how much decoy text surrounds them.
+
+use falvolt_tidy::lints::{check_file, SourceFile};
+use proptest::prelude::*;
+
+/// Violation-shaped payloads, one per lint family the lexer must not be
+/// fooled into matching.
+fn payloads() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(".lock().unwrap()".to_string()),
+        Just(".lock().expect(\"poisoned\")".to_string()),
+        Just("x.unwrap()".to_string()),
+        Just("y.expect(\"msg\")".to_string()),
+        Just("panic!(\"boom\")".to_string()),
+        Just("unsafe { launch() }".to_string()),
+        Just("#[target_feature(enable = \"avx2\")]".to_string()),
+        Just("#[allow(unsafe_code)]".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nothing_fires_inside_strings_or_comments(
+        payload in payloads(),
+        ctx in 0usize..3,
+        pad in 0usize..5,
+    ) {
+        let embedded = match ctx {
+            0 => format!("let s = \"{}\";", payload.replace('"', "\\\"")),
+            1 => format!("let s = r#\"{payload}\"#;"),
+            _ => format!("// {payload}"),
+        };
+        let src = format!("{}pub fn f() {{\n    {embedded}\n}}\n", "\n".repeat(pad));
+        let report = check_file(&SourceFile::new("crates/x/src/a.rs", &src));
+        prop_assert!(
+            report.violations.is_empty(),
+            "quoted payload fired: {:?} in {src:?}",
+            report.violations
+        );
+        prop_assert!(report.unsafe_sites.is_empty());
+        prop_assert!(report.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn raw_lock_fires_at_the_right_line_despite_decoys(
+        before in 0usize..6,
+        decoy in payloads(),
+    ) {
+        let mut src = String::from("pub fn f(m: &std::sync::Mutex<u32>) -> u32 {\n");
+        for _ in 0..before {
+            src.push_str(&format!("    // decoy: {decoy}\n"));
+        }
+        src.push_str("    *m.lock().unwrap()\n}\n");
+        // A non-library path so only raw-lock is in scope.
+        let report = check_file(&SourceFile::new("crates/x/tests/t.rs", &src));
+        let raw: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.lint == "raw-lock")
+            .collect();
+        prop_assert_eq!(raw.len(), 1, "exactly the real site: {:?}", report.violations);
+        prop_assert_eq!(raw[0].line as usize, 2 + before);
+        prop_assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn no_panic_census_counts_real_sites_only(
+        real in 0usize..5,
+        fake in 0usize..5,
+    ) {
+        let mut src = String::from("pub fn f() {\n");
+        for _ in 0..fake {
+            src.push_str("    let s = \"x.unwrap()\"; // y.expect(\"no\")\n");
+        }
+        for _ in 0..real {
+            src.push_str("    let v = o.unwrap();\n");
+        }
+        src.push_str("}\n");
+        let report = check_file(&SourceFile::new("crates/x/src/a.rs", &src));
+        prop_assert_eq!(report.panic_sites.len(), real);
+    }
+}

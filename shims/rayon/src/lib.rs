@@ -92,11 +92,16 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("rayon-shim: queue poisoned").next();
+                let next = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next();
                 match next {
                     Some((i, item)) => {
                         let r = f(i, item);
-                        *results[i].lock().expect("rayon-shim: slot poisoned") = Some(r);
+                        *results[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
                     }
                     None => break,
                 }

@@ -7,6 +7,8 @@
 //! implementation, which keeps `T: Serialize` bounds satisfiable without any
 //! code generation machinery (`syn`/`quote` are unavailable offline).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Extracts the type name and a raw generics fragment (e.g. `<'a, T>`) from a

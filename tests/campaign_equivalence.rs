@@ -253,7 +253,9 @@ fn reference_array_size(
 
 #[test]
 fn threshold_sweep_wrapper_is_bit_identical_at_1_and_4_workers() {
-    let mut ctx = ctx().lock().unwrap();
+    let mut ctx = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (thresholds, rates, epochs) = (vec![0.6f32, 1.0], vec![0.35f64], 2usize);
     let reference = reference_threshold_sweep(&mut ctx, &thresholds, &rates, epochs);
     for workers in [1usize, 4] {
@@ -269,7 +271,9 @@ fn threshold_sweep_wrapper_is_bit_identical_at_1_and_4_workers() {
 
 #[test]
 fn mitigation_comparison_wrapper_is_bit_identical_at_1_and_4_workers() {
-    let mut ctx = ctx().lock().unwrap();
+    let mut ctx = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (rates, epochs) = (vec![0.30f64], 2usize);
     let reference = reference_mitigation_comparison(&mut ctx, &rates, epochs);
     for workers in [1usize, 4] {
@@ -285,7 +289,9 @@ fn mitigation_comparison_wrapper_is_bit_identical_at_1_and_4_workers() {
 
 #[test]
 fn convergence_wrapper_is_bit_identical_at_1_and_4_workers() {
-    let mut ctx = ctx().lock().unwrap();
+    let mut ctx = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (rate, epochs) = (0.30f64, 2usize);
     let reference = reference_convergence(&mut ctx, rate, epochs);
     for workers in [1usize, 4] {
@@ -309,7 +315,7 @@ proptest! {
 
     #[test]
     fn bit_position_wrapper_is_bit_identical(faulty_pes in 1usize..9, high_bit in 10u32..16) {
-        let mut ctx = ctx().lock().unwrap();
+        let mut ctx = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let bits = vec![0, high_bit];
         let reference = reference_bit_position(&mut ctx, &bits, faulty_pes);
         for workers in [1usize, 4] {
@@ -327,7 +333,7 @@ proptest! {
 
     #[test]
     fn faulty_pe_wrapper_is_bit_identical(count in 1usize..33) {
-        let mut ctx = ctx().lock().unwrap();
+        let mut ctx = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let counts = vec![0, count];
         let reference = reference_faulty_pe(&mut ctx, &counts);
         for workers in [1usize, 4] {
@@ -345,7 +351,7 @@ proptest! {
 
     #[test]
     fn array_size_wrapper_is_bit_identical(faulty_pes in 1usize..6, large in 3usize..5) {
-        let mut ctx = ctx().lock().unwrap();
+        let mut ctx = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // 4x4 vs 12x12 / 16x16: distinct grids exercise the per-config
         // scenario grouping of the campaign's evaluation fan-out.
         let sizes = vec![4, large * 4];

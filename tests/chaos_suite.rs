@@ -65,7 +65,7 @@ proptest! {
         // split between panics and typed errors.
         let rate = if heavy { 0.25 } else { 0.05 };
         let chaos = ChaosPlan::new(seed).panic_rate(rate / 2.0).error_rate(rate / 2.0);
-        let mut guard = ctx().lock().unwrap();
+        let mut guard = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let ctx = &mut *guard;
         with_workers(workers, || {
             let clean = plan(ctx, seed).run().unwrap();
@@ -106,7 +106,9 @@ fn panic_only_chaos_cannot_abort_the_process() {
     // caught, quarantined and recorded — the process lives, the table is
     // full-length.
     let chaos = ChaosPlan::new(99).panic_rate(0.8);
-    let mut guard = ctx().lock().unwrap();
+    let mut guard = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let ctx = &mut *guard;
     let run = plan(ctx, 99).chaos(chaos).run().unwrap();
     assert_eq!(run.len(), 6);
@@ -129,7 +131,9 @@ fn stragglers_meet_deadlines_without_failing_cells() {
     // Slow workers + a tight deadline: cells either complete or are skipped
     // by the deadline — a straggler must never be misreported as failed.
     let chaos = ChaosPlan::new(5).slow(1.0, Duration::from_millis(30));
-    let mut guard = ctx().lock().unwrap();
+    let mut guard = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let ctx = &mut *guard;
     let run = plan(ctx, 5)
         .chaos(chaos)

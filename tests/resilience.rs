@@ -61,7 +61,9 @@ fn run_and_kill(
     let partial = pe_plan(ctx, seed)
         .checkpoint_every(1)
         .checkpoint_sink(move |cp| {
-            let mut seen = sink_seen.lock().unwrap();
+            let mut seen = sink_seen
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             seen.push(cp.clone());
             if seen.len() >= kill_after_waves {
                 sink_token.cancel();
@@ -74,7 +76,9 @@ fn run_and_kill(
         partial.skipped() > 0,
         "the kill must leave unexecuted cells for resume to do real work"
     );
-    let seen = seen.lock().unwrap();
+    let seen = seen
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     seen.last().cloned().expect("at least one checkpoint")
 }
 
@@ -87,7 +91,7 @@ proptest! {
         kill_after in 1usize..3,
         workers in prop_oneof![Just(1usize), Just(4usize)],
     ) {
-        let mut guard = ctx().lock().unwrap();
+        let mut guard = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let ctx = &mut *guard;
         with_workers(workers, || {
             let full = pe_plan(ctx, seed).run().unwrap();
@@ -105,7 +109,7 @@ proptest! {
     fn resume_is_worker_count_independent(seed in 0u64..1000) {
         // Kill under one worker, resume under four (and vice versa): the
         // merged result must still match the uninterrupted single-worker run.
-        let mut guard = ctx().lock().unwrap();
+        let mut guard = ctx().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let ctx = &mut *guard;
         let full = with_workers(1, || pe_plan(ctx, seed).run().unwrap());
         let checkpoint = with_workers(1, || run_and_kill(ctx, seed, 1));
@@ -123,7 +127,9 @@ proptest! {
 
 #[test]
 fn checkpoint_identities_are_stable_across_kill_serialize_resume() {
-    let mut guard = ctx().lock().unwrap();
+    let mut guard = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let ctx = &mut *guard;
 
     // The plan fingerprint is a content id: two identical plans agree on
@@ -151,14 +157,16 @@ fn checkpoint_identities_are_stable_across_kill_serialize_resume() {
         .resume(CampaignCheckpoint::from_json(&second.to_json()).unwrap())
         .checkpoint_every(1)
         .checkpoint_sink(move |cp| {
-            *sink_cp.lock().unwrap() = Some(cp.clone());
+            *sink_cp
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(cp.clone());
         })
         .run()
         .unwrap();
     assert_eq!(resumed, full);
     let final_cp = final_cp
         .lock()
-        .unwrap()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone()
         .expect("a final checkpoint");
     assert!(final_cp.is_complete());
@@ -171,7 +179,9 @@ fn retraining_cells_resume_bit_identically() {
     // The retraining path (Mitigator over scenario views) goes through the
     // checkpoint too: kill a threshold sweep after its first cell and
     // resume it.
-    let mut guard = ctx().lock().unwrap();
+    let mut guard = ctx()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let ctx = &mut *guard;
     fn plan(ctx: &mut ExperimentContext) -> Campaign<'_> {
         Campaign::new(ctx)
@@ -187,14 +197,22 @@ fn retraining_cells_resume_bit_identically() {
     let partial = plan(ctx)
         .checkpoint_every(1)
         .checkpoint_sink(move |cp| {
-            sink_seen.lock().unwrap().push(cp.clone());
+            sink_seen
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(cp.clone());
             sink_token.cancel();
         })
         .cancel_token(token)
         .run()
         .unwrap();
     assert_eq!(partial.completed(), 1);
-    let checkpoint = seen.lock().unwrap().first().cloned().unwrap();
+    let checkpoint = seen
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .first()
+        .cloned()
+        .unwrap();
     let reloaded = CampaignCheckpoint::from_json(&checkpoint.to_json()).unwrap();
     let resumed = plan(ctx).resume(reloaded).run().unwrap();
     assert_eq!(resumed, full);
